@@ -1,0 +1,166 @@
+//! The LambdaML baseline [14].
+//!
+//! LambdaML allocates statically: one allocation chosen before the job
+//! starts. For hyperparameter tuning that is the optimal uniform plan
+//! (every stage, every trial the same). For model training it sizes the
+//! job from the *offline sampling-based* epoch estimate — pre-train on a
+//! small sample, extrapolate — whose ~40 % error is what makes LambdaML
+//! "always result in violations in the constraints" in §IV-C.
+
+use crate::statics::{optimal_static_plan, StaticError};
+use ce_models::Allocation;
+use ce_pareto::Profile;
+use ce_training::predict::OfflinePredictor;
+use ce_training::TrainingObjective;
+use ce_tuning::{Objective, PartitionPlan, ShaSpec};
+use ce_ml::curve::CurveParams;
+use ce_sim_core::rng::SimRng;
+
+/// The static LambdaML scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct LambdaMlScheduler;
+
+impl LambdaMlScheduler {
+    /// Creates the scheduler (stateless).
+    pub fn new() -> Self {
+        LambdaMlScheduler
+    }
+
+    /// Static tuning plan: the optimal uniform allocation (no per-stage
+    /// partitioning).
+    pub fn tuning_plan(
+        &self,
+        profile: &Profile,
+        sha: ShaSpec,
+        objective: Objective,
+        max_concurrency: u32,
+    ) -> Result<PartitionPlan, StaticError> {
+        optimal_static_plan(profile, sha, objective, max_concurrency)
+    }
+
+    /// Static training allocation from the offline epoch estimate: the
+    /// fastest (resp. cheapest) allocation whose *predicted* total
+    /// cost (resp. time) satisfies the constraint. The prediction error
+    /// is the baseline's Achilles heel: the chosen allocation is sized
+    /// for the wrong number of epochs and is never revisited.
+    ///
+    /// Also returns the (erroneous) offline epoch estimate so the caller
+    /// can report prediction error.
+    pub fn training_allocation(
+        &self,
+        profile: &Profile,
+        objective: TrainingObjective,
+        curve: &CurveParams,
+        target_loss: f64,
+        rng: &mut SimRng,
+    ) -> Option<(Allocation, f64)> {
+        let estimate = OfflinePredictor::new(*curve)
+            .predict(target_loss, rng)
+            .map(|p| p.total_epochs)
+            // A sample run that never reaches the target forces a guess;
+            // LambdaML falls back to the family mean.
+            .or_else(|| curve.mean_epochs_to(target_loss))?;
+        let estimate = estimate.max(1.0);
+        let points = profile.points();
+        let chosen = match objective {
+            TrainingObjective::MinJctGivenBudget { budget } => points
+                .iter()
+                .filter(|p| estimate * p.cost_usd() <= budget)
+                .min_by(|a, b| a.time_s().total_cmp(&b.time_s()))
+                .or_else(|| points.iter().min_by(|a, b| a.cost_usd().total_cmp(&b.cost_usd()))),
+            TrainingObjective::MinCostGivenQos { qos_s } => points
+                .iter()
+                .filter(|p| estimate * p.time_s() <= qos_s)
+                .min_by(|a, b| a.cost_usd().total_cmp(&b.cost_usd()))
+                .or_else(|| points.iter().min_by(|a, b| a.time_s().total_cmp(&b.time_s()))),
+        }?;
+        Some((chosen.alloc, estimate))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_ml::curve::table4_target;
+    use ce_ml::model::ModelFamily;
+    use ce_models::{AllocationSpace, Environment, Workload};
+    use ce_pareto::ParetoProfiler;
+    use ce_storage::StorageKind;
+
+    fn s3_profile(w: &Workload) -> Profile {
+        let env = Environment::aws_default();
+        ParetoProfiler::new(&env)
+            .with_space(AllocationSpace::aws_default().with_only_storage(StorageKind::S3))
+            .profile_workload(w)
+    }
+
+    #[test]
+    fn tuning_plan_is_static() {
+        let w = Workload::lr_higgs();
+        let p = s3_profile(&w);
+        let sha = ShaSpec::motivation_example();
+        let budget = PartitionPlan::uniform(*p.cheapest().unwrap(), sha).cost() * 2.0;
+        let plan = LambdaMlScheduler::new()
+            .tuning_plan(
+                &p,
+                sha,
+                Objective::MinJctGivenBudget {
+                    budget,
+                    qos_s: None,
+                },
+                3000,
+            )
+            .unwrap();
+        let first = plan.stages[0].alloc;
+        assert!(plan.stages.iter().all(|s| s.alloc == first));
+        assert_eq!(first.storage, StorageKind::S3);
+    }
+
+    #[test]
+    fn training_allocation_sized_by_offline_estimate() {
+        let w = Workload::lr_higgs();
+        let p = s3_profile(&w);
+        let curve = CurveParams::for_workload(ModelFamily::LogisticRegression, "Higgs");
+        let target = table4_target(ModelFamily::LogisticRegression, "Higgs");
+        let mut rng = SimRng::new(5);
+        let (alloc, estimate) = LambdaMlScheduler::new()
+            .training_allocation(
+                &p,
+                TrainingObjective::MinJctGivenBudget { budget: 50.0 },
+                &curve,
+                target,
+                &mut rng,
+            )
+            .unwrap();
+        assert!(estimate > 0.0);
+        // The chosen allocation's predicted cost fits the budget under
+        // the (possibly wrong) estimate.
+        let point = p.points().iter().find(|q| q.alloc == alloc).unwrap();
+        assert!(estimate * point.cost_usd() <= 50.0 || point.cost_usd() <= 1e-3);
+    }
+
+    #[test]
+    fn offline_estimates_vary_across_seeds() {
+        let w = Workload::lr_higgs();
+        let p = s3_profile(&w);
+        let curve = CurveParams::for_workload(ModelFamily::LogisticRegression, "Higgs");
+        let target = table4_target(ModelFamily::LogisticRegression, "Higgs");
+        let estimates: Vec<f64> = (0..8)
+            .map(|seed| {
+                LambdaMlScheduler::new()
+                    .training_allocation(
+                        &p,
+                        TrainingObjective::MinJctGivenBudget { budget: 50.0 },
+                        &curve,
+                        target,
+                        &mut SimRng::new(seed),
+                    )
+                    .unwrap()
+                    .1
+            })
+            .collect();
+        let min = estimates.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = estimates.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max / min > 1.2, "offline estimates suspiciously stable");
+    }
+}

@@ -1,0 +1,130 @@
+//! Optimal *static* plan selection, shared by the static baselines.
+//!
+//! A static method applies one allocation uniformly (every stage, every
+//! trial). Because the space is one-dimensional it can be optimized by
+//! enumeration — this is also the warm start of CE-scaling's Algorithm 1.
+
+use ce_pareto::Profile;
+use ce_tuning::{Objective, PartitionPlan, ShaSpec};
+
+/// Errors of static selection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StaticError {
+    /// No uniform plan satisfies the constraint.
+    Infeasible,
+    /// The profile has no allocations.
+    EmptyProfile,
+}
+
+impl std::fmt::Display for StaticError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StaticError::Infeasible => write!(f, "no static allocation satisfies the constraint"),
+            StaticError::EmptyProfile => write!(f, "profile contains no allocations"),
+        }
+    }
+}
+
+impl std::error::Error for StaticError {}
+
+/// The best feasible uniform plan for `objective`, enumerated over the
+/// *full* profiled grid (static baselines do not Pareto-prune).
+pub fn optimal_static_plan(
+    profile: &Profile,
+    sha: ShaSpec,
+    objective: Objective,
+    max_concurrency: u32,
+) -> Result<PartitionPlan, StaticError> {
+    if profile.points().is_empty() {
+        return Err(StaticError::EmptyProfile);
+    }
+    let mut best: Option<(f64, PartitionPlan)> = None;
+    for point in profile.points() {
+        let plan = PartitionPlan::uniform(*point, sha);
+        let (value, feasible) = match objective {
+            Objective::MinJctGivenBudget { budget, qos_s } => (
+                plan.jct(max_concurrency),
+                plan.cost() <= budget
+                    && qos_s.is_none_or(|t| plan.jct(max_concurrency) <= t),
+            ),
+            Objective::MinCostGivenQos { qos_s, budget } => (
+                plan.cost(),
+                plan.jct(max_concurrency) <= qos_s
+                    && budget.is_none_or(|b| plan.cost() <= b),
+            ),
+        };
+        if feasible && best.as_ref().is_none_or(|(v, _)| value < *v) {
+            best = Some((value, plan));
+        }
+    }
+    best.map(|(_, plan)| plan).ok_or(StaticError::Infeasible)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_models::{Environment, Workload};
+    use ce_pareto::ParetoProfiler;
+
+    fn profile() -> Profile {
+        let env = Environment::aws_default();
+        ParetoProfiler::new(&env).profile_workload(&Workload::lr_higgs())
+    }
+
+    #[test]
+    fn static_plan_is_uniform_and_feasible() {
+        let p = profile();
+        let sha = ShaSpec::motivation_example();
+        let budget = PartitionPlan::uniform(*p.cheapest().unwrap(), sha).cost() * 3.0;
+        let plan = optimal_static_plan(
+            &p,
+            sha,
+            Objective::MinJctGivenBudget {
+                budget,
+                qos_s: None,
+            },
+            3000,
+        )
+        .unwrap();
+        assert!(plan.cost() <= budget);
+        let first = plan.stages[0].alloc;
+        assert!(plan.stages.iter().all(|s| s.alloc == first));
+    }
+
+    #[test]
+    fn impossible_budget_is_infeasible() {
+        let p = profile();
+        let sha = ShaSpec::motivation_example();
+        let err = optimal_static_plan(
+            &p,
+            sha,
+            Objective::MinJctGivenBudget {
+                budget: 1e-9,
+                qos_s: None,
+            },
+            3000,
+        )
+        .unwrap_err();
+        assert_eq!(err, StaticError::Infeasible);
+    }
+
+    #[test]
+    fn qos_static_plan_minimizes_cost() {
+        let p = profile();
+        let sha = ShaSpec::motivation_example();
+        let fastest = PartitionPlan::uniform(*p.fastest().unwrap(), sha);
+        let tau = fastest.jct(3000) * 2.0;
+        let plan = optimal_static_plan(
+            &p,
+            sha,
+            Objective::MinCostGivenQos {
+                qos_s: tau,
+                budget: None,
+            },
+            3000,
+        )
+        .unwrap();
+        assert!(plan.jct(3000) <= tau);
+        assert!(plan.cost() <= fastest.cost());
+    }
+}

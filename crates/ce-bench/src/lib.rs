@@ -1,0 +1,1 @@
+//! Criterion benchmark crate for the CE-scaling reproduction; see `benches/`.

@@ -1,0 +1,312 @@
+//! Function-instance lifecycle: warm pools with idle expiry, invocation
+//! accounting, and execution-limit tracking.
+//!
+//! AWS Lambda keeps an invoked instance warm for a provider-determined
+//! idle window (minutes), reuses it for subsequent invocations at the
+//! same memory size, and enforces a hard per-invocation execution limit
+//! (15 min). The pool models exactly that: [`InstancePool::acquire`]
+//! reuses unexpired warm instances of the right size and cold-starts the
+//! remainder; [`InstancePool::release`] returns them warm; invocations
+//! that exceed the execution limit are *counted* (the simulator's
+//! epochs are atomic, so the breach is surfaced as a diagnostic rather
+//! than a mid-epoch kill).
+
+use ce_sim_core::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one function instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FunctionId(pub u64);
+
+/// One warm (or executing) function instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionInstance {
+    /// Stable identifier.
+    pub id: FunctionId,
+    /// Memory size the instance was provisioned with.
+    pub memory_mb: u32,
+    /// Completed invocations on this instance.
+    pub invocations: u32,
+    /// Total busy seconds across invocations.
+    pub busy_s: f64,
+    /// When the instance last finished work (idle-expiry anchor).
+    pub idle_since: SimTime,
+    /// Whether the instance is currently executing.
+    pub executing: bool,
+}
+
+/// Aggregate pool counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// Instances ever created (== cold starts).
+    pub created: u64,
+    /// Invocations served.
+    pub invocations: u64,
+    /// Warm reuses (invocations that did not cold start).
+    pub warm_hits: u64,
+    /// Instances reaped by idle expiry.
+    pub expired: u64,
+    /// Invocations that exceeded the execution limit.
+    pub limit_breaches: u64,
+}
+
+/// A pool of function instances for one tenant.
+#[derive(Debug, Clone)]
+pub struct InstancePool {
+    instances: Vec<FunctionInstance>,
+    next_id: u64,
+    /// Idle seconds after which a warm instance is reclaimed.
+    pub idle_timeout_s: f64,
+    /// Per-invocation execution limit (Lambda: 900 s).
+    pub max_execution_s: f64,
+    stats: PoolStats,
+}
+
+impl InstancePool {
+    /// Creates a pool with Lambda-like defaults (10 min idle expiry,
+    /// 15 min execution limit).
+    pub fn new() -> Self {
+        InstancePool {
+            instances: Vec::new(),
+            next_id: 0,
+            idle_timeout_s: 600.0,
+            max_execution_s: 900.0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Pool counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Currently warm (idle, unexpired as of `now`) instances at
+    /// `memory_mb`.
+    pub fn warm_count(&self, memory_mb: u32, now: SimTime) -> u32 {
+        self.instances
+            .iter()
+            .filter(|i| {
+                !i.executing
+                    && i.memory_mb == memory_mb
+                    && now - i.idle_since <= self.idle_timeout_s
+            })
+            .count() as u32
+    }
+
+    /// Reaps instances idle past the timeout as of `now`.
+    pub fn reap(&mut self, now: SimTime) {
+        let timeout = self.idle_timeout_s;
+        let before = self.instances.len();
+        self.instances
+            .retain(|i| i.executing || now - i.idle_since <= timeout);
+        self.stats.expired += (before - self.instances.len()) as u64;
+    }
+
+    /// Acquires `n` instances of `memory_mb` at time `now`, reusing warm
+    /// ones first. Returns the acquired ids and how many cold-started.
+    pub fn acquire(&mut self, n: u32, memory_mb: u32, now: SimTime) -> (Vec<FunctionId>, u32) {
+        self.reap(now);
+        let mut ids = Vec::with_capacity(n as usize);
+        // Warm reuse, most-recently-used first (Lambda's observed policy).
+        let mut warm: Vec<usize> = (0..self.instances.len())
+            .filter(|&i| !self.instances[i].executing && self.instances[i].memory_mb == memory_mb)
+            .collect();
+        warm.sort_by(|&a, &b| self.instances[b].idle_since.cmp(&self.instances[a].idle_since));
+        for &idx in warm.iter().take(n as usize) {
+            self.instances[idx].executing = true;
+            ids.push(self.instances[idx].id);
+            self.stats.warm_hits += 1;
+        }
+        let cold = n - ids.len() as u32;
+        for _ in 0..cold {
+            let id = FunctionId(self.next_id);
+            self.next_id += 1;
+            self.instances.push(FunctionInstance {
+                id,
+                memory_mb,
+                invocations: 0,
+                busy_s: 0.0,
+                idle_since: now,
+                executing: true,
+            });
+            ids.push(id);
+            self.stats.created += 1;
+        }
+        self.stats.invocations += u64::from(n);
+        (ids, cold)
+    }
+
+    /// Releases instances after an invocation of `busy_s` seconds ending
+    /// at `now`.
+    pub fn release(&mut self, ids: &[FunctionId], busy_s: f64, now: SimTime) {
+        if busy_s > self.max_execution_s {
+            self.stats.limit_breaches += ids.len() as u64;
+        }
+        for id in ids {
+            let inst = self
+                .instances
+                .iter_mut()
+                .find(|i| i.id == *id)
+                .expect("released instance exists");
+            assert!(inst.executing, "double release of {id:?}");
+            inst.executing = false;
+            inst.invocations += 1;
+            inst.busy_s += busy_s;
+            inst.idle_since = now;
+        }
+    }
+
+    /// Provisions `n` warm instances at `memory_mb` without invoking
+    /// them (AWS "provisioned concurrency" / the planner's pre-warming
+    /// before a stage starts).
+    pub fn prewarm(&mut self, n: u32, memory_mb: u32, now: SimTime) {
+        for _ in 0..n {
+            let id = FunctionId(self.next_id);
+            self.next_id += 1;
+            self.instances.push(FunctionInstance {
+                id,
+                memory_mb,
+                invocations: 0,
+                busy_s: 0.0,
+                idle_since: now,
+                executing: false,
+            });
+            self.stats.created += 1;
+        }
+    }
+
+    /// Drops every idle instance immediately (tenant-side teardown).
+    pub fn clear_idle(&mut self) {
+        let before = self.instances.len();
+        self.instances.retain(|i| i.executing);
+        self.stats.expired += (before - self.instances.len()) as u64;
+    }
+
+    /// Number of live (warm or executing) instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Whether the pool holds no instances.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+}
+
+impl Default for InstancePool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn first_acquire_is_all_cold() {
+        let mut pool = InstancePool::new();
+        let (ids, cold) = pool.acquire(5, 1769, t(0.0));
+        assert_eq!(ids.len(), 5);
+        assert_eq!(cold, 5);
+        assert_eq!(pool.stats().created, 5);
+        assert_eq!(pool.stats().warm_hits, 0);
+    }
+
+    #[test]
+    fn release_then_acquire_reuses_warm() {
+        let mut pool = InstancePool::new();
+        let (ids, _) = pool.acquire(5, 1769, t(0.0));
+        pool.release(&ids, 10.0, t(10.0));
+        let (ids2, cold) = pool.acquire(5, 1769, t(10.0));
+        assert_eq!(cold, 0);
+        assert_eq!(pool.stats().warm_hits, 5);
+        // Same instances, reused.
+        let mut a: Vec<u64> = ids.iter().map(|i| i.0).collect();
+        let mut b: Vec<u64> = ids2.iter().map(|i| i.0).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn memory_size_partitions_the_pool() {
+        let mut pool = InstancePool::new();
+        let (ids, _) = pool.acquire(3, 1769, t(0.0));
+        pool.release(&ids, 1.0, t(1.0));
+        // Different memory: all cold.
+        let (_, cold) = pool.acquire(3, 3538, t(1.0));
+        assert_eq!(cold, 3);
+        assert_eq!(pool.warm_count(1769, t(1.0)), 3);
+    }
+
+    #[test]
+    fn idle_timeout_expires_instances() {
+        let mut pool = InstancePool::new();
+        let (ids, _) = pool.acquire(4, 1769, t(0.0));
+        pool.release(&ids, 1.0, t(1.0));
+        assert_eq!(pool.warm_count(1769, t(500.0)), 4);
+        // Past the 600 s idle window: expired.
+        assert_eq!(pool.warm_count(1769, t(700.0)), 0);
+        let (_, cold) = pool.acquire(4, 1769, t(700.0));
+        assert_eq!(cold, 4);
+        assert_eq!(pool.stats().expired, 4);
+    }
+
+    #[test]
+    fn partial_warm_pool_cold_starts_the_rest() {
+        let mut pool = InstancePool::new();
+        let (ids, _) = pool.acquire(3, 1769, t(0.0));
+        pool.release(&ids, 1.0, t(1.0));
+        let (ids2, cold) = pool.acquire(8, 1769, t(1.0));
+        assert_eq!(ids2.len(), 8);
+        assert_eq!(cold, 5);
+    }
+
+    #[test]
+    fn execution_limit_breaches_are_counted() {
+        let mut pool = InstancePool::new();
+        let (ids, _) = pool.acquire(2, 1769, t(0.0));
+        pool.release(&ids, 1200.0, t(1200.0));
+        assert_eq!(pool.stats().limit_breaches, 2);
+        // Within the limit: no breach.
+        let (ids, _) = pool.acquire(2, 1769, t(1200.0));
+        pool.release(&ids, 100.0, t(1300.0));
+        assert_eq!(pool.stats().limit_breaches, 2);
+    }
+
+    #[test]
+    fn busy_time_and_invocations_accumulate() {
+        let mut pool = InstancePool::new();
+        let (ids, _) = pool.acquire(1, 1769, t(0.0));
+        pool.release(&ids, 5.0, t(5.0));
+        let (ids, _) = pool.acquire(1, 1769, t(5.0));
+        pool.release(&ids, 7.0, t(12.0));
+        assert_eq!(pool.stats().invocations, 2);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_panics() {
+        let mut pool = InstancePool::new();
+        let (ids, _) = pool.acquire(1, 1769, t(0.0));
+        pool.release(&ids, 1.0, t(1.0));
+        pool.release(&ids, 1.0, t(2.0));
+    }
+
+    #[test]
+    fn clear_idle_keeps_executing_instances() {
+        let mut pool = InstancePool::new();
+        let (first, _) = pool.acquire(2, 1769, t(0.0));
+        pool.release(&first, 1.0, t(1.0));
+        let (_executing, _) = pool.acquire(1, 1769, t(1.0));
+        pool.clear_idle();
+        assert_eq!(pool.len(), 1);
+        assert!(!pool.is_empty());
+    }
+}

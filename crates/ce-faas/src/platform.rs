@@ -1,0 +1,291 @@
+//! The stateful platform simulator.
+
+use crate::billing::BillingLedger;
+use crate::epoch::{self, ExecutionFidelity, MeasuredEpoch};
+use crate::function::{InstancePool, PoolStats};
+use ce_models::{Allocation, Environment, Workload};
+use ce_sim_core::rng::SimRng;
+use ce_sim_core::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Stochastic-behaviour knobs of the simulated platform.
+///
+/// The jitter magnitudes are calibrated so the analytical models of
+/// `ce-models` predict the simulator within the relative-error bands the
+/// paper reports against CloudWatch (0.56–4.9 % JCT, 0.2–7.6 % cost;
+/// Figs. 19–20).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlatformConfig {
+    /// Lognormal sigma of per-worker compute-duration jitter.
+    pub compute_jitter: f64,
+    /// Lognormal sigma of per-transfer network jitter.
+    pub network_jitter: f64,
+    /// Mean cold-start latency in seconds.
+    pub cold_start_s: f64,
+    /// Lognormal sigma of cold-start jitter.
+    pub cold_start_jitter: f64,
+    /// Maximum concurrent functions (AWS burst quota).
+    pub max_concurrency: u32,
+    /// Probability that a worker fails during one epoch and must be
+    /// retried (the platform re-invokes it; the BSP barrier stalls for
+    /// the re-execution). 0 by default — failure injection is opt-in.
+    pub failure_rate: f64,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            compute_jitter: 0.015,
+            network_jitter: 0.06,
+            cold_start_s: 1.8,
+            cold_start_jitter: 0.25,
+            max_concurrency: 3000,
+            failure_rate: 0.0,
+        }
+    }
+}
+
+/// The simulated serverless platform: warm pools, billing, and seeded
+/// randomness. One `FaasPlatform` instance represents one tenant account
+/// running one job; parallel trials clone it with derived RNG streams.
+#[derive(Debug, Clone)]
+pub struct FaasPlatform {
+    env: Environment,
+    config: PlatformConfig,
+    rng: SimRng,
+    ledger: BillingLedger,
+    /// Function-instance pool (warm reuse, idle expiry, limits).
+    pool: InstancePool,
+    /// The platform clock: advanced by every epoch's wall time, anchors
+    /// warm-instance idle expiry.
+    now: SimTime,
+    epochs_run: u64,
+}
+
+impl FaasPlatform {
+    /// Creates a platform over `env` with the default stochastic config.
+    pub fn new(env: Environment, seed: u64) -> Self {
+        FaasPlatform::with_config(env, PlatformConfig::default(), seed)
+    }
+
+    /// Creates a platform with an explicit config.
+    pub fn with_config(env: Environment, config: PlatformConfig, seed: u64) -> Self {
+        FaasPlatform {
+            env,
+            config,
+            rng: SimRng::new(seed).derive("faas-platform"),
+            ledger: BillingLedger::new(),
+            pool: InstancePool::new(),
+            now: SimTime::ZERO,
+            epochs_run: 0,
+        }
+    }
+
+    /// The environment this platform simulates.
+    pub fn env(&self) -> &Environment {
+        &self.env
+    }
+
+    /// The stochastic config.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// Accumulated billing.
+    pub fn ledger(&self) -> &BillingLedger {
+        &self.ledger
+    }
+
+    /// Number of warm instances available at `memory_mb` right now.
+    pub fn warm_count(&self, memory_mb: u32) -> u32 {
+        self.pool.warm_count(memory_mb, self.now)
+    }
+
+    /// Provisions `n` warm instances of `memory_mb` (pre-warming before
+    /// a stage starts or ahead of a delayed restart).
+    pub fn prewarm(&mut self, n: u32, memory_mb: u32) {
+        self.pool.prewarm(n, memory_mb, self.now);
+    }
+
+    /// Drops all warm instances (tenant teardown between phases).
+    pub fn cool_down(&mut self) {
+        self.pool.clear_idle();
+    }
+
+    /// The platform clock (sum of executed epochs' wall time).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Instance-pool counters (cold starts, warm hits, idle expiries,
+    /// execution-limit breaches).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Runs one BSP training epoch of `w` under `alloc`, consuming warm
+    /// instances where available and billing everything to the ledger.
+    ///
+    /// # Panics
+    /// Panics if `alloc.n` exceeds the concurrency quota.
+    pub fn run_epoch(
+        &mut self,
+        w: &Workload,
+        alloc: &Allocation,
+        fidelity: ExecutionFidelity,
+    ) -> MeasuredEpoch {
+        assert!(
+            alloc.n <= self.config.max_concurrency,
+            "allocation of {} functions exceeds the concurrency quota of {}",
+            alloc.n,
+            self.config.max_concurrency
+        );
+        let (ids, cold) = self.pool.acquire(alloc.n, alloc.memory_mb, self.now);
+
+        let mut epoch_rng = self.rng.derive_idx("epoch", self.epochs_run);
+        self.epochs_run += 1;
+        let measured = epoch::simulate_epoch(
+            &self.env,
+            &self.config,
+            w,
+            alloc,
+            cold,
+            fidelity,
+            &mut epoch_rng,
+        );
+        self.now += measured.wall_s;
+        self.pool.release(&ids, measured.wall_s, self.now);
+
+        self.ledger
+            .record_invocations(alloc.n, self.env.pricing.per_invocation);
+        self.ledger.record_compute(
+            alloc.n,
+            alloc.memory_mb,
+            measured.wall_s,
+            self.env.pricing.per_gb_second,
+        );
+        self.ledger.record_storage(
+            measured.cost.storage_requests,
+            measured.cost.storage_runtime,
+        );
+        measured
+    }
+
+    /// Derives an independent platform for a parallel trial: same
+    /// environment and config, fresh ledger and warm pool, RNG stream
+    /// keyed by `label`/`idx`.
+    pub fn fork(&self, label: &str, idx: u64) -> FaasPlatform {
+        FaasPlatform {
+            env: self.env.clone(),
+            config: self.config,
+            rng: self.rng.derive_idx(label, idx),
+            ledger: BillingLedger::new(),
+            pool: InstancePool::new(),
+            now: SimTime::ZERO,
+            epochs_run: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_storage::StorageKind;
+
+    fn platform() -> FaasPlatform {
+        FaasPlatform::new(Environment::aws_default(), 42)
+    }
+
+    fn lr_alloc() -> Allocation {
+        Allocation::new(10, 1769, StorageKind::S3)
+    }
+
+    #[test]
+    fn epoch_bills_ledger() {
+        let mut p = platform();
+        let w = Workload::lr_higgs();
+        let m = p.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast);
+        let l = p.ledger();
+        assert_eq!(l.invocations, 10);
+        assert!(l.gb_seconds > 0.0);
+        assert!((l.gb_seconds - 10.0 * 1769.0 / 1024.0 * m.wall_s).abs() < 1e-9);
+        assert!(l.total_dollars() > 0.0);
+    }
+
+    #[test]
+    fn cold_then_warm_waves() {
+        let mut p = platform();
+        let w = Workload::lr_higgs();
+        let first = p.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast);
+        assert_eq!(first.cold_starts, 10);
+        let second = p.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast);
+        assert_eq!(second.cold_starts, 0);
+        assert!(first.cold_start_s > 1.0, "cold wave pays the cold start");
+        assert_eq!(second.cold_start_s, 0.0, "warm wave pays none");
+    }
+
+    #[test]
+    fn prewarm_eliminates_cold_starts() {
+        let mut p = platform();
+        let w = Workload::lr_higgs();
+        p.prewarm(10, 1769);
+        let m = p.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast);
+        assert_eq!(m.cold_starts, 0);
+    }
+
+    #[test]
+    fn cool_down_forgets_warm_pool() {
+        let mut p = platform();
+        let w = Workload::lr_higgs();
+        p.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast);
+        p.cool_down();
+        let m = p.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast);
+        assert_eq!(m.cold_starts, 10);
+    }
+
+    #[test]
+    fn growing_the_wave_cold_starts_only_new_instances() {
+        let mut p = platform();
+        let w = Workload::lr_higgs();
+        p.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast);
+        let bigger = Allocation::new(16, 1769, StorageKind::S3);
+        let m = p.run_epoch(&w, &bigger, ExecutionFidelity::Fast);
+        assert_eq!(m.cold_starts, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "concurrency quota")]
+    fn concurrency_quota_enforced() {
+        let mut p = platform();
+        let w = Workload::lr_higgs();
+        let huge = Allocation::new(5000, 1769, StorageKind::S3);
+        p.run_epoch(&w, &huge, ExecutionFidelity::Fast);
+    }
+
+    #[test]
+    fn same_seed_same_measurements() {
+        let run = || {
+            let mut p = FaasPlatform::new(Environment::aws_default(), 7);
+            let w = Workload::lr_higgs();
+            (0..3)
+                .map(|_| p.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast).wall_s)
+                .collect::<Vec<f64>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn forked_platforms_are_independent_but_deterministic() {
+        let p = platform();
+        let w = Workload::lr_higgs();
+        let mut a1 = p.fork("trial", 0);
+        let mut a2 = p.fork("trial", 0);
+        let mut b = p.fork("trial", 1);
+        let wa1 = a1.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast).wall_s;
+        let wa2 = a2.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast).wall_s;
+        let wb = b.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast).wall_s;
+        assert_eq!(wa1, wa2);
+        assert_ne!(wa1, wb);
+        assert_eq!(p.ledger().total_dollars(), 0.0, "fork must not bill parent");
+    }
+}

@@ -1,0 +1,47 @@
+//! # ce-models
+//!
+//! The paper's analytical models (§III-B, Eqs. 1–5) and the vocabulary
+//! shared by every scheduler:
+//!
+//! * [`allocation`] — the resource allocation `θ = (n, m, s)` of Eq. 1 and
+//!   the search space `Θ = N × M × S`.
+//! * [`pricing`] — AWS Lambda function pricing (`p_f`, `p_ivk`).
+//! * [`environment`] — everything a scheduler sees about the platform:
+//!   storage catalog, function pricing, platform limits.
+//! * [`workload`] — a (model, dataset, batch size) triple, the unit every
+//!   estimate is computed for.
+//! * [`time`] — [`time::EpochTimeModel`], Eq. 2/3: epoch execution time
+//!   `t'(θ)` = dataset load + k · (gradient compute + synchronization).
+//! * [`cost`] — [`cost::CostModel`], Eq. 4/5: epoch monetary cost `c'(θ)`
+//!   = invocation + GB-second compute + storage.
+//!
+//! These models are *predictions*. The platform simulator in `ce-faas`
+//! executes the same structure with stochastic jitter; Figs. 19–20 compare
+//! the two (prediction error of a few percent).
+//!
+//! ```
+//! use ce_models::{Allocation, CostModel, Environment, Workload};
+//! use ce_storage::StorageKind;
+//!
+//! let env = Environment::aws_default();
+//! let w = Workload::lr_higgs();
+//! let theta = Allocation::new(10, 1769, StorageKind::S3);
+//! let (time, cost) = CostModel::new(&env).epoch_estimate(&w, &theta);
+//! assert!(time.total() > 0.0 && cost.total() > 0.0);
+//! // The breakdown components sum to the totals.
+//! assert!((time.load_s + time.compute_s + time.sync_s - time.total()).abs() < 1e-12);
+//! ```
+
+pub mod allocation;
+pub mod cost;
+pub mod environment;
+pub mod pricing;
+pub mod time;
+pub mod workload;
+
+pub use allocation::{Allocation, AllocationSpace};
+pub use cost::{CostBreakdown, CostModel};
+pub use environment::Environment;
+pub use pricing::FunctionPricing;
+pub use time::{asp_epoch_inflation, EpochTimeModel, SyncProtocol, TimeBreakdown};
+pub use workload::Workload;

@@ -1,0 +1,182 @@
+//! The profiler: evaluates the analytical models over the allocation grid
+//! in parallel and extracts the Pareto boundary.
+
+use crate::profile::{AllocPoint, Profile};
+use ce_ml::{DatasetSpec, ModelSpec};
+use ce_models::{AllocationSpace, CostModel, Environment, EpochTimeModel, Workload};
+use rayon::prelude::*;
+
+/// Profiles workloads over an environment's allocation space.
+///
+/// The paper notes the profile "can be quickly obtained — in few seconds —
+/// after users upload the model and the dataset"; here the sweep over the
+/// default 13 × 16 × 4 grid takes microseconds, but the structure (sweep
+/// once, search only the boundary afterwards) is identical.
+#[derive(Debug, Clone)]
+pub struct ParetoProfiler<'e> {
+    env: &'e Environment,
+    space: AllocationSpace,
+}
+
+impl<'e> ParetoProfiler<'e> {
+    /// A profiler over the default AWS allocation grid.
+    pub fn new(env: &'e Environment) -> Self {
+        ParetoProfiler {
+            env,
+            space: AllocationSpace::aws_default(),
+        }
+    }
+
+    /// Overrides the allocation grid.
+    pub fn with_space(mut self, space: AllocationSpace) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// The grid this profiler sweeps.
+    pub fn space(&self) -> &AllocationSpace {
+        &self.space
+    }
+
+    /// Profiles a (model, dataset) pair with the dataset's default batch.
+    pub fn profile(&self, model: &ModelSpec, dataset: &DatasetSpec) -> Profile {
+        self.profile_workload(&Workload::new(model.clone(), dataset.clone()))
+    }
+
+    /// Profiles a fully specified workload: evaluates `t'(θ)` and `c'(θ)`
+    /// for every feasible `θ` in the grid (in parallel) and extracts the
+    /// Pareto boundary.
+    pub fn profile_workload(&self, w: &Workload) -> Profile {
+        let allocs = self.space.enumerate(
+            &self.env.storage,
+            w.model.min_memory_mb(),
+            w.model.model_mb,
+        );
+        let time_model = EpochTimeModel::new(self.env);
+        let cost_model = CostModel::new(self.env);
+        let points: Vec<AllocPoint> = allocs
+            .par_iter()
+            .map(|alloc| {
+                let time = time_model.epoch_time(w, alloc);
+                let cost = cost_model.epoch_cost(w, alloc, &time);
+                AllocPoint {
+                    alloc: *alloc,
+                    time,
+                    cost,
+                }
+            })
+            .collect();
+        Profile::from_points(points)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dominates;
+    use ce_models::AllocationSpace;
+    use ce_storage::StorageKind;
+
+    fn env() -> Environment {
+        Environment::aws_default()
+    }
+
+    #[test]
+    fn profile_covers_feasible_grid() {
+        let env = env();
+        let profiler = ParetoProfiler::new(&env).with_space(AllocationSpace::small());
+        let profile = profiler.profile_workload(&Workload::lr_higgs());
+        // LR fits everywhere: 4 n × 3 m × 4 s = 48 points.
+        assert_eq!(profile.points().len(), 48);
+        assert!(!profile.boundary().is_empty());
+        assert!(profile.pruned_count() > 0, "grid must contain dominated points");
+    }
+
+    #[test]
+    fn boundary_points_nondominated_by_any_point() {
+        let env = env();
+        let profiler = ParetoProfiler::new(&env).with_space(AllocationSpace::small());
+        let profile = profiler.profile_workload(&Workload::mobilenet_cifar10());
+        for b in profile.boundary() {
+            for p in profile.points() {
+                assert!(
+                    !dominates(p.time_s(), p.cost_usd(), b.time_s(), b.cost_usd()),
+                    "{} dominates boundary point {}",
+                    p.alloc,
+                    b.alloc
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_pruned_point_is_dominated_by_boundary() {
+        let env = env();
+        let profiler = ParetoProfiler::new(&env).with_space(AllocationSpace::small());
+        let profile = profiler.profile_workload(&Workload::lr_higgs());
+        let boundary = profile.boundary();
+        for p in profile.points() {
+            let on_boundary = boundary.iter().any(|b| b.alloc == p.alloc);
+            if !on_boundary {
+                // Weak dominance suffices: duplicates of boundary coords
+                // are pruned too.
+                let covered = boundary.iter().any(|b| {
+                    b.time_s() <= p.time_s() && b.cost_usd() <= p.cost_usd()
+                });
+                assert!(covered, "pruned point {} not covered", p.alloc);
+            }
+        }
+    }
+
+    #[test]
+    fn bert_profile_excludes_dynamodb_and_small_memory() {
+        let env = env();
+        let profiler = ParetoProfiler::new(&env);
+        let profile = profiler.profile_workload(&Workload::bert_imdb());
+        let min_mem = Workload::bert_imdb().model.min_memory_mb();
+        for p in profile.points() {
+            assert_ne!(p.alloc.storage, StorageKind::DynamoDb);
+            assert!(p.alloc.memory_mb >= min_mem);
+        }
+    }
+
+    #[test]
+    fn profile_deterministic() {
+        let env = env();
+        let profiler = ParetoProfiler::new(&env).with_space(AllocationSpace::small());
+        let a = profiler.profile_workload(&Workload::lr_higgs());
+        let b = profiler.profile_workload(&Workload::lr_higgs());
+        assert_eq!(a.points().len(), b.points().len());
+        let coords = |p: &Profile| -> Vec<(f64, f64)> {
+            p.boundary().iter().map(|x| (x.time_s(), x.cost_usd())).collect()
+        };
+        assert_eq!(coords(&a), coords(&b));
+    }
+
+    #[test]
+    fn default_grid_produces_multi_point_boundary() {
+        // The boundary must expose a real time/cost trade-off for the
+        // planners to explore (Fig. 7 shows a curve, not a point).
+        let env = env();
+        let profiler = ParetoProfiler::new(&env);
+        for w in Workload::paper_matrix() {
+            let profile = profiler.profile_workload(&w);
+            assert!(
+                profile.boundary().len() >= 4,
+                "{}: boundary too small ({})",
+                w.label(),
+                profile.boundary().len()
+            );
+        }
+    }
+
+    #[test]
+    fn facade_quickstart_path_works() {
+        // Mirrors the facade doc example.
+        let env = env();
+        let profile =
+            ParetoProfiler::new(&env).profile(&ModelSpec::logistic_regression(), &DatasetSpec::higgs());
+        assert!(!profile.boundary().is_empty());
+        assert!(profile.cheapest_within_jct(120.0).is_some());
+    }
+}

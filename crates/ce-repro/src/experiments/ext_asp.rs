@@ -1,0 +1,88 @@
+//! Extension experiment: BSP vs ASP synchronization.
+//!
+//! Not a paper artifact — the paper pins BSP (§III-B) and notes Siren is
+//! asynchronous. This extension quantifies the trade-off the paper
+//! alludes to: ASP removes the barrier (per-iteration critical-path sync
+//! drops from Eq. 3's `(3n−2)`/`(2n−2)` transfers to the worker's own 2)
+//! but stale gradients inflate the epoch count. Whether ASP wins depends
+//! on the sync share of the epoch — exactly the quantity CE-scaling's
+//! models expose.
+
+use crate::report::{pct, Table};
+use ce_models::{
+    asp_epoch_inflation, Allocation, Environment, EpochTimeModel, SyncProtocol, Workload,
+};
+use ce_storage::StorageKind;
+use serde_json::{json, Value};
+
+/// Runs the BSP-vs-ASP comparison over workloads × storages.
+pub fn run(_quick: bool) -> Value {
+    let env = Environment::aws_default();
+    let model = EpochTimeModel::new(&env);
+    let n = 50u32;
+    let epochs = 40.0;
+    let mut cells = Vec::new();
+
+    println!("Extension — BSP vs ASP at {n} functions ({epochs:.0} BSP-equivalent epochs)\n");
+    let mut table = Table::new([
+        "Workload / storage",
+        "BSP epoch",
+        "ASP epoch",
+        "BSP sync share",
+        "ASP job vs BSP job",
+    ]);
+    for w in [
+        Workload::lr_higgs(),
+        Workload::mobilenet_cifar10(),
+        Workload::resnet50_cifar10(),
+    ] {
+        for storage in [StorageKind::S3, StorageKind::VmPs] {
+            let alloc = Allocation::new(n, 1769, storage);
+            let bsp = model.epoch_time_with_protocol(&w, &alloc, SyncProtocol::Bsp);
+            let asp = model.epoch_time_with_protocol(&w, &alloc, SyncProtocol::Asp);
+            let bsp_job = bsp.total() * epochs;
+            let asp_job = asp.total() * epochs * asp_epoch_inflation(n);
+            table.row([
+                format!("{} / {}", w.label(), storage),
+                format!("{:.1}s", bsp.total()),
+                format!("{:.1}s", asp.total()),
+                pct(bsp.comm_fraction()),
+                format!("{:+.0}%", (asp_job / bsp_job - 1.0) * 100.0),
+            ]);
+            cells.push(json!({
+                "workload": w.label(),
+                "storage": storage.to_string(),
+                "bsp_epoch_s": bsp.total(),
+                "asp_epoch_s": asp.total(),
+                "bsp_sync_share": bsp.comm_fraction(),
+                "asp_job_vs_bsp": asp_job / bsp_job - 1.0,
+            }));
+        }
+    }
+    table.print();
+    println!(
+        "\nASP wins where the barrier dominated (sync-heavy S3 configs) and\n\
+         loses where compute dominated — staleness inflation (+{:.0}% epochs\n\
+         at n = {n}) is then pure overhead.",
+        (asp_epoch_inflation(n) - 1.0) * 100.0
+    );
+    json!({ "ext_asp": cells })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asp_wins_exactly_where_sync_dominates() {
+        let v = super::run(true);
+        for cell in v["ext_asp"].as_array().unwrap() {
+            let share = cell["bsp_sync_share"].as_f64().unwrap();
+            let delta = cell["asp_job_vs_bsp"].as_f64().unwrap();
+            if share > 0.6 {
+                assert!(delta < 0.0, "{cell}: sync-heavy but ASP lost");
+            }
+            if share < 0.1 {
+                assert!(delta > 0.0, "{cell}: compute-heavy but ASP won");
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Extension experiment: saturation of manually-provisioned storage.
+//!
+//! Table I's "Manual" scaling column means a fixed-size ElastiCache node
+//! or parameter-server VM: its aggregate bandwidth is shared by every
+//! concurrent worker. The default catalog (like the paper's model)
+//! ignores this; the extension provisions a single node of exactly the
+//! nominal per-connection bandwidth and shows where the n-way share
+//! starts to dominate the epoch — the regime where a real deployment
+//! must scale the storage node together with the function count.
+
+use crate::report::Table;
+use ce_models::{Allocation, Environment, EpochTimeModel, Workload};
+use ce_storage::{StorageCatalog, StorageKind};
+use serde_json::{json, Value};
+
+/// Runs the contention sweep.
+pub fn run(_quick: bool) -> Value {
+    let w = Workload::mobilenet_cifar10();
+    let base_env = Environment::aws_default();
+
+    // Contended environment: one node per manual-scaling service, total
+    // capacity equal to the nominal per-connection rate.
+    let mut specs = Vec::new();
+    for spec in base_env.storage.services() {
+        let mut s = spec.clone();
+        if s.kind == StorageKind::ElastiCache || s.kind == StorageKind::VmPs {
+            let capacity = s.bandwidth_mbps;
+            s = s.with_aggregate_capacity(capacity);
+        }
+        specs.push(s);
+    }
+    let contended_env = Environment {
+        storage: StorageCatalog::from_specs(specs),
+        ..base_env.clone()
+    };
+
+    let mut cells = Vec::new();
+    println!("Extension — single-node storage saturation ({})\n", w.label());
+    for storage in [StorageKind::ElastiCache, StorageKind::VmPs] {
+        let mut table = Table::new(["n", "uncontended epoch", "single-node epoch", "slowdown"]);
+        for n in [10u32, 50, 100, 200] {
+            let alloc = Allocation::new(n, 1769, storage);
+            let free = EpochTimeModel::new(&base_env).epoch_time(&w, &alloc).total();
+            let tight = EpochTimeModel::new(&contended_env)
+                .epoch_time(&w, &alloc)
+                .total();
+            table.row([
+                n.to_string(),
+                format!("{free:.1}s"),
+                format!("{tight:.1}s"),
+                format!("{:.2}x", tight / free),
+            ]);
+            cells.push(json!({
+                "storage": storage.to_string(),
+                "n": n,
+                "uncontended_s": free,
+                "single_node_s": tight,
+                "slowdown": tight / free,
+            }));
+        }
+        println!("{storage}:");
+        table.print();
+        println!();
+    }
+    json!({ "ext_contention": cells })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn saturation_grows_with_workers() {
+        let v = super::run(true);
+        let cells = v["ext_contention"].as_array().unwrap();
+        for storage in ["ElastiCache", "VM-PS"] {
+            let slowdown = |n: u64| {
+                cells
+                    .iter()
+                    .find(|c| c["storage"] == storage && c["n"].as_u64() == Some(n))
+                    .and_then(|c| c["slowdown"].as_f64())
+                    .unwrap()
+            };
+            assert!(slowdown(10) >= 1.0);
+            assert!(
+                slowdown(200) > slowdown(10),
+                "{storage}: no growth in saturation"
+            );
+        }
+    }
+}

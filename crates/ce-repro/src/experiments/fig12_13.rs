@@ -1,0 +1,168 @@
+//! Figs. 12–13: model training across the five workloads, comparing
+//! CE-scaling, Siren, and (modified) Cirrus, averaged over repeated runs.
+//!
+//! Fig. 12 fixes a budget and reports JCT with the communication share
+//! highlighted ("the bottom of each bar indicates the overhead of
+//! communication"; JCT includes scheduling overhead). The paper reports
+//! CE reducing JCT by up to 56 %. Fig. 13 fixes a QoS constraint and
+//! reports cost with the storage share highlighted (up to 35 % cost
+//! reduction).
+
+use crate::context;
+use crate::report::{pct, secs, usd, Table};
+use ce_models::Environment;
+use ce_workflow::{Constraint, Method, TrainingJob};
+use rayon::prelude::*;
+use serde_json::{json, Value};
+
+struct Avg {
+    jct_s: f64,
+    cost_usd: f64,
+    comm_s: f64,
+    storage_usd: f64,
+    restarts: f64,
+    violations: u32,
+    runs: u32,
+}
+
+fn run_matrix(budget_mode: bool, quick: bool) -> Value {
+    let env = Environment::aws_default();
+    let workloads = context::paper_workloads();
+    let seeds = context::seeds(quick);
+
+    let cells: Vec<Value> = workloads
+        .par_iter()
+        .flat_map(|w| {
+            let constraint = if budget_mode {
+                Constraint::Budget(context::training_budget(&env, w))
+            } else {
+                Constraint::Deadline(context::training_deadline(&env, w))
+            };
+            Method::TRAINING
+                .par_iter()
+                .map(|&method| {
+                    let mut acc = Avg {
+                        jct_s: 0.0,
+                        cost_usd: 0.0,
+                        comm_s: 0.0,
+                        storage_usd: 0.0,
+                        restarts: 0.0,
+                        violations: 0,
+                        runs: 0,
+                    };
+                    for &seed in &seeds {
+                        let job =
+                            TrainingJob::new(w.clone(), constraint).with_seed(seed);
+                        if let Ok(r) = job.run(method) {
+                            acc.jct_s += r.jct_s;
+                            acc.cost_usd += r.cost_usd;
+                            acc.comm_s += r.comm_s;
+                            acc.storage_usd += r.storage_cost_usd;
+                            acc.restarts += f64::from(r.restarts);
+                            acc.violations +=
+                                u32::from(r.budget_violated || r.qos_violated);
+                            acc.runs += 1;
+                        }
+                    }
+                    let n = f64::from(acc.runs.max(1));
+                    json!({
+                        "workload": w.label(),
+                        "method": method.label(),
+                        "jct_s": acc.jct_s / n,
+                        "cost_usd": acc.cost_usd / n,
+                        "comm_s": acc.comm_s / n,
+                        "storage_usd": acc.storage_usd / n,
+                        "restarts": acc.restarts / n,
+                        "violations": acc.violations,
+                        "runs": acc.runs,
+                    })
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let title = if budget_mode {
+        "Fig. 12 — training JCT given a budget (comm share in parentheses)"
+    } else {
+        "Fig. 13 — training cost given a QoS constraint (storage share in parentheses)"
+    };
+    println!("{title}; averages over {} runs\n", seeds.len());
+    let mut table = Table::new([
+        "Workload",
+        "CE-scaling",
+        "Siren",
+        "Cirrus",
+        "CE vs best baseline",
+    ]);
+    for w in &workloads {
+        let get = |m: &str| cells
+            .iter()
+            .find(|c| c["workload"] == w.label() && c["method"] == m);
+        let fmt = |c: Option<&Value>| -> String {
+            let Some(c) = c else { return "err".into() };
+            if budget_mode {
+                let jct = c["jct_s"].as_f64().unwrap();
+                let comm = c["comm_s"].as_f64().unwrap();
+                format!("{} ({})", secs(jct), pct(comm / jct.max(1e-9)))
+            } else {
+                let cost = c["cost_usd"].as_f64().unwrap();
+                let st = c["storage_usd"].as_f64().unwrap();
+                format!("{} ({})", usd(cost), pct(st / cost.max(1e-12)))
+            }
+        };
+        let metric = if budget_mode { "jct_s" } else { "cost_usd" };
+        let ce = get("CE-scaling").and_then(|c| c[metric].as_f64());
+        let best_baseline = ["Siren", "Cirrus"]
+            .iter()
+            .filter_map(|m| get(m).and_then(|c| c[metric].as_f64()))
+            .fold(f64::INFINITY, f64::min);
+        let improvement = ce
+            .map(|c| 1.0 - c / best_baseline)
+            .map_or("n/a".into(), |i| format!("{:.1}%", i * 100.0));
+        table.row([
+            w.label(),
+            fmt(get("CE-scaling")),
+            fmt(get("Siren")),
+            fmt(get("Cirrus")),
+            improvement,
+        ]);
+    }
+    table.print();
+    println!();
+    let key = if budget_mode { "fig12" } else { "fig13" };
+    let mut map = serde_json::Map::new();
+    map.insert(key.to_string(), Value::Array(cells));
+    Value::Object(map)
+}
+
+/// Fig. 12: JCT given a budget.
+pub fn run_fig12(quick: bool) -> Value {
+    run_matrix(true, quick)
+}
+
+/// Fig. 13: cost given a QoS constraint.
+pub fn run_fig13(quick: bool) -> Value {
+    run_matrix(false, quick)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ce_competitive_on_mean_jct() {
+        let v = super::run_fig12(true);
+        let cells = v["fig12"].as_array().unwrap();
+        {
+            let workload = "MobileNet-Cifar10";
+            let get = |m: &str| {
+                cells
+                    .iter()
+                    .find(|c| c["workload"] == workload && c["method"] == m)
+                    .and_then(|c| c["jct_s"].as_f64())
+                    .unwrap()
+            };
+            let ce = get("CE-scaling");
+            assert!(ce <= get("Siren") * 1.05, "CE {ce} vs Siren");
+            assert!(ce <= get("Cirrus") * 1.10, "CE {ce} vs Cirrus");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Figs. 14–15: CE-scaling vs baselines under varying constraint
+//! tightness (LR over YFCC).
+//!
+//! The paper's observation: the gap between CE-scaling and the baselines
+//! is largest under tight constraints and narrows as they are relaxed.
+
+use crate::context;
+use crate::report::{secs, usd, Table};
+use ce_models::{Environment, Workload};
+use ce_workflow::{Constraint, Method, TrainingJob, TuningJob};
+use rayon::prelude::*;
+use serde_json::{json, Value};
+
+const SCALES: [f64; 4] = [1.2, 1.5, 2.0, 3.0];
+
+/// Fig. 14: tuning under varying budget scales.
+pub fn run_fig14(quick: bool) -> Value {
+    let env = Environment::aws_default();
+    let sha = context::bracket(quick);
+    let w = Workload::lr_yfcc();
+    let unit_budget = context::tuning_budget(&env, &w, sha) / context::BUDGET_SCALE;
+
+    let cells: Vec<Value> = SCALES
+        .par_iter()
+        .flat_map(|&scale| {
+            Method::TUNING
+                .par_iter()
+                .map(|&method| {
+                    let job = TuningJob::new(
+                        w.clone(),
+                        sha,
+                        Constraint::Budget(unit_budget * scale),
+                    )
+                    .with_seed(19);
+                    match job.run(method) {
+                        Ok(r) => json!({
+                            "scale": scale,
+                            "method": method.label(),
+                            "jct_s": r.jct_s,
+                            "cost_usd": r.cost_usd,
+                        }),
+                        Err(e) => json!({
+                            "scale": scale,
+                            "method": method.label(),
+                            "error": e.to_string(),
+                        }),
+                    }
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    println!("Fig. 14 — tuning JCT vs budget scale, LR-YFCC\n");
+    let mut table = Table::new(["Budget scale", "CE-scaling", "LambdaML", "Siren", "Fixed"]);
+    for &scale in &SCALES {
+        let get = |m: &str| -> String {
+            cells
+                .iter()
+                .find(|c| c["scale"] == scale && c["method"] == m)
+                .and_then(|c| c["jct_s"].as_f64())
+                .map_or("err".into(), secs)
+        };
+        table.row([
+            format!("{scale:.1}x"),
+            get("CE-scaling"),
+            get("LambdaML"),
+            get("Siren"),
+            get("Fixed"),
+        ]);
+    }
+    table.print();
+    println!();
+    json!({ "fig14": cells })
+}
+
+/// Fig. 15: training under varying budget scales.
+pub fn run_fig15(quick: bool) -> Value {
+    let env = Environment::aws_default();
+    let w = Workload::lr_yfcc();
+    let unit_budget = context::training_budget(&env, &w) / context::BUDGET_SCALE;
+    let seeds = context::seeds(quick);
+
+    let cells: Vec<Value> = SCALES
+        .par_iter()
+        .flat_map(|&scale| {
+            Method::TRAINING
+                .par_iter()
+                .map(|&method| {
+                    let mut jct = 0.0;
+                    let mut cost = 0.0;
+                    let mut runs = 0u32;
+                    for &seed in &seeds {
+                        let job = TrainingJob::new(
+                            w.clone(),
+                            Constraint::Budget(unit_budget * scale),
+                        )
+                        .with_seed(seed);
+                        if let Ok(r) = job.run(method) {
+                            jct += r.jct_s;
+                            cost += r.cost_usd;
+                            runs += 1;
+                        }
+                    }
+                    let n = f64::from(runs.max(1));
+                    json!({
+                        "scale": scale,
+                        "method": method.label(),
+                        "jct_s": jct / n,
+                        "cost_usd": cost / n,
+                        "runs": runs,
+                    })
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    println!("Fig. 15 — training JCT/cost vs budget scale, LR-YFCC\n");
+    let mut table = Table::new(["Budget scale", "CE JCT", "Siren JCT", "Cirrus JCT", "CE cost"]);
+    for &scale in &SCALES {
+        let get = |m: &str, k: &str| {
+            cells
+                .iter()
+                .find(|c| c["scale"] == scale && c["method"] == m)
+                .and_then(|c| c[k].as_f64())
+        };
+        table.row([
+            format!("{scale:.1}x"),
+            get("CE-scaling", "jct_s").map_or("err".into(), secs),
+            get("Siren", "jct_s").map_or("err".into(), secs),
+            get("Cirrus", "jct_s").map_or("err".into(), secs),
+            get("CE-scaling", "cost_usd").map_or("err".into(), usd),
+        ]);
+    }
+    table.print();
+    println!();
+    json!({ "fig15": cells })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ce_jct_improves_with_budget() {
+        let v = super::run_fig14(true);
+        let cells = v["fig14"].as_array().unwrap();
+        let jct = |scale: f64| {
+            cells
+                .iter()
+                .find(|c| c["scale"] == scale && c["method"] == "CE-scaling")
+                .and_then(|c| c["jct_s"].as_f64())
+                .unwrap()
+        };
+        // Relaxing the budget cannot hurt the optimized JCT.
+        assert!(jct(3.0) <= jct(1.2) * 1.01);
+    }
+}

@@ -1,0 +1,175 @@
+//! Fig. 21: scheduling overhead and the impact of δ.
+//!
+//! * Fig. 21a — tuning: the Pareto boundary cuts the planner's search
+//!   (the paper reports −69 % scheduling overhead vs WO-pa).
+//! * Fig. 21b — training: Pareto pruning and the delayed restart cut the
+//!   per-job scheduling overhead (−64 % vs WO-pa, −55 % vs WO-pa-dr).
+//! * Fig. 21c — δ sweep: smaller δ reacts to every prediction wiggle
+//!   (many restarts), larger δ reacts late; the paper defaults to 0.1.
+
+use crate::context;
+use crate::report::{secs, Table};
+use ce_models::{Environment, Workload};
+use ce_workflow::{Constraint, Method, TrainingJob, TuningJob};
+use serde_json::{json, Value};
+
+/// Fig. 21a: tuning planning overhead, CE vs WO-pa.
+pub fn run_fig21a(quick: bool) -> Value {
+    let env = Environment::aws_default();
+    let sha = context::bracket(quick);
+    let mut cells = Vec::new();
+
+    println!("Fig. 21a — tuning scheduling overhead: CE vs WO-pa\n");
+    let mut table = Table::new(["Workload", "CE overhead", "WO-pa overhead", "reduction"]);
+    for w in [Workload::lr_higgs(), Workload::mobilenet_cifar10()] {
+        let budget = context::tuning_budget(&env, &w, sha);
+        let job = TuningJob::new(w.clone(), sha, Constraint::Budget(budget)).with_seed(29);
+        let (_, ce_overhead, ce_evals) = job.plan_for(Method::CeScaling).expect("feasible");
+        let job_wo = TuningJob::new(w.clone(), sha, Constraint::Budget(budget))
+            .with_seed(29)
+            .without_pareto();
+        let (_, wo_overhead, wo_evals) = job_wo.plan_for(Method::CeScaling).expect("feasible");
+        let reduction = 1.0 - ce_overhead / wo_overhead;
+        table.row([
+            w.label(),
+            secs(ce_overhead),
+            secs(wo_overhead),
+            format!("{:.0}%", reduction * 100.0),
+        ]);
+        cells.push(json!({
+            "workload": w.label(),
+            "ce_overhead_s": ce_overhead,
+            "ce_evaluations": ce_evals,
+            "wo_pa_overhead_s": wo_overhead,
+            "wo_pa_evaluations": wo_evals,
+            "reduction": reduction,
+        }));
+    }
+    table.print();
+    println!();
+    json!({ "fig21a": cells })
+}
+
+/// Fig. 21b: training scheduling overhead, CE vs WO-pa vs WO-pa-dr.
+pub fn run_fig21b(quick: bool) -> Value {
+    let env = Environment::aws_default();
+    let w = Workload::mobilenet_cifar10();
+    let budget = context::training_budget(&env, &w);
+    let seeds = context::seeds(quick);
+
+    type Configure = fn(TrainingJob) -> TrainingJob;
+    let variants: [(&str, Configure); 3] = [
+        ("CE-scaling", |j| j),
+        ("WO-pa", |j| j.without_pareto()),
+        ("WO-pa-dr", |j| j.without_pareto().without_delayed_restart()),
+    ];
+    let mut cells = Vec::new();
+    println!("Fig. 21b — training scheduling overhead (MobileNet-Cifar10)\n");
+    let mut table = Table::new(["Variant", "sched overhead", "restarts", "JCT"]);
+    for (name, configure) in variants {
+        let mut overhead = 0.0;
+        let mut restarts = 0.0;
+        let mut jct = 0.0;
+        let mut runs = 0u32;
+        for &seed in &seeds {
+            let job = configure(
+                TrainingJob::new(w.clone(), Constraint::Budget(budget)).with_seed(seed),
+            );
+            if let Ok(r) = job.run(Method::CeScaling) {
+                overhead += r.sched_overhead_s;
+                restarts += f64::from(r.restarts);
+                jct += r.jct_s;
+                runs += 1;
+            }
+        }
+        let n = f64::from(runs.max(1));
+        table.row([
+            name.to_string(),
+            secs(overhead / n),
+            format!("{:.1}", restarts / n),
+            secs(jct / n),
+        ]);
+        cells.push(json!({
+            "variant": name,
+            "sched_overhead_s": overhead / n,
+            "restarts": restarts / n,
+            "jct_s": jct / n,
+            "runs": runs,
+        }));
+    }
+    table.print();
+    println!();
+    json!({ "fig21b": cells })
+}
+
+/// Fig. 21c: δ sweep.
+pub fn run_fig21c(quick: bool) -> Value {
+    let env = Environment::aws_default();
+    let w = Workload::mobilenet_cifar10();
+    let budget = context::training_budget(&env, &w);
+    let seeds = context::seeds(quick);
+    let deltas = [0.01, 0.05, 0.1, 0.15, 0.2];
+
+    let mut cells = Vec::new();
+    println!("Fig. 21c — impact of the adjustment threshold δ (MobileNet-Cifar10)\n");
+    let mut table = Table::new(["delta", "restarts", "sched overhead", "JCT"]);
+    for &delta in &deltas {
+        let mut restarts = 0.0;
+        let mut overhead = 0.0;
+        let mut jct = 0.0;
+        let mut runs = 0u32;
+        for &seed in &seeds {
+            let job = TrainingJob::new(w.clone(), Constraint::Budget(budget))
+                .with_seed(seed)
+                .with_delta(delta);
+            if let Ok(r) = job.run(Method::CeScaling) {
+                restarts += f64::from(r.restarts);
+                overhead += r.sched_overhead_s;
+                jct += r.jct_s;
+                runs += 1;
+            }
+        }
+        let n = f64::from(runs.max(1));
+        table.row([
+            format!("{delta}"),
+            format!("{:.1}", restarts / n),
+            secs(overhead / n),
+            secs(jct / n),
+        ]);
+        cells.push(json!({
+            "delta": delta,
+            "restarts": restarts / n,
+            "sched_overhead_s": overhead / n,
+            "jct_s": jct / n,
+            "runs": runs,
+        }));
+    }
+    table.print();
+    println!();
+    json!({ "fig21c": cells })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pareto_pruning_cuts_tuning_overhead() {
+        let v = super::run_fig21a(true);
+        for cell in v["fig21a"].as_array().unwrap() {
+            let reduction = cell["reduction"].as_f64().unwrap();
+            assert!(
+                reduction > 0.3,
+                "{}: reduction only {reduction:.2}",
+                cell["workload"]
+            );
+        }
+    }
+
+    #[test]
+    fn delta_sweep_restarts_monotone_ish() {
+        let v = super::run_fig21c(true);
+        let cells = v["fig21c"].as_array().unwrap();
+        let first = cells.first().unwrap()["restarts"].as_f64().unwrap();
+        let last = cells.last().unwrap()["restarts"].as_f64().unwrap();
+        assert!(first >= last, "δ=0.01 gave {first}, δ=0.2 gave {last}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Fig. 3: the motivation experiment — per-stage JCT when reallocating
+//! part of stage 1's resources to later stages.
+//!
+//! Setup matches the paper: 5 stages, 32 trials in the first stage,
+//! reduction factor 2. The paper observes that moving 10 % of stage 1's
+//! resources to later stages cuts total JCT by 39 %, while an aggressive
+//! 30 % reallocation backfires (+36 % vs static) because stage 1
+//! collapses under resource competition.
+
+use crate::context;
+use crate::report::{secs, Table};
+use ce_models::{Environment, Workload};
+use ce_pareto::{AllocPoint, Profile};
+use ce_tuning::{PartitionPlan, ShaSpec};
+use serde_json::{json, Value};
+
+/// Builds the reallocated plan: stage 1 downgraded to the fastest point
+/// within `(1 − p)` of the static per-trial cost; the freed dollars are
+/// spread over the later stages.
+fn reallocated(
+    profile: &Profile,
+    static_point: AllocPoint,
+    sha: ShaSpec,
+    p: f64,
+    max_concurrency: u32,
+) -> PartitionPlan {
+    let boundary: Vec<&AllocPoint> = profile.boundary();
+    let d = sha.num_stages();
+    let r = f64::from(sha.epochs_per_stage);
+    let c_static = static_point.cost_usd();
+
+    // Stage JCT of a candidate point, including concurrency-limited trial
+    // waves — stage 1 runs 32 concurrent trials, so its JCT is wave-
+    // dominated and the best downgrade may use *fewer* functions per
+    // trial (fewer waves) rather than less memory.
+    let stage_jct = |point: &AllocPoint, stage: usize| -> f64 {
+        let q = sha.trials_in_stage(stage);
+        let per_wave = (max_concurrency / point.alloc.n).max(1);
+        f64::from(q.div_ceil(per_wave)) * point.time_s()
+    };
+
+    // Stage 1: the stage-JCT-optimal allocation within the reduced
+    // per-trial budget.
+    let stage1_cap = c_static * (1.0 - p);
+    let stage1 = boundary
+        .iter()
+        .filter(|b| b.cost_usd() <= stage1_cap)
+        .min_by(|a, b| stage_jct(a, 0).total_cmp(&stage_jct(b, 0)))
+        .copied()
+        .copied()
+        .unwrap_or(static_point);
+    let freed =
+        f64::from(sha.trials_in_stage(0)) * r * (c_static - stage1.cost_usd());
+
+    // Later stages: the freed dollars are split into equal *per-stage*
+    // shares, so the late, narrow stages receive the largest per-trial
+    // boost (this is what lets the paper's later trials run "nearly 2×"
+    // faster).
+    let mut stages = vec![stage1];
+    let share = freed / (d - 1) as f64;
+    for s in 1..d {
+        let per_trial_epoch_bonus = share / (f64::from(sha.trials_in_stage(s)) * r);
+        let cap = c_static + per_trial_epoch_bonus;
+        let point = boundary
+            .iter()
+            .filter(|b| b.cost_usd() <= cap)
+            .min_by(|a, b| stage_jct(a, s).total_cmp(&stage_jct(b, s)))
+            .copied()
+            .copied()
+            .unwrap_or(static_point);
+        stages.push(point);
+    }
+    PartitionPlan::new(stages, sha)
+}
+
+/// Runs the Fig. 3 comparison.
+pub fn run(_quick: bool) -> Value {
+    let env = Environment::aws_default();
+    let w = Workload::lr_higgs();
+    let sha = ShaSpec::motivation_example();
+    let profile = context::full_profile(&env, &w);
+
+    // The static reference: a point in the fast (dense) region of the
+    // boundary, where the memory ladder gives fine-grained up/downgrade
+    // steps. (The boundary's slow tail has n-cliffs — dropping from 100
+    // to 4 functions — where a "10 %" budget cut would slow stage 1 by
+    // 20×; the paper's static reference is a sensibly provisioned plan.)
+    let boundary = profile.boundary();
+    let static_point = *boundary[boundary.len() / 4];
+    let static_plan = PartitionPlan::uniform(static_point, sha);
+
+    let quota = env.max_concurrency;
+    let plans = [
+        ("static", static_plan.clone()),
+        (
+            "realloc 10%",
+            reallocated(&profile, static_point, sha, 0.10, quota),
+        ),
+        (
+            "realloc 30%",
+            reallocated(&profile, static_point, sha, 0.30, quota),
+        ),
+    ];
+
+    println!("Fig. 3 — per-stage JCT, static vs reallocating from stage 1 (LR-Higgs, 32 trials, 5 stages)\n");
+    let mut table = Table::new(["Plan", "s1", "s2", "s3", "s4", "s5", "total", "vs static"]);
+    let quota = env.max_concurrency;
+    let static_total = static_plan.jct(quota);
+    let mut out = Vec::new();
+    for (name, plan) in &plans {
+        let per_stage: Vec<f64> = (0..sha.num_stages())
+            .map(|i| plan.stage_jct(i, quota))
+            .collect();
+        let total = plan.jct(quota);
+        let mut cells = vec![name.to_string()];
+        cells.extend(per_stage.iter().map(|&t| secs(t)));
+        cells.push(secs(total));
+        cells.push(format!("{:+.1}%", (total / static_total - 1.0) * 100.0));
+        table.row(cells);
+        out.push(json!({
+            "plan": name,
+            "per_stage_jct_s": per_stage,
+            "total_jct_s": total,
+            "vs_static": total / static_total - 1.0,
+        }));
+    }
+    table.print();
+    json!({ "fig3": out })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn moderate_reallocation_helps_aggressive_hurts_stage1() {
+        let v = super::run(true);
+        let rows = v["fig3"].as_array().unwrap();
+        let total = |i: usize| rows[i]["total_jct_s"].as_f64().unwrap();
+        let stage1 = |i: usize| rows[i]["per_stage_jct_s"][0].as_f64().unwrap();
+        // 10 % reallocation reduces total JCT.
+        assert!(total(1) < total(0), "10% should beat static");
+        // 30 % reallocation slows stage 1 more than 10 % does.
+        assert!(stage1(2) >= stage1(1));
+        // And is worse overall than the moderate reallocation.
+        assert!(total(2) >= total(1));
+    }
+}

@@ -1,0 +1,82 @@
+//! Fig. 7: scatter of allocations in (epoch time, epoch cost) space with
+//! the Pareto boundary, for LR over Higgs.
+
+use crate::context;
+use crate::report::Table;
+use ce_models::{Environment, Workload};
+use ce_sim_core::rng::SimRng;
+use serde_json::{json, Value};
+
+/// Samples 50 allocations (as the paper's figure does) and prints them
+/// alongside the boundary.
+pub fn run(_quick: bool) -> Value {
+    let env = Environment::aws_default();
+    let w = Workload::lr_higgs();
+    let profile = context::full_profile(&env, &w);
+
+    // Sample 50 points for the scatter, like the figure.
+    let mut rng = SimRng::new(7).derive("fig7");
+    let mut indices: Vec<usize> = (0..profile.points().len()).collect();
+    rng.shuffle(&mut indices);
+    let scatter: Vec<Value> = indices
+        .iter()
+        .take(50)
+        .map(|&i| {
+            let p = &profile.points()[i];
+            json!({
+                "alloc": p.alloc.to_string(),
+                "time_s": p.time_s(),
+                "cost_usd": p.cost_usd(),
+            })
+        })
+        .collect();
+
+    let boundary: Vec<Value> = profile
+        .boundary()
+        .iter()
+        .map(|p| {
+            json!({
+                "alloc": p.alloc.to_string(),
+                "time_s": p.time_s(),
+                "cost_usd": p.cost_usd(),
+            })
+        })
+        .collect();
+
+    println!(
+        "Fig. 7 — Pareto boundary of LR-Higgs ({} allocations profiled, {} on the boundary, {} pruned)\n",
+        profile.points().len(),
+        boundary.len(),
+        profile.pruned_count()
+    );
+    let mut table = Table::new(["Boundary allocation", "epoch time", "epoch cost"]);
+    for p in profile.boundary() {
+        table.row([
+            p.alloc.to_string(),
+            format!("{:.1}s", p.time_s()),
+            format!("${:.5}", p.cost_usd()),
+        ]);
+    }
+    table.print();
+
+    json!({
+        "fig7": {
+            "profiled": profile.points().len(),
+            "pruned": profile.pruned_count(),
+            "scatter": scatter,
+            "boundary": boundary,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn boundary_nonempty_and_pruning_substantial() {
+        let v = super::run(true);
+        let fig = &v["fig7"];
+        assert!(fig["boundary"].as_array().unwrap().len() >= 4);
+        assert!(fig["pruned"].as_u64().unwrap() > 100);
+        assert_eq!(fig["scatter"].as_array().unwrap().len(), 50);
+    }
+}

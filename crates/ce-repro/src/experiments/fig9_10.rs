@@ -1,0 +1,147 @@
+//! Figs. 9–10: hyperparameter tuning across the five workloads and four
+//! methods.
+//!
+//! Fig. 9 fixes a budget and reports JCT ("time from the start until the
+//! optimal trial is found"); the paper reports CE-scaling reducing JCT by
+//! up to 66 %. Fig. 10 fixes a QoS constraint and reports total trial
+//! cost; the paper reports up to 42 % cost reduction. Improvements are
+//! largest for the big models (ResNet50, BERT).
+
+use crate::context;
+use crate::report::{secs, usd, Table};
+use ce_models::Environment;
+use ce_workflow::{Constraint, Method, TuningJob};
+use rayon::prelude::*;
+use serde_json::{json, Value};
+
+fn run_matrix(budget_mode: bool, quick: bool) -> Value {
+    let env = Environment::aws_default();
+    let sha = context::bracket(quick);
+    let workloads = context::paper_workloads();
+
+    let cells: Vec<Value> = workloads
+        .par_iter()
+        .flat_map(|w| {
+            let constraint = if budget_mode {
+                Constraint::Budget(context::tuning_budget(&env, w, sha))
+            } else {
+                Constraint::Deadline(context::tuning_deadline(&env, w, sha))
+            };
+            Method::TUNING
+                .par_iter()
+                .map(|&method| {
+                    let job = TuningJob::new(w.clone(), sha, constraint).with_seed(11);
+                    match job.run(method) {
+                        Ok(r) => json!({
+                            "workload": w.label(),
+                            "method": method.label(),
+                            "jct_s": r.jct_s,
+                            "cost_usd": r.cost_usd,
+                            "sched_overhead_s": r.sched_overhead_s,
+                            "budget_violated": r.budget_violated,
+                            "qos_violated": r.qos_violated,
+                        }),
+                        Err(e) => json!({
+                            "workload": w.label(),
+                            "method": method.label(),
+                            "error": e.to_string(),
+                        }),
+                    }
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let metric = if budget_mode { "jct_s" } else { "cost_usd" };
+    let title = if budget_mode {
+        "Fig. 9 — tuning JCT given a budget"
+    } else {
+        "Fig. 10 — tuning cost given a QoS constraint"
+    };
+    println!("{title} (bracket: {} trials, {} stages)\n", sha.initial_trials, sha.num_stages());
+    let mut table = Table::new([
+        "Workload",
+        "CE-scaling",
+        "LambdaML",
+        "Siren",
+        "Fixed",
+        "CE vs best baseline",
+    ]);
+    for w in &workloads {
+        let cell = |m: &str| -> Option<&Value> {
+            cells
+                .iter()
+                .find(|c| c["workload"] == w.label() && c["method"] == m)
+        };
+        let get = |m: &str| -> Option<f64> { cell(m).and_then(|c| c[metric].as_f64()) };
+        // A '*' marks a best-effort run that violated the constraint.
+        let fmt = |m: &str| -> String {
+            let Some(c) = cell(m) else { return "err".into() };
+            let Some(x) = c[metric].as_f64() else {
+                return format!("err: {}", c["error"].as_str().unwrap_or("?"));
+            };
+            let violated = c["budget_violated"] == true || c["qos_violated"] == true;
+            let mut s = if budget_mode { secs(x) } else { usd(x) };
+            if violated {
+                s.push('*');
+            }
+            s
+        };
+        let ce = get("CE-scaling");
+        let baselines: Vec<f64> = ["LambdaML", "Siren", "Fixed"]
+            .iter()
+            .filter_map(|m| get(m))
+            .collect();
+        let best_baseline = baselines.iter().cloned().fold(f64::INFINITY, f64::min);
+        let improvement = ce
+            .map(|c| 1.0 - c / best_baseline)
+            .map_or("n/a".to_string(), |i| format!("{:.1}%", i * 100.0));
+        table.row([
+            w.label(),
+            fmt("CE-scaling"),
+            fmt("LambdaML"),
+            fmt("Siren"),
+            fmt("Fixed"),
+            improvement,
+        ]);
+    }
+    table.print();
+    println!();
+    let key = if budget_mode { "fig9" } else { "fig10" };
+    let mut map = serde_json::Map::new();
+    map.insert(key.to_string(), Value::Array(cells));
+    Value::Object(map)
+}
+
+/// Fig. 9: JCT given a budget.
+pub fn run_fig9(quick: bool) -> Value {
+    run_matrix(true, quick)
+}
+
+/// Fig. 10: cost given a QoS constraint.
+pub fn run_fig10(quick: bool) -> Value {
+    run_matrix(false, quick)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ce_never_worse_than_baselines_on_the_constrained_metric() {
+        let v = super::run_fig9(true);
+        let cells = v["fig9"].as_array().unwrap();
+        for workload in ["LR-Higgs", "MobileNet-Cifar10"] {
+            let get = |m: &str| {
+                cells
+                    .iter()
+                    .find(|c| c["workload"] == workload && c["method"] == m)
+                    .and_then(|c| c["jct_s"].as_f64())
+            };
+            let ce = get("CE-scaling").expect("CE ran");
+            for m in ["LambdaML", "Siren", "Fixed"] {
+                if let Some(b) = get(m) {
+                    assert!(ce <= b * 1.05, "{workload}: CE {ce} vs {m} {b}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Experiment implementations, one module per paper artifact (plus
+//! `ext_*` extensions that go beyond the paper).
+
+pub mod ext_asp;
+pub mod ext_contention;
+pub mod ext_failures;
+pub mod fig11;
+pub mod fig12_13;
+pub mod fig14_15;
+pub mod fig16_17;
+pub mod fig18;
+pub mod fig19_20;
+pub mod fig21;
+pub mod fig3;
+pub mod fig4;
+pub mod fig7;
+pub mod fig9_10;
+pub mod table1;
+pub mod table2;
+pub mod table4;

@@ -1,0 +1,58 @@
+//! Table I: comparison of external storage services.
+
+use crate::report::Table;
+use ce_storage::{PricingModel, ScalingMode, StorageCatalog};
+use serde_json::{json, Value};
+
+/// Prints the storage catalog in Table I's layout.
+pub fn run(_quick: bool) -> Value {
+    let catalog = StorageCatalog::aws_default();
+    let mut table = Table::new([
+        "Service",
+        "Scaling",
+        "Latency",
+        "Bandwidth",
+        "Pricing",
+        "Aggregates",
+    ]);
+    let mut rows = Vec::new();
+    for spec in catalog.services() {
+        let scaling = match spec.scaling {
+            ScalingMode::Auto => "Auto",
+            ScalingMode::Manual => "Manual",
+        };
+        let pricing = match spec.pricing {
+            PricingModel::PerRequest { .. } => "per request",
+            PricingModel::PerRuntime { .. } => "per runtime",
+        };
+        table.row([
+            spec.kind.to_string(),
+            scaling.to_string(),
+            format!("{:.1} ms", spec.latency_s * 1000.0),
+            format!("{:.0} MB/s", spec.bandwidth_mbps),
+            pricing.to_string(),
+            if spec.aggregates_locally { "yes" } else { "no" }.to_string(),
+        ]);
+        rows.push(json!({
+            "service": spec.kind.to_string(),
+            "scaling": scaling,
+            "latency_ms": spec.latency_s * 1000.0,
+            "bandwidth_mbps": spec.bandwidth_mbps,
+            "pricing": pricing,
+            "aggregates_locally": spec.aggregates_locally,
+            "max_object_mb": spec.max_object_mb,
+        }));
+    }
+    println!("Table I — external storage services\n");
+    table.print();
+    json!({ "table1": rows })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn emits_four_services() {
+        let v = super::run(true);
+        assert_eq!(v["table1"].as_array().unwrap().len(), 4);
+    }
+}

@@ -1,0 +1,88 @@
+//! Table II: JCT and cost of training under Cirrus-style static
+//! allocations with each storage service, normalized to S3.
+//!
+//! Paper shape: with 10 functions and a small model (LR), DynamoDB is
+//! both faster and cheaper than S3; with 50 functions or larger models
+//! the low-latency services (ElastiCache, VM-PS) win; DynamoDB is N/A
+//! when the model exceeds its 400 KB item limit.
+
+use crate::report::Table;
+use ce_models::{Allocation, CostModel, Environment, Workload};
+use ce_storage::StorageKind;
+use serde_json::{json, Value};
+
+/// Computes the normalized JCT/cost matrix.
+pub fn run(_quick: bool) -> Value {
+    let env = Environment::aws_default();
+    let workloads = [Workload::lr_higgs(), Workload::mobilenet_cifar10()];
+    let mut out = Vec::new();
+
+    println!("Table II — storage services under static allocations, normalized to S3\n");
+    for n in [10u32, 50] {
+        let alloc_of = |s: StorageKind| Allocation::new(n, 1769, s);
+        let mut table = Table::new(["Storage", "LR JCT", "LR cost", "MobileNet JCT", "MobileNet cost"]);
+        let mut rows = Vec::new();
+        // S3 reference values per workload.
+        let cost_model = CostModel::new(&env);
+        let reference: Vec<(f64, f64)> = workloads
+            .iter()
+            .map(|w| {
+                let (t, c) = cost_model.epoch_estimate(w, &alloc_of(StorageKind::S3));
+                (t.total(), c.total())
+            })
+            .collect();
+        for s in StorageKind::ALL {
+            let mut cells = vec![s.to_string()];
+            let mut row = json!({ "n": n, "storage": s.to_string() });
+            for (wi, w) in workloads.iter().enumerate() {
+                let spec = env.storage.get(s).expect("catalog");
+                if !spec.supports_model(w.model.model_mb) {
+                    cells.push("N/A".into());
+                    cells.push("N/A".into());
+                    row[format!("{}_jct", w.model.name())] = Value::Null;
+                    row[format!("{}_cost", w.model.name())] = Value::Null;
+                    continue;
+                }
+                let (t, c) = cost_model.epoch_estimate(w, &alloc_of(s));
+                let jct_norm = t.total() / reference[wi].0;
+                let cost_norm = c.total() / reference[wi].1;
+                cells.push(format!("{jct_norm:.2}"));
+                cells.push(format!("{cost_norm:.2}"));
+                row[format!("{}_jct", w.model.name())] = json!(jct_norm);
+                row[format!("{}_cost", w.model.name())] = json!(cost_norm);
+            }
+            table.row(cells);
+            rows.push(row);
+        }
+        println!("{n} functions / 1769 MB:");
+        table.print();
+        println!();
+        out.extend(rows);
+    }
+    json!({ "table2": out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let v = run(true);
+        let rows = v["table2"].as_array().unwrap();
+        let get = |n: u64, s: &str, key: &str| -> Option<f64> {
+            rows.iter()
+                .find(|r| r["n"].as_u64() == Some(n) && r["storage"] == s)
+                .and_then(|r| r[key].as_f64())
+        };
+        // DynamoDB N/A for MobileNet.
+        assert!(get(10, "DynamoDB", "MobileNet_jct").is_none());
+        // DynamoDB faster than S3 for LR at 10 functions (paper: 0.83).
+        assert!(get(10, "DynamoDB", "LR_jct").unwrap() < 1.0);
+        // VM-PS/ElastiCache faster than S3 for MobileNet at 50 functions.
+        assert!(get(50, "VM-PS", "MobileNet_jct").unwrap() < 1.0);
+        assert!(get(50, "ElastiCache", "MobileNet_jct").unwrap() < 1.0);
+        // S3 is its own reference.
+        assert_eq!(get(10, "S3", "LR_jct").unwrap(), 1.0);
+    }
+}

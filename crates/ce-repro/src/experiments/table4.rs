@@ -1,0 +1,50 @@
+//! Table IV: experimental configurations of the training jobs.
+
+use crate::report::Table;
+use ce_ml::curve::table4_target;
+use ce_models::Workload;
+use serde_json::{json, Value};
+
+/// Prints the Table IV configuration matrix.
+pub fn run(_quick: bool) -> Value {
+    let workloads = [
+        Workload::lr_higgs(),
+        Workload::svm_higgs(),
+        Workload::lr_yfcc(),
+        Workload::svm_yfcc(),
+        Workload::mobilenet_cifar10(),
+        Workload::resnet50_cifar10(),
+        Workload::bert_imdb(),
+    ];
+    let mut table = Table::new(["Model", "Dataset", "Batch size", "Target loss", "Model MB"]);
+    let mut rows = Vec::new();
+    for w in &workloads {
+        let target = table4_target(w.model.family, &w.dataset.name);
+        table.row([
+            w.model.name(),
+            w.dataset.name.clone(),
+            w.batch.to_string(),
+            format!("{target}"),
+            format!("{:.3}", w.model.model_mb),
+        ]);
+        rows.push(json!({
+            "model": w.model.name(),
+            "dataset": w.dataset.name,
+            "batch": w.batch,
+            "target_loss": target,
+            "model_mb": w.model.model_mb,
+        }));
+    }
+    println!("Table IV — experimental configurations\n");
+    table.print();
+    json!({ "table4": rows })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn emits_seven_workloads() {
+        let v = super::run(true);
+        assert_eq!(v["table4"].as_array().unwrap().len(), 7);
+    }
+}

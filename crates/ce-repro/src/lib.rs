@@ -1,0 +1,157 @@
+//! # ce-repro
+//!
+//! The table/figure regeneration harness: one module per experiment in
+//! the paper's evaluation (§IV). Each experiment prints a human-readable
+//! table mirroring the paper's rows/series and returns a
+//! machine-readable `serde_json::Value` (the `--json` flag of the
+//! `ce-repro` binary prints that instead).
+//!
+//! Run `ce-repro list` for the experiment index, `ce-repro all` to
+//! regenerate everything, or `ce-repro fig9 fig10` for a subset. The
+//! `--quick` flag shrinks brackets and seed counts for smoke testing.
+//!
+//! The mapping from experiment id to paper artifact is in DESIGN.md §4;
+//! paper-vs-measured numbers are recorded in EXPERIMENTS.md.
+
+pub mod context;
+pub mod experiments;
+pub mod report;
+
+use serde_json::Value;
+
+/// One runnable experiment.
+pub struct Experiment {
+    /// Identifier (e.g. `fig9`).
+    pub id: &'static str,
+    /// What it reproduces.
+    pub title: &'static str,
+    /// Runs the experiment; `quick` shrinks it for smoke tests.
+    pub run: fn(quick: bool) -> Value,
+}
+
+/// The full experiment registry, in paper order.
+pub fn registry() -> Vec<Experiment> {
+    use experiments::*;
+    vec![
+        Experiment {
+            id: "table1",
+            title: "Table I: external storage service characteristics",
+            run: table1::run,
+        },
+        Experiment {
+            id: "fig3",
+            title: "Fig. 3: per-stage JCT, static vs reallocating 10%/30% from stage 1",
+            run: fig3::run,
+        },
+        Experiment {
+            id: "fig4",
+            title: "Fig. 4: offline vs online epoch-prediction error",
+            run: fig4::run,
+        },
+        Experiment {
+            id: "table2",
+            title: "Table II: storage services under Cirrus, normalized to S3",
+            run: table2::run,
+        },
+        Experiment {
+            id: "fig7",
+            title: "Fig. 7: allocation scatter and Pareto boundary (LR-Higgs)",
+            run: fig7::run,
+        },
+        Experiment {
+            id: "fig9",
+            title: "Fig. 9: tuning JCT given a budget (5 models x 4 methods)",
+            run: fig9_10::run_fig9,
+        },
+        Experiment {
+            id: "fig10",
+            title: "Fig. 10: tuning cost given a QoS constraint",
+            run: fig9_10::run_fig10,
+        },
+        Experiment {
+            id: "fig11",
+            title: "Fig. 11: normalized per-trial budget per stage (LR-Higgs)",
+            run: fig11::run,
+        },
+        Experiment {
+            id: "fig12",
+            title: "Fig. 12: training JCT given a budget, with comm breakdown",
+            run: fig12_13::run_fig12,
+        },
+        Experiment {
+            id: "fig13",
+            title: "Fig. 13: training cost given a QoS constraint, with storage breakdown",
+            run: fig12_13::run_fig13,
+        },
+        Experiment {
+            id: "fig14",
+            title: "Fig. 14: tuning under varying budget/QoS scales (LR-YFCC)",
+            run: fig14_15::run_fig14,
+        },
+        Experiment {
+            id: "fig15",
+            title: "Fig. 15: training under varying budget/QoS scales (LR-YFCC)",
+            run: fig14_15::run_fig15,
+        },
+        Experiment {
+            id: "fig16",
+            title: "Fig. 16: tuning under the same storage (S3, VM-PS), MobileNet",
+            run: fig16_17::run_fig16,
+        },
+        Experiment {
+            id: "fig17",
+            title: "Fig. 17: training under the same storage (S3, VM-PS), MobileNet",
+            run: fig16_17::run_fig17,
+        },
+        Experiment {
+            id: "fig18",
+            title: "Fig. 18: CE-scaling under fixed storage (D/S/E/V)",
+            run: fig18::run,
+        },
+        Experiment {
+            id: "fig19",
+            title: "Fig. 19: model validation vs number of functions",
+            run: fig19_20::run_fig19,
+        },
+        Experiment {
+            id: "fig20",
+            title: "Fig. 20: model validation vs memory size",
+            run: fig19_20::run_fig20,
+        },
+        Experiment {
+            id: "fig21a",
+            title: "Fig. 21a: tuning scheduling overhead (CE vs WO-pa)",
+            run: fig21::run_fig21a,
+        },
+        Experiment {
+            id: "fig21b",
+            title: "Fig. 21b: training scheduling overhead (CE vs WO-pa vs WO-pa-dr)",
+            run: fig21::run_fig21b,
+        },
+        Experiment {
+            id: "fig21c",
+            title: "Fig. 21c: impact of the adjustment threshold delta",
+            run: fig21::run_fig21c,
+        },
+        Experiment {
+            id: "table4",
+            title: "Table IV: experimental configurations",
+            run: table4::run,
+        },
+        Experiment {
+            id: "ext-asp",
+            title: "Extension: BSP vs ASP synchronization trade-off",
+            run: ext_asp::run,
+        },
+        Experiment {
+            id: "ext-contention",
+            title: "Extension: single-node storage saturation",
+            run: ext_contention::run,
+        },
+        Experiment {
+            id: "ext-failures",
+            title: "Extension: training under worker failures",
+            run: ext_failures::run,
+        },
+    ]
+}

@@ -1,0 +1,58 @@
+//! # ce-storage
+//!
+//! External storage service models for serverless ML parameter
+//! synchronization, reproducing §II-B, §II-C3, Table I, and Fig. 5 of the
+//! paper.
+//!
+//! Serverless functions are stateless, so the workers of a distributed
+//! training job exchange gradients and model parameters through an
+//! *external storage service*. The paper considers four services with very
+//! different latency, bandwidth, and pricing characteristics:
+//!
+//! | Service | Scaling | Latency | Pricing | Cost class |
+//! |---|---|---|---|---|
+//! | S3 | auto | high | per request | `$` |
+//! | DynamoDB | auto | medium | per request (per-KB units) | `$$` |
+//! | ElastiCache | manual | low | per runtime | `$$$` |
+//! | VM-PS (EC2 parameter server) | manual | low | per runtime | `$$$` |
+//!
+//! Modules:
+//!
+//! * [`service`] — [`service::StorageSpec`] describing one service
+//!   (bandwidth, latency, pricing model, object-size limit, and whether the
+//!   service can aggregate gradients locally).
+//! * [`catalog`] — the default Table I catalog with public AWS list prices.
+//! * [`sync`] — the parameter-synchronization pattern model of Eq. 3 and
+//!   Fig. 5: stateless services need `(3n − 2)` model-sized transfers per
+//!   iteration (workers must pull partial models, aggregate in a function,
+//!   and re-upload), while a VM-PS aggregates locally and needs only
+//!   `(2n − 2)`.
+//! * [`store`] — [`store::SimStore`], a real in-memory object store used by
+//!   the platform simulator as the concrete synchronization medium (put/get
+//!   of byte blobs with simulated duration and billed cost).
+//!
+//! ```
+//! use ce_storage::{StorageCatalog, StorageKind};
+//! use ce_storage::sync::sync_time;
+//!
+//! let catalog = StorageCatalog::aws_default();
+//! let s3 = catalog.get(StorageKind::S3).unwrap();
+//! let vmps = catalog.get(StorageKind::VmPs).unwrap();
+//!
+//! // Eq. 3: at 50 workers, a 12 MB model synchronizes far faster through
+//! // a parameter server than through S3.
+//! assert!(sync_time(vmps, 50, 12.0) < sync_time(s3, 50, 12.0) / 10.0);
+//!
+//! // DynamoDB's 400 KB item limit rejects the MobileNet blob.
+//! let ddb = catalog.get(StorageKind::DynamoDb).unwrap();
+//! assert!(!ddb.supports_model(12.0));
+//! ```
+
+pub mod catalog;
+pub mod service;
+pub mod store;
+pub mod sync;
+
+pub use catalog::StorageCatalog;
+pub use service::{PricingModel, ScalingMode, StorageKind, StorageSpec};
+pub use store::SimStore;

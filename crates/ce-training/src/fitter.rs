@@ -1,0 +1,243 @@
+//! Least-squares loss-curve fitting.
+//!
+//! The fitter assumes the inverse-power convergence family
+//! `σ(e) = floor + (initial − floor) / (1 + rate·e)` with a *known*
+//! initial loss (the loss of the untrained model, observable before
+//! training starts) and fits `(floor, rate)` to the noisy per-epoch
+//! history by coordinate grid search with local refinement — robust,
+//! derivative-free, and fast enough to run after every epoch.
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted convergence curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FittedCurve {
+    /// Loss before training (supplied, not fitted).
+    pub initial: f64,
+    /// Fitted asymptotic loss.
+    pub floor: f64,
+    /// Fitted convergence rate.
+    pub rate: f64,
+}
+
+impl FittedCurve {
+    /// Predicted loss after `e` epochs.
+    pub fn loss_at(&self, e: f64) -> f64 {
+        self.floor + (self.initial - self.floor) / (1.0 + self.rate * e)
+    }
+
+    /// Predicted total epochs to reach `target`, or `None` if the target
+    /// is at or below the fitted floor.
+    pub fn epochs_to(&self, target: f64) -> Option<f64> {
+        if target <= self.floor {
+            return None;
+        }
+        if target >= self.initial {
+            return Some(0.0);
+        }
+        let ratio = (self.initial - self.floor) / (target - self.floor);
+        Some((ratio - 1.0) / self.rate)
+    }
+
+    /// Sum of squared residuals against a history (epoch `i+1` ↦
+    /// `history[i]`).
+    pub fn sse(&self, history: &[f64]) -> f64 {
+        history
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (self.loss_at((i + 1) as f64) - l).powi(2))
+            .sum()
+    }
+}
+
+/// The online fitter.
+#[derive(Debug, Clone)]
+pub struct LossCurveFitter {
+    initial: f64,
+}
+
+impl LossCurveFitter {
+    /// Minimum history length before a fit is attempted.
+    pub const MIN_POINTS: usize = 3;
+
+    /// Creates a fitter anchored at the (observed) initial loss.
+    pub fn new(initial_loss: f64) -> Self {
+        assert!(initial_loss.is_finite());
+        LossCurveFitter {
+            initial: initial_loss,
+        }
+    }
+
+    /// Fits `(floor, rate)` to the observed history, or `None` with fewer
+    /// than [`Self::MIN_POINTS`] observations.
+    pub fn fit(&self, history: &[f64]) -> Option<FittedCurve> {
+        if history.len() < Self::MIN_POINTS {
+            return None;
+        }
+        let min_loss = history.iter().cloned().fold(f64::INFINITY, f64::min);
+        // Coarse grid over floor ∈ [0, min_loss], rate log-spaced.
+        let mut best = FittedCurve {
+            initial: self.initial,
+            floor: 0.0,
+            rate: 1.0,
+        };
+        let mut best_sse = f64::INFINITY;
+        for fi in 0..=32 {
+            let floor = min_loss * f64::from(fi) / 32.0;
+            for ri in 0..=48 {
+                // rate from 1e-3 to 1e3, log-spaced.
+                let rate = 10f64.powf(-3.0 + 6.0 * f64::from(ri) / 48.0);
+                let cand = FittedCurve {
+                    initial: self.initial,
+                    floor,
+                    rate,
+                };
+                let sse = cand.sse(history);
+                if sse < best_sse {
+                    best_sse = sse;
+                    best = cand;
+                }
+            }
+        }
+        // Local refinement: shrinking coordinate search around the best
+        // grid cell.
+        let mut floor_step = min_loss / 32.0;
+        let mut rate_factor = 10f64.powf(6.0 / 48.0);
+        for _ in 0..24 {
+            let mut improved = false;
+            for (df, rf) in [
+                (floor_step, 1.0),
+                (-floor_step, 1.0),
+                (0.0, rate_factor),
+                (0.0, 1.0 / rate_factor),
+            ] {
+                let cand = FittedCurve {
+                    initial: self.initial,
+                    floor: (best.floor + df).clamp(0.0, min_loss),
+                    rate: (best.rate * rf).max(1e-6),
+                };
+                let sse = cand.sse(history);
+                if sse < best_sse {
+                    best_sse = sse;
+                    best = cand;
+                    improved = true;
+                }
+            }
+            if !improved {
+                floor_step *= 0.5;
+                rate_factor = rate_factor.sqrt();
+            }
+        }
+        Some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_ml::curve::{CurveParams, LossCurve};
+    use ce_ml::model::ModelFamily;
+    use ce_sim_core::rng::SimRng;
+
+    fn exact_history(initial: f64, floor: f64, rate: f64, n: usize) -> Vec<f64> {
+        (1..=n)
+            .map(|e| floor + (initial - floor) / (1.0 + rate * e as f64))
+            .collect()
+    }
+
+    #[test]
+    fn recovers_exact_curve() {
+        let history = exact_history(2.3, 0.15, 0.8, 20);
+        let fit = LossCurveFitter::new(2.3).fit(&history).unwrap();
+        assert!((fit.floor - 0.15).abs() < 0.02, "floor {}", fit.floor);
+        assert!((fit.rate - 0.8).abs() / 0.8 < 0.05, "rate {}", fit.rate);
+    }
+
+    #[test]
+    fn epochs_to_inverts_loss_at() {
+        let fit = FittedCurve {
+            initial: 1.0,
+            floor: 0.2,
+            rate: 0.5,
+        };
+        for target in [0.9, 0.5, 0.3, 0.25] {
+            let e = fit.epochs_to(target).unwrap();
+            assert!((fit.loss_at(e) - target).abs() < 1e-9);
+        }
+        assert!(fit.epochs_to(0.2).is_none());
+        assert_eq!(fit.epochs_to(1.5), Some(0.0));
+    }
+
+    #[test]
+    fn too_few_points_yields_none() {
+        let fitter = LossCurveFitter::new(1.0);
+        assert!(fitter.fit(&[0.9]).is_none());
+        assert!(fitter.fit(&[0.9, 0.8]).is_none());
+        assert!(fitter.fit(&[0.9, 0.8, 0.7]).is_some());
+    }
+
+    #[test]
+    fn fits_noisy_synthetic_run_accurately() {
+        // Fit a realized stochastic run and compare the predicted epochs
+        // to the run's ground truth.
+        let params = CurveParams::for_workload(ModelFamily::MobileNet, "Cifar10");
+        let mut run = LossCurve::sample_optimal(&params, SimRng::new(5));
+        for _ in 0..25 {
+            run.next_epoch();
+        }
+        let fit = LossCurveFitter::new(params.initial)
+            .fit(run.history())
+            .unwrap();
+        let predicted = fit.epochs_to(0.2).expect("target reachable");
+        let truth = f64::from(run.true_epochs_to(0.2).unwrap());
+        let rel = (predicted - truth).abs() / truth;
+        assert!(rel < 0.20, "relative error {rel:.3}");
+    }
+
+    #[test]
+    fn online_error_shrinks_with_history() {
+        // Fig. 4b's shape: average prediction error decreases as training
+        // progresses.
+        let params = CurveParams::for_workload(ModelFamily::LogisticRegression, "Higgs");
+        let target = 0.66;
+        let mut early_errs = Vec::new();
+        let mut late_errs = Vec::new();
+        for seed in 0..12 {
+            let mut run = LossCurve::sample_optimal(&params, SimRng::new(seed));
+            let truth = f64::from(run.true_epochs_to(target).unwrap());
+            for _ in 0..40 {
+                run.next_epoch();
+            }
+            let fitter = LossCurveFitter::new(params.initial);
+            let early = fitter.fit(&run.history()[..5]).unwrap();
+            let late = fitter.fit(&run.history()[..40]).unwrap();
+            let err = |f: &FittedCurve| {
+                f.epochs_to(target)
+                    .map_or(1.0, |e| (e - truth).abs() / truth)
+            };
+            early_errs.push(err(&early));
+            late_errs.push(err(&late));
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&late_errs) < mean(&early_errs),
+            "late {:.3} !< early {:.3}",
+            mean(&late_errs),
+            mean(&early_errs)
+        );
+        assert!(mean(&late_errs) < 0.12, "late error {:.3}", mean(&late_errs));
+    }
+
+    #[test]
+    fn fitted_sse_beats_naive_guess() {
+        let history = exact_history(1.0, 0.3, 0.4, 15);
+        let fit = LossCurveFitter::new(1.0).fit(&history).unwrap();
+        let naive = FittedCurve {
+            initial: 1.0,
+            floor: 0.0,
+            rate: 1.0,
+        };
+        assert!(fit.sse(&history) < naive.sse(&history));
+        assert!(fit.sse(&history) < 1e-4);
+    }
+}

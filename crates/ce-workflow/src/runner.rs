@@ -1,0 +1,984 @@
+//! Job runners: execute tuning brackets and training jobs end-to-end.
+
+use crate::metrics::{StageMetrics, TrainingReport, TuningReport};
+use crate::{Constraint, Method, WorkflowError, EVAL_COST_S, FIT_COST_S};
+use ce_baselines::{CirrusScheduler, FixedScheduler, LambdaMlScheduler, SirenScheduler};
+use ce_faas::restart::plan_restart;
+use ce_faas::{ExecutionFidelity, FaasPlatform, MeasuredEpoch};
+use ce_ml::curve::{table4_target, CurveParams, LossCurve};
+use ce_ml::HyperSpace;
+use ce_models::{Allocation, AllocationSpace, Environment, Workload};
+use ce_pareto::{ParetoProfiler, Profile};
+use ce_sim_core::rng::SimRng;
+use ce_storage::StorageKind;
+use ce_training::predict::OfflinePredictor;
+use ce_training::{AdaptiveScheduler, Decision, SchedulerConfig, TrainingObjective};
+use ce_tuning::{CandidateSet, GreedyPlanner, Objective, PartitionPlan, PlannerConfig, ShaSpec};
+
+/// The allocation grid a method is allowed to search when the job does
+/// not pin one: CE-scaling sees everything; LambdaML and Siren are
+/// S3-based systems; Cirrus is VM-PS-based.
+fn method_space(method: Method, base: &AllocationSpace) -> AllocationSpace {
+    match method {
+        Method::CeScaling | Method::Fixed => base.clone(),
+        Method::LambdaMl | Method::Siren => base.clone().with_only_storage(StorageKind::S3),
+        Method::Cirrus => base.clone().with_only_storage(StorageKind::VmPs),
+    }
+}
+
+fn curve_for(w: &Workload) -> CurveParams {
+    CurveParams::for_workload(w.model.family, &w.dataset.name)
+}
+
+/// Fraction of a budget the planner may commit; the slack absorbs
+/// platform jitter so the *measured* total still meets the constraint.
+const BUDGET_PLANNING_MARGIN: f64 = 0.97;
+/// Fraction of a deadline the planner may commit; JCT jitter plus the
+/// scheduling overhead charged into JCT need more headroom than cost.
+const QOS_PLANNING_MARGIN: f64 = 0.92;
+
+fn tuning_objective(constraint: Constraint) -> Objective {
+    match constraint {
+        Constraint::Budget(b) => Objective::MinJctGivenBudget {
+            budget: b * BUDGET_PLANNING_MARGIN,
+            qos_s: None,
+        },
+        Constraint::Deadline(t) => Objective::MinCostGivenQos {
+            qos_s: t * QOS_PLANNING_MARGIN,
+            budget: None,
+        },
+    }
+}
+
+fn training_objective(constraint: Constraint) -> TrainingObjective {
+    match constraint {
+        Constraint::Budget(b) => TrainingObjective::MinJctGivenBudget { budget: b },
+        Constraint::Deadline(t) => TrainingObjective::MinCostGivenQos { qos_s: t },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hyperparameter tuning
+// ---------------------------------------------------------------------
+
+/// A hyperparameter-tuning bracket to run.
+#[derive(Debug, Clone)]
+pub struct TuningJob {
+    /// The workload each trial trains.
+    pub workload: Workload,
+    /// The SHA bracket.
+    pub sha: ShaSpec,
+    /// Budget or deadline.
+    pub constraint: Constraint,
+    /// Base RNG seed; reports are deterministic per seed.
+    pub seed: u64,
+    /// The environment (storage catalog, prices, limits).
+    pub env: Environment,
+    /// Allocation grid override (used by the fixed-storage experiments);
+    /// `None` applies each method's own default storage restriction.
+    pub space: Option<AllocationSpace>,
+    /// Hyperparameter space to search.
+    pub hyper: HyperSpace,
+    /// Fig. 21a ablation: when `false`, CE-scaling's planner searches the
+    /// full grid instead of the Pareto boundary (WO-pa).
+    pub use_pareto: bool,
+    /// When `true`, the report carries a full execution timeline.
+    pub capture_trace: bool,
+}
+
+impl TuningJob {
+    /// Creates a job with the default environment and seed.
+    pub fn new(workload: Workload, sha: ShaSpec, constraint: Constraint) -> Self {
+        TuningJob {
+            workload,
+            sha,
+            constraint,
+            seed: 42,
+            env: Environment::aws_default(),
+            space: None,
+            hyper: HyperSpace::default(),
+            use_pareto: true,
+            capture_trace: false,
+        }
+    }
+
+    /// Captures a full execution timeline into the report.
+    pub fn with_trace(mut self) -> Self {
+        self.capture_trace = true;
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Pins the allocation grid (e.g. to one storage service).
+    pub fn with_space(mut self, space: AllocationSpace) -> Self {
+        self.space = Some(space);
+        self
+    }
+
+    /// Disables CE-scaling's Pareto pruning (the WO-pa ablation).
+    pub fn without_pareto(mut self) -> Self {
+        self.use_pareto = false;
+        self
+    }
+
+    fn profile_for(&self, method: Method) -> Profile {
+        let space = self
+            .space
+            .clone()
+            .unwrap_or_else(|| method_space(method, &AllocationSpace::aws_default()));
+        ParetoProfiler::new(&self.env)
+            .with_space(space)
+            .profile_workload(&self.workload)
+    }
+
+    /// Produces the partitioning plan a method would use, plus the
+    /// scheduling overhead (seconds) and evaluation count of planning.
+    ///
+    /// When the constraint is infeasible for the method (e.g. an
+    /// S3-pinned baseline facing a deadline only low-latency storage can
+    /// meet), the method runs its *best-effort* plan — fastest under a
+    /// deadline, cheapest under a budget — and the run's report flags the
+    /// resulting violation.
+    pub fn plan_for(&self, method: Method) -> Result<(PartitionPlan, f64, u64), WorkflowError> {
+        match self.plan_for_objective(method, tuning_objective(self.constraint)) {
+            Ok(ok) => Ok(ok),
+            Err(WorkflowError::Infeasible(_)) => {
+                let best_effort = match self.constraint {
+                    Constraint::Budget(_) => Objective::MinCostGivenQos {
+                        qos_s: f64::INFINITY,
+                        budget: None,
+                    },
+                    Constraint::Deadline(_) => Objective::MinJctGivenBudget {
+                        budget: f64::INFINITY,
+                        qos_s: None,
+                    },
+                };
+                self.plan_for_objective(method, best_effort)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn plan_for_objective(
+        &self,
+        method: Method,
+        objective: Objective,
+    ) -> Result<(PartitionPlan, f64, u64), WorkflowError> {
+        let profile = self.profile_for(method);
+        let quota = self.env.max_concurrency;
+        match method {
+            Method::CeScaling => {
+                let planner =
+                    GreedyPlanner::new(&profile, self.sha, quota).with_config(PlannerConfig {
+                        candidates: if self.use_pareto {
+                            CandidateSet::ParetoBoundary
+                        } else {
+                            CandidateSet::FullSpace
+                        },
+                        ..PlannerConfig::default()
+                    });
+                let (plan, _static, stats) = planner
+                    .plan(objective)
+                    .map_err(|e| WorkflowError::Infeasible(e.to_string()))?;
+                Ok((plan, stats.evaluations as f64 * EVAL_COST_S, stats.evaluations))
+            }
+            Method::LambdaMl => {
+                let plan = LambdaMlScheduler::new()
+                    .tuning_plan(&profile, self.sha, objective, quota)
+                    .map_err(|e| WorkflowError::Infeasible(e.to_string()))?;
+                let evals = profile.points().len() as u64;
+                Ok((plan, evals as f64 * EVAL_COST_S, evals))
+            }
+            Method::Cirrus => {
+                let plan = CirrusScheduler::new()
+                    .tuning_plan(&profile, self.sha, objective, quota)
+                    .map_err(|e| WorkflowError::Infeasible(e.to_string()))?;
+                let evals = profile.points().len() as u64;
+                Ok((plan, evals as f64 * EVAL_COST_S, evals))
+            }
+            Method::Siren => {
+                let plan = SirenScheduler::new()
+                    .tuning_plan(&profile, self.sha, objective, quota)
+                    .ok_or_else(|| WorkflowError::Infeasible("empty profile".into()))?;
+                let evals = (profile.boundary().len() * self.sha.num_stages()) as u64;
+                Ok((plan, evals as f64 * EVAL_COST_S, evals))
+            }
+            Method::Fixed => {
+                let plan = FixedScheduler::new()
+                    .tuning_plan(&profile, self.sha, objective, quota)
+                    .ok_or_else(|| WorkflowError::Infeasible("empty profile".into()))?;
+                let evals = (profile.points().len() * self.sha.num_stages()) as u64;
+                Ok((plan, evals as f64 * EVAL_COST_S, evals))
+            }
+        }
+    }
+
+    /// Runs the bracket under `method`, sampling the configurations from
+    /// the job's hyperparameter space.
+    pub fn run(&self, method: Method) -> Result<TuningReport, WorkflowError> {
+        let rng = SimRng::new(self.seed).derive("tuning");
+        let mut config_rng = rng.derive("configs");
+        let configs = self
+            .hyper
+            .sample_many(self.sha.initial_trials as usize, &mut config_rng);
+        self.run_with_configs(method, &configs)
+    }
+
+    /// Runs the bracket under `method` with externally supplied
+    /// configurations (used by model-based tuners such as BOHB, which
+    /// propose configurations from an archive of earlier brackets).
+    ///
+    /// # Panics
+    /// Panics unless exactly `sha.initial_trials` configurations are
+    /// supplied.
+    pub fn run_with_configs(
+        &self,
+        method: Method,
+        configs: &[ce_ml::HyperConfig],
+    ) -> Result<TuningReport, WorkflowError> {
+        assert_eq!(
+            configs.len(),
+            self.sha.initial_trials as usize,
+            "one configuration per first-stage trial"
+        );
+        let (plan, sched_overhead_s, planner_evaluations) = self.plan_for(method)?;
+        let mut trace = self.capture_trace.then(crate::trace::Trace::new);
+        if let Some(t) = trace.as_mut() {
+            t.push(
+                sched_overhead_s,
+                crate::trace::TraceKind::Planned {
+                    evaluations: planner_evaluations,
+                    initial: plan.stages[0].alloc,
+                },
+            );
+        }
+        let rng = SimRng::new(self.seed).derive("tuning");
+        let curve = curve_for(&self.workload);
+
+        // Attach a stochastic convergence realization to each trial.
+        let mut outcomes: Vec<crate::metrics::TrialOutcome> = configs
+            .iter()
+            .map(|cfg| crate::metrics::TrialOutcome {
+                config: *cfg,
+                final_loss: f64::INFINITY,
+                stages_survived: 0,
+            })
+            .collect();
+        let mut trials: Vec<(usize, LossCurve)> = configs
+            .iter()
+            .enumerate()
+            .map(|(i, cfg)| {
+                let quality = self.hyper.quality(cfg);
+                let trial_rng = rng.derive_idx("trial", i as u64);
+                (i, LossCurve::sample(&curve, quality, trial_rng))
+            })
+            .collect();
+
+        let mut jitter_rng = rng.derive("stage-jitter");
+        let mut stages = Vec::with_capacity(self.sha.num_stages());
+        let mut total_cost = 0.0;
+        let mut total_jct = sched_overhead_s;
+        for stage in 0..self.sha.num_stages() {
+            let q = self.sha.trials_in_stage(stage);
+            debug_assert_eq!(trials.len(), q as usize);
+            // Advance every live trial by r epochs.
+            let mut losses = Vec::with_capacity(trials.len());
+            for (cfg_idx, curve) in trials.iter_mut() {
+                let mut last = f64::INFINITY;
+                for _ in 0..self.sha.epochs_per_stage {
+                    last = curve.next_epoch();
+                }
+                losses.push(last);
+                outcomes[*cfg_idx].final_loss = last;
+                outcomes[*cfg_idx].stages_survived = stage as u32 + 1;
+            }
+            // Stage wall/cost from the plan's estimates plus platform
+            // jitter.
+            let stage_jct = plan.stage_jct(stage, self.env.max_concurrency)
+                * jitter_rng.lognormal_jitter(0.03);
+            let stage_cost = plan.stage_cost(stage) * jitter_rng.lognormal_jitter(0.02);
+            total_jct += stage_jct;
+            total_cost += stage_cost;
+            if let Some(t) = trace.as_mut() {
+                t.push(
+                    total_jct,
+                    crate::trace::TraceKind::Stage {
+                        stage,
+                        trials: q,
+                        jct_s: stage_jct,
+                        cost_usd: stage_cost,
+                    },
+                );
+            }
+            stages.push(StageMetrics {
+                stage,
+                trials: q,
+                alloc: plan.stages[stage].alloc,
+                jct_s: stage_jct,
+                cost_usd: stage_cost,
+            });
+            // Terminate the bottom performers.
+            let survivors =
+                ShaSpec::select_survivors(&losses, self.sha.survivors_of_stage(stage) as usize);
+            if stage + 1 < self.sha.num_stages() {
+                trials = survivors
+                    .into_iter()
+                    .map(|i| trials[i].clone())
+                    .collect();
+            } else {
+                // Bracket done: the winner is the best of the last stage.
+                let best = survivors[0];
+                let (config_idx, curve) = &trials[best];
+                let (budget_violated, qos_violated) = match self.constraint {
+                    Constraint::Budget(b) => (total_cost > b, false),
+                    Constraint::Deadline(t) => (false, total_jct > t),
+                };
+                let best_loss = curve.last_loss().expect("ran at least one epoch");
+                if let Some(t) = trace.as_mut() {
+                    t.push(total_jct, crate::trace::TraceKind::Done { loss: best_loss });
+                }
+                return Ok(TuningReport {
+                    jct_s: total_jct,
+                    cost_usd: total_cost,
+                    sched_overhead_s,
+                    stages,
+                    best_config: configs[*config_idx],
+                    best_loss,
+                    budget_violated,
+                    qos_violated,
+                    planner_evaluations,
+                    trials: outcomes,
+                    trace,
+                });
+            }
+        }
+        unreachable!("bracket always has at least one stage")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Model training
+// ---------------------------------------------------------------------
+
+/// A model-training job to run.
+#[derive(Debug, Clone)]
+pub struct TrainingJob {
+    /// The workload to train.
+    pub workload: Workload,
+    /// Budget or deadline.
+    pub constraint: Constraint,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// The environment.
+    pub env: Environment,
+    /// Allocation grid override (fixed-storage experiments).
+    pub space: Option<AllocationSpace>,
+    /// Target loss; defaults to the Table IV value for the workload.
+    pub target_loss: f64,
+    /// Prediction-drift threshold `δ` for CE-scaling (paper default 0.1).
+    pub delta: f64,
+    /// Safety cap on epochs before declaring non-convergence.
+    pub max_epochs: u32,
+    /// Fig. 21b ablation: when `false`, CE-scaling's scheduler searches
+    /// the full grid (WO-pa).
+    pub use_pareto: bool,
+    /// Fig. 21b ablation: when `false`, CE-scaling restarts eagerly
+    /// (WO-dr).
+    pub delayed_restart: bool,
+    /// Platform stochastic behaviour (jitter magnitudes, failure
+    /// injection).
+    pub platform: ce_faas::PlatformConfig,
+    /// When `true`, the report carries a full execution timeline.
+    pub capture_trace: bool,
+}
+
+impl TrainingJob {
+    /// Creates a job with Table IV defaults.
+    pub fn new(workload: Workload, constraint: Constraint) -> Self {
+        let target_loss = table4_target(workload.model.family, &workload.dataset.name);
+        TrainingJob {
+            workload,
+            constraint,
+            seed: 42,
+            env: Environment::aws_default(),
+            space: None,
+            target_loss,
+            delta: 0.1,
+            max_epochs: 600,
+            use_pareto: true,
+            delayed_restart: true,
+            platform: ce_faas::PlatformConfig::default(),
+            capture_trace: false,
+        }
+    }
+
+    /// Captures a full execution timeline into the report.
+    pub fn with_trace(mut self) -> Self {
+        self.capture_trace = true;
+        self
+    }
+
+    /// Disables CE-scaling's Pareto pruning (the WO-pa ablation).
+    pub fn without_pareto(mut self) -> Self {
+        self.use_pareto = false;
+        self
+    }
+
+    /// Overrides the platform's stochastic behaviour (e.g. to inject
+    /// worker failures).
+    pub fn with_platform_config(mut self, platform: ce_faas::PlatformConfig) -> Self {
+        self.platform = platform;
+        self
+    }
+
+    /// Disables the delayed restart (the WO-dr ablation).
+    pub fn without_delayed_restart(mut self) -> Self {
+        self.delayed_restart = false;
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Pins the allocation grid.
+    pub fn with_space(mut self, space: AllocationSpace) -> Self {
+        self.space = Some(space);
+        self
+    }
+
+    /// Overrides `δ` (used by the Fig. 21c sweep).
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    fn profile_for(&self, method: Method) -> Profile {
+        let space = self
+            .space
+            .clone()
+            .unwrap_or_else(|| method_space(method, &AllocationSpace::aws_default()));
+        ParetoProfiler::new(&self.env)
+            .with_space(space)
+            .profile_workload(&self.workload)
+    }
+
+    /// Runs the job under `method`. `Method::Fixed` is not a training
+    /// method (the paper compares CE, Siren, and modified Cirrus;
+    /// LambdaML is supported to demonstrate its constraint violations).
+    pub fn run(&self, method: Method) -> Result<TrainingReport, WorkflowError> {
+        assert!(method != Method::Fixed, "Fixed is a tuning-only method");
+        let profile = self.profile_for(method);
+        if profile.points().is_empty() {
+            return Err(WorkflowError::Infeasible("empty profile".into()));
+        }
+        let objective = training_objective(self.constraint);
+        let curve = curve_for(&self.workload);
+        let rng = SimRng::new(self.seed).derive("training");
+        let mut platform =
+            FaasPlatform::with_config(self.env.clone(), self.platform, self.seed);
+        let mut run = LossCurve::sample_optimal(&curve, rng.derive("run"));
+
+        // Offline estimate (used by every method for its initial sizing).
+        let mut offline_rng = rng.derive("offline");
+        let offline_estimate = OfflinePredictor::new(curve)
+            .predict(self.target_loss, &mut offline_rng)
+            .map(|p| p.total_epochs)
+            .or_else(|| curve.mean_epochs_to(self.target_loss))
+            .ok_or_else(|| WorkflowError::Infeasible("target below loss floor".into()))?
+            .max(1.0);
+        let mean_estimate = curve
+            .mean_epochs_to(self.target_loss)
+            .unwrap_or(offline_estimate);
+
+        // Method-specific controllers.
+        let mut ce_sched = match method {
+            Method::CeScaling => Some(AdaptiveScheduler::new(
+                &profile,
+                objective,
+                self.target_loss,
+                curve.initial,
+                SchedulerConfig {
+                    delta: self.delta,
+                    delayed_restart: self.delayed_restart,
+                    use_pareto: self.use_pareto,
+                    ..SchedulerConfig::default()
+                },
+            )),
+            Method::Cirrus => Some(CirrusScheduler::new().online_training_scheduler(
+                &profile,
+                objective,
+                self.target_loss,
+                curve.initial,
+            )),
+            _ => None,
+        };
+        let siren_policy = (method == Method::Siren).then(|| {
+            SirenScheduler::new().train_policy(&profile, objective, mean_estimate, self.seed)
+        });
+
+        // Initial allocation.
+        let mut alloc: Allocation = match method {
+            Method::CeScaling | Method::Cirrus => ce_sched
+                .as_mut()
+                .expect("scheduler present")
+                .initial_allocation(offline_estimate),
+            Method::Siren => siren_policy.as_ref().expect("policy present").decide(0.0),
+            Method::LambdaMl => {
+                let (a, _est) = LambdaMlScheduler::new()
+                    .training_allocation(
+                        &profile,
+                        objective,
+                        &curve,
+                        self.target_loss,
+                        &mut rng.derive("lambdaml"),
+                    )
+                    .ok_or_else(|| WorkflowError::Infeasible("no allocation".into()))?;
+                a
+            }
+            Method::Fixed => unreachable!(),
+        };
+
+        let mut report = TrainingReport {
+            jct_s: 0.0,
+            cost_usd: 0.0,
+            epochs: 0,
+            restarts: 0,
+            comm_s: 0.0,
+            storage_cost_usd: 0.0,
+            sched_overhead_s: 0.0,
+            final_loss: curve.initial,
+            budget_violated: false,
+            qos_violated: false,
+            allocations: vec![alloc],
+            trace: None,
+        };
+        let mut trace = self.capture_trace.then(crate::trace::Trace::new);
+        if let Some(t) = trace.as_mut() {
+            t.push(
+                0.0,
+                crate::trace::TraceKind::Planned {
+                    evaluations: 0,
+                    initial: alloc,
+                },
+            );
+        }
+
+        let mut restart_exposed_s = 0.0;
+        for _ in 0..self.max_epochs {
+            let measured: MeasuredEpoch =
+                platform.run_epoch(&self.workload, &alloc, ExecutionFidelity::Fast);
+            let loss = run.next_epoch();
+            report.epochs += 1;
+            report.jct_s += measured.wall_s;
+            report.cost_usd += measured.cost.total();
+            report.comm_s += measured.time.sync_s;
+            report.storage_cost_usd += measured.cost.storage();
+            report.final_loss = loss;
+            if let Some(t) = trace.as_mut() {
+                t.push(
+                    report.jct_s,
+                    crate::trace::TraceKind::Epoch {
+                        epoch: report.epochs,
+                        loss,
+                        wall_s: measured.wall_s,
+                        cost_usd: measured.cost.total(),
+                    },
+                );
+            }
+            if loss <= self.target_loss {
+                break;
+            }
+
+            // Per-epoch scheduling decision.
+            let next = match method {
+                Method::CeScaling | Method::Cirrus => {
+                    let sched = ce_sched.as_mut().expect("scheduler present");
+                    report.sched_overhead_s += FIT_COST_S;
+                    let before = sched.stats().evaluations;
+                    let decision =
+                        sched.on_epoch_end(loss, measured.cost.total(), measured.wall_s);
+                    let evals = sched.stats().evaluations - before;
+                    report.sched_overhead_s += evals as f64 * EVAL_COST_S;
+                    match decision {
+                        Decision::Keep => None,
+                        Decision::Switch { to } => Some(to),
+                    }
+                }
+                Method::Siren => {
+                    // Siren re-decides every epoch from its policy.
+                    report.sched_overhead_s += FIT_COST_S;
+                    let progress =
+                        f64::from(report.epochs) / mean_estimate.max(f64::from(report.epochs));
+                    let next = siren_policy.as_ref().expect("policy present").decide(progress);
+                    (next != alloc).then_some(next)
+                }
+                Method::LambdaMl => None,
+                Method::Fixed => unreachable!(),
+            };
+
+            if let Some(to) = next {
+                let delayed = match method {
+                    Method::CeScaling => self.delayed_restart,
+                    // Modified Cirrus and Siren restart eagerly.
+                    _ => false,
+                };
+                let restart =
+                    plan_restart(&self.env, &self.workload, &to, measured.wall_s, delayed);
+                restart_exposed_s += restart.exposed_overhead_s;
+                // The new wave is billed while it warms up/overlaps.
+                report.cost_usd += self.env.pricing.compute_cost(
+                    to.n,
+                    to.memory_mb,
+                    restart.prepare_s,
+                );
+                platform.prewarm(to.n, to.memory_mb);
+                report.restarts += 1;
+                if let Some(t) = trace.as_mut() {
+                    t.push(
+                        report.jct_s + restart.exposed_overhead_s,
+                        crate::trace::TraceKind::Adjustment {
+                            from: alloc,
+                            to,
+                            exposed_s: restart.exposed_overhead_s,
+                        },
+                    );
+                }
+                report.allocations.push(to);
+                alloc = to;
+            }
+        }
+        // Scheduling overhead (fits, selections, exposed restart time) is
+        // part of JCT — the paper includes it in every reported JCT.
+        report.sched_overhead_s += restart_exposed_s;
+        report.jct_s += report.sched_overhead_s;
+
+        if report.final_loss > self.target_loss {
+            return Err(WorkflowError::DidNotConverge {
+                epochs: report.epochs,
+            });
+        }
+        match self.constraint {
+            Constraint::Budget(b) => report.budget_violated = report.cost_usd > b,
+            Constraint::Deadline(t) => report.qos_violated = report.jct_s > t,
+        }
+        if let Some(t) = trace.as_mut() {
+            t.push(
+                report.jct_s,
+                crate::trace::TraceKind::Done {
+                    loss: report.final_loss,
+                },
+            );
+        }
+        report.trace = trace;
+        Ok(report)
+    }
+
+    /// Runs `epochs` epochs under a *fixed* allocation at the requested
+    /// fidelity — the measurement primitive of the model-validation
+    /// experiments (Figs. 19–20).
+    pub fn run_fixed_allocation(
+        &self,
+        alloc: Allocation,
+        epochs: u32,
+        fidelity: ExecutionFidelity,
+    ) -> TrainingReport {
+        let mut platform =
+            FaasPlatform::with_config(self.env.clone(), self.platform, self.seed);
+        let mut report = TrainingReport {
+            jct_s: 0.0,
+            cost_usd: 0.0,
+            epochs,
+            restarts: 0,
+            comm_s: 0.0,
+            storage_cost_usd: 0.0,
+            sched_overhead_s: 0.0,
+            final_loss: f64::NAN,
+            budget_violated: false,
+            qos_violated: false,
+            allocations: vec![alloc],
+            trace: None,
+        };
+        // Pre-warm: validation compares steady-state epochs against the
+        // analytical model, which has no cold-start term.
+        platform.prewarm(alloc.n, alloc.memory_mb);
+        for _ in 0..epochs {
+            let m = platform.run_epoch(&self.workload, &alloc, fidelity);
+            report.jct_s += m.wall_s;
+            report.cost_usd += m.cost.total();
+            report.comm_s += m.time.sync_s;
+            report.storage_cost_usd += m.cost.storage();
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuning_job(constraint: Constraint) -> TuningJob {
+        TuningJob::new(
+            Workload::lr_higgs(),
+            ShaSpec::new(256, 2, 2),
+            constraint,
+        )
+    }
+
+    /// A budget that gives the planner headroom: 3× the cheapest static.
+    fn roomy_budget(job: &TuningJob) -> f64 {
+        let profile = job.profile_for(Method::CeScaling);
+        PartitionPlan::uniform(*profile.cheapest().unwrap(), job.sha).cost() * 3.0
+    }
+
+    #[test]
+    fn ce_tuning_beats_all_baselines_on_jct() {
+        let mut job = tuning_job(Constraint::Budget(1.0));
+        let budget = roomy_budget(&job);
+        job.constraint = Constraint::Budget(budget);
+        let ce = job.run(Method::CeScaling).unwrap();
+        assert!(!ce.budget_violated, "CE must respect the budget");
+        for baseline in [Method::LambdaMl, Method::Siren, Method::Fixed] {
+            let r = job.run(baseline).unwrap();
+            assert!(
+                ce.jct_s <= r.jct_s * 1.02,
+                "{}: CE {} vs {}",
+                baseline.label(),
+                ce.jct_s,
+                r.jct_s
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_is_the_worst_tuning_method_under_tight_budget() {
+        // The paper's Fixed pathology — equal stage shares starve the
+        // wide early stages — appears when the budget is tight and the
+        // bracket is wide.
+        let mut job = TuningJob::new(
+            Workload::lr_higgs(),
+            ShaSpec::new(1024, 2, 2),
+            Constraint::Budget(1.0),
+        );
+        let profile = job.profile_for(Method::CeScaling);
+        let budget = PartitionPlan::uniform(*profile.cheapest().unwrap(), job.sha).cost() * 1.3;
+        job.constraint = Constraint::Budget(budget);
+        let fixed = job.run(Method::Fixed).unwrap();
+        let ce = job.run(Method::CeScaling).unwrap();
+        assert!(
+            fixed.jct_s > ce.jct_s * 1.5,
+            "Fixed {} should be far worse than CE {}",
+            fixed.jct_s,
+            ce.jct_s
+        );
+        // Its first stage is the starved one.
+        let s0 = &fixed.stages[0];
+        let s_last = fixed.stages.last().unwrap();
+        assert!(s0.cost_usd / f64::from(s0.trials) < s_last.cost_usd / f64::from(s_last.trials));
+    }
+
+    #[test]
+    fn tuning_reports_are_deterministic() {
+        let mut job = tuning_job(Constraint::Budget(1.0));
+        job.constraint = Constraint::Budget(roomy_budget(&job));
+        let a = job.run(Method::CeScaling).unwrap();
+        let b = job.run(Method::CeScaling).unwrap();
+        assert_eq!(a.jct_s, b.jct_s);
+        assert_eq!(a.cost_usd, b.cost_usd);
+        assert_eq!(a.best_loss, b.best_loss);
+    }
+
+    #[test]
+    fn tuning_winner_has_good_configuration() {
+        let mut job = tuning_job(Constraint::Budget(1.0));
+        job.constraint = Constraint::Budget(roomy_budget(&job));
+        let r = job.run(Method::CeScaling).unwrap();
+        // SHA should find a configuration near the quality optimum.
+        let quality = job.hyper.quality(&r.best_config);
+        assert!(quality > 0.6, "winner quality only {quality:.2}");
+    }
+
+    #[test]
+    fn qos_tuning_respects_deadline() {
+        let mut job = tuning_job(Constraint::Budget(1.0));
+        // Derive a deadline from a mid-range static plan.
+        let profile = job.profile_for(Method::CeScaling);
+        let fastest = PartitionPlan::uniform(*profile.fastest().unwrap(), job.sha);
+        let tau = fastest.jct(job.env.max_concurrency) * 3.0;
+        job.constraint = Constraint::Deadline(tau);
+        let r = job.run(Method::CeScaling).unwrap();
+        assert!(!r.qos_violated, "JCT {} vs deadline {tau}", r.jct_s);
+    }
+
+    fn training_job(w: Workload, constraint: Constraint) -> TrainingJob {
+        TrainingJob::new(w, constraint).with_seed(7)
+    }
+
+    /// Budget sized from the CE profile: enough for ~1.5× the mean-epochs
+    /// job at a mid-boundary allocation.
+    fn training_budget(job: &TrainingJob) -> f64 {
+        let profile = job.profile_for(Method::CeScaling);
+        let boundary = profile.boundary();
+        let mid = boundary[boundary.len() / 2];
+        let curve = curve_for(&job.workload);
+        let epochs = curve.mean_epochs_to(job.target_loss).unwrap();
+        mid.cost_usd() * epochs * 2.0
+    }
+
+    #[test]
+    fn ce_training_converges_within_budget() {
+        let mut job = training_job(Workload::mobilenet_cifar10(), Constraint::Budget(1.0));
+        job.constraint = Constraint::Budget(training_budget(&job));
+        let r = job.run(Method::CeScaling).unwrap();
+        assert!(r.final_loss <= job.target_loss);
+        assert!(!r.budget_violated, "cost {} budget {:?}", r.cost_usd, job.constraint);
+        assert!(r.epochs > 5);
+    }
+
+    #[test]
+    fn ce_training_beats_siren_and_cirrus_on_jct() {
+        // Average over seeds; individual seeds can flip under noise.
+        let base = training_job(Workload::mobilenet_cifar10(), Constraint::Budget(1.0));
+        let budget = training_budget(&base);
+        let mean_jct = |method: Method| {
+            let mut total = 0.0;
+            for seed in 0..3 {
+                let job = TrainingJob::new(Workload::mobilenet_cifar10(), Constraint::Budget(budget))
+                    .with_seed(seed);
+                total += job.run(method).map(|r| r.jct_s).unwrap_or(f64::INFINITY);
+            }
+            total / 3.0
+        };
+        let ce = mean_jct(Method::CeScaling);
+        assert!(ce.is_finite());
+        for m in [Method::Siren, Method::Cirrus] {
+            let other = mean_jct(m);
+            assert!(
+                ce <= other * 1.05,
+                "{}: CE {ce:.0}s vs {other:.0}s",
+                m.label()
+            );
+        }
+    }
+
+    #[test]
+    fn siren_restarts_more_than_ce() {
+        let base = training_job(Workload::mobilenet_cifar10(), Constraint::Budget(1.0));
+        let budget = training_budget(&base);
+        let restarts = |method: Method| {
+            (0..3)
+                .map(|seed| {
+                    TrainingJob::new(
+                        Workload::mobilenet_cifar10(),
+                        Constraint::Budget(budget),
+                    )
+                    .with_seed(seed)
+                    .run(method)
+                    .map(|r| r.restarts)
+                    .unwrap_or(0)
+                })
+                .sum::<u32>()
+        };
+        // Siren re-decides every epoch; CE only on δ-sized drift.
+        assert!(restarts(Method::Siren) >= restarts(Method::CeScaling));
+    }
+
+    #[test]
+    fn lambdaml_training_violates_constraints_somewhere() {
+        // §IV-C: "LambdaML is not included, because the offline
+        // prediction always results in violations in the constraints."
+        // Across seeds, at least one run must violate its budget.
+        let base = training_job(Workload::mobilenet_cifar10(), Constraint::Budget(1.0));
+        // A tight budget: exactly the mean-epochs cost at the allocation
+        // LambdaML would pick with a perfect estimate.
+        let budget = training_budget(&base) / 2.0 * 1.05;
+        let violations = (0..6)
+            .filter(|&seed| {
+                TrainingJob::new(Workload::mobilenet_cifar10(), Constraint::Budget(budget))
+                    .with_seed(seed)
+                    .run(Method::LambdaMl)
+                    .map(|r| r.budget_violated)
+                    .unwrap_or(true)
+            })
+            .count();
+        assert!(violations > 0, "offline prediction never violated the budget");
+    }
+
+    #[test]
+    fn training_deadline_objective_meets_deadline() {
+        let base = training_job(Workload::mobilenet_cifar10(), Constraint::Budget(1.0));
+        let profile = base.profile_for(Method::CeScaling);
+        let boundary = profile.boundary();
+        let mid = boundary[boundary.len() / 2];
+        let curve = curve_for(&base.workload);
+        let epochs = curve.mean_epochs_to(base.target_loss).unwrap();
+        let tau = mid.time_s() * epochs * 1.5;
+        let job = TrainingJob::new(Workload::mobilenet_cifar10(), Constraint::Deadline(tau))
+            .with_seed(3);
+        let r = job.run(Method::CeScaling).unwrap();
+        assert!(!r.qos_violated, "JCT {} vs deadline {tau}", r.jct_s);
+    }
+
+    #[test]
+    fn smaller_delta_more_restarts_in_full_run() {
+        let base = training_job(Workload::mobilenet_cifar10(), Constraint::Budget(1.0));
+        let budget = training_budget(&base);
+        let restarts = |delta: f64| {
+            (0..4)
+                .map(|seed| {
+                    TrainingJob::new(
+                        Workload::mobilenet_cifar10(),
+                        Constraint::Budget(budget),
+                    )
+                    .with_seed(seed)
+                    .with_delta(delta)
+                    .run(Method::CeScaling)
+                    .map(|r| r.restarts)
+                    .unwrap_or(0)
+                })
+                .sum::<u32>()
+        };
+        assert!(restarts(0.01) >= restarts(0.2));
+    }
+
+    #[test]
+    fn fixed_allocation_run_matches_requested_epochs() {
+        let job = training_job(Workload::lr_higgs(), Constraint::Budget(100.0));
+        let alloc = Allocation::new(10, 1769, StorageKind::S3);
+        let r = job.run_fixed_allocation(alloc, 5, ExecutionFidelity::Event);
+        assert_eq!(r.epochs, 5);
+        assert!(r.jct_s > 0.0);
+        assert!(r.cost_usd > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tuning-only")]
+    fn fixed_training_rejected() {
+        let job = training_job(Workload::lr_higgs(), Constraint::Budget(100.0));
+        let _ = job.run(Method::Fixed);
+    }
+
+    #[test]
+    fn pinned_space_restricts_all_methods() {
+        let mut job = tuning_job(Constraint::Budget(1.0));
+        job.constraint = Constraint::Budget(roomy_budget(&job));
+        let job = job.with_space(
+            AllocationSpace::aws_default().with_only_storage(StorageKind::S3),
+        );
+        for method in [Method::CeScaling, Method::Cirrus] {
+            let r = job.run(method).unwrap();
+            assert!(
+                r.stages.iter().all(|s| s.alloc.storage == StorageKind::S3),
+                "{} leaked non-S3 storage",
+                method.label()
+            );
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Declarative experiment scenarios: define a job as data (JSON via
+//! serde), run it with one call. This is how downstream users script
+//! studies without writing Rust — the CLI's `run-config` subcommand and
+//! the scenario tests both consume it.
+//!
+//! ```json
+//! {
+//!   "kind": "training",
+//!   "model": "mobilenet",
+//!   "dataset": "cifar10",
+//!   "constraint": { "budget": 30.0 },
+//!   "method": "ce",
+//!   "seeds": [1, 2, 3],
+//!   "failure_rate": 0.05
+//! }
+//! ```
+
+use crate::metrics::{TrainingReport, TuningReport};
+use crate::runner::{TrainingJob, TuningJob};
+use crate::{Constraint, Method, WorkflowError};
+use ce_faas::PlatformConfig;
+use ce_models::{AllocationSpace, Workload};
+use ce_storage::StorageKind;
+use ce_tuning::ShaSpec;
+use serde::{Deserialize, Serialize};
+
+/// A scenario as users write it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// `"training"` or `"tuning"`.
+    pub kind: ScenarioKind,
+    /// Model name: `lr`, `svm`, `mobilenet`, `resnet50`, `bert`.
+    pub model: String,
+    /// Dataset name: `higgs`, `yfcc`, `cifar10`, `imdb`. Defaults to the
+    /// model's paper pairing when omitted.
+    #[serde(default)]
+    pub dataset: Option<String>,
+    /// Budget or deadline.
+    pub constraint: ScenarioConstraint,
+    /// Scheduling method (default `ce`).
+    #[serde(default)]
+    pub method: Option<String>,
+    /// Seeds to run (default `[42]`); results are averaged by the caller.
+    #[serde(default)]
+    pub seeds: Vec<u64>,
+    /// Tuning only: SHA initial trials (default 256).
+    #[serde(default)]
+    pub trials: Option<u32>,
+    /// Tuning only: epochs per stage (default 2).
+    #[serde(default)]
+    pub epochs_per_stage: Option<u32>,
+    /// Training only: per-worker-epoch failure rate (default 0).
+    #[serde(default)]
+    pub failure_rate: Option<f64>,
+    /// Pin every method to one storage service.
+    #[serde(default)]
+    pub storage: Option<String>,
+}
+
+/// Scenario type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum ScenarioKind {
+    /// A model-training job.
+    Training,
+    /// A hyperparameter-tuning bracket.
+    Tuning,
+}
+
+/// Budget-or-deadline, as users write it.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ScenarioConstraint {
+    /// Dollars.
+    #[serde(default)]
+    pub budget: Option<f64>,
+    /// Seconds.
+    #[serde(default)]
+    pub deadline: Option<f64>,
+}
+
+/// Results of running a scenario: one report per seed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ScenarioOutcome {
+    /// Training reports per seed.
+    Training(Vec<TrainingReport>),
+    /// Tuning reports per seed.
+    Tuning(Vec<TuningReport>),
+}
+
+/// Scenario validation/run errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// A field value was not understood.
+    Invalid(String),
+    /// The underlying job failed.
+    Workflow(String),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Invalid(what) => write!(f, "invalid scenario: {what}"),
+            ScenarioError::Workflow(what) => write!(f, "scenario run failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl Scenario {
+    /// Parses a scenario from JSON.
+    pub fn from_json(json: &str) -> Result<Scenario, ScenarioError> {
+        serde_json::from_str(json).map_err(|e| ScenarioError::Invalid(e.to_string()))
+    }
+
+    fn workload(&self) -> Result<Workload, ScenarioError> {
+        let dataset = self.dataset.as_deref();
+        Ok(match (self.model.as_str(), dataset) {
+            ("lr", None | Some("higgs")) => Workload::lr_higgs(),
+            ("lr", Some("yfcc")) => Workload::lr_yfcc(),
+            ("svm", None | Some("higgs")) => Workload::svm_higgs(),
+            ("svm", Some("yfcc")) => Workload::svm_yfcc(),
+            ("mobilenet", None | Some("cifar10")) => Workload::mobilenet_cifar10(),
+            ("resnet50", None | Some("cifar10")) => Workload::resnet50_cifar10(),
+            ("bert", None | Some("imdb")) => Workload::bert_imdb(),
+            (m, d) => {
+                return Err(ScenarioError::Invalid(format!(
+                    "unsupported model/dataset: {m}/{d:?}"
+                )))
+            }
+        })
+    }
+
+    fn method(&self) -> Result<Method, ScenarioError> {
+        Ok(match self.method.as_deref().unwrap_or("ce") {
+            "ce" | "ce-scaling" => Method::CeScaling,
+            "lambdaml" => Method::LambdaMl,
+            "siren" => Method::Siren,
+            "cirrus" => Method::Cirrus,
+            "fixed" => Method::Fixed,
+            other => return Err(ScenarioError::Invalid(format!("unknown method {other}"))),
+        })
+    }
+
+    fn constraint(&self) -> Result<Constraint, ScenarioError> {
+        match (self.constraint.budget, self.constraint.deadline) {
+            (Some(b), None) if b > 0.0 => Ok(Constraint::Budget(b)),
+            (None, Some(t)) if t > 0.0 => Ok(Constraint::Deadline(t)),
+            _ => Err(ScenarioError::Invalid(
+                "constraint needs exactly one of a positive budget or deadline".into(),
+            )),
+        }
+    }
+
+    fn storage_space(&self) -> Result<Option<AllocationSpace>, ScenarioError> {
+        let Some(name) = self.storage.as_deref() else {
+            return Ok(None);
+        };
+        let kind = match name {
+            "s3" => StorageKind::S3,
+            "dynamodb" => StorageKind::DynamoDb,
+            "elasticache" => StorageKind::ElastiCache,
+            "vmps" | "vm-ps" => StorageKind::VmPs,
+            other => return Err(ScenarioError::Invalid(format!("unknown storage {other}"))),
+        };
+        Ok(Some(
+            AllocationSpace::aws_default().with_only_storage(kind),
+        ))
+    }
+
+    fn seeds(&self) -> Vec<u64> {
+        if self.seeds.is_empty() {
+            vec![42]
+        } else {
+            self.seeds.clone()
+        }
+    }
+
+    /// Runs the scenario, one job per seed.
+    pub fn run(&self) -> Result<ScenarioOutcome, ScenarioError> {
+        let workload = self.workload()?;
+        let method = self.method()?;
+        let constraint = self.constraint()?;
+        let space = self.storage_space()?;
+        let map_err = |e: WorkflowError| ScenarioError::Workflow(e.to_string());
+        match self.kind {
+            ScenarioKind::Training => {
+                let mut reports = Vec::new();
+                for seed in self.seeds() {
+                    let mut job =
+                        TrainingJob::new(workload.clone(), constraint).with_seed(seed);
+                    if let Some(rate) = self.failure_rate {
+                        job = job.with_platform_config(PlatformConfig {
+                            failure_rate: rate,
+                            ..PlatformConfig::default()
+                        });
+                    }
+                    if let Some(space) = &space {
+                        job = job.with_space(space.clone());
+                    }
+                    reports.push(job.run(method).map_err(map_err)?);
+                }
+                Ok(ScenarioOutcome::Training(reports))
+            }
+            ScenarioKind::Tuning => {
+                let trials = self.trials.unwrap_or(256);
+                let epochs = self.epochs_per_stage.unwrap_or(2);
+                let sha = ShaSpec::new(trials, 2, epochs);
+                let mut reports = Vec::new();
+                for seed in self.seeds() {
+                    let mut job =
+                        TuningJob::new(workload.clone(), sha, constraint).with_seed(seed);
+                    if let Some(space) = &space {
+                        job = job.with_space(space.clone());
+                    }
+                    reports.push(job.run(method).map_err(map_err)?);
+                }
+                Ok(ScenarioOutcome::Tuning(reports))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_scenario_from_json_runs() {
+        let scenario = Scenario::from_json(
+            r#"{
+                "kind": "training",
+                "model": "mobilenet",
+                "constraint": { "budget": 40.0 },
+                "seeds": [1, 2]
+            }"#,
+        )
+        .unwrap();
+        match scenario.run().unwrap() {
+            ScenarioOutcome::Training(reports) => {
+                assert_eq!(reports.len(), 2);
+                assert!(reports.iter().all(|r| r.epochs > 0));
+            }
+            other => panic!("expected training outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tuning_scenario_with_pinned_storage() {
+        let scenario = Scenario::from_json(
+            r#"{
+                "kind": "tuning",
+                "model": "lr",
+                "dataset": "higgs",
+                "constraint": { "deadline": 100000.0 },
+                "trials": 64,
+                "storage": "s3"
+            }"#,
+        )
+        .unwrap();
+        match scenario.run().unwrap() {
+            ScenarioOutcome::Tuning(reports) => {
+                assert_eq!(reports.len(), 1);
+                assert!(reports[0]
+                    .stages
+                    .iter()
+                    .all(|s| s.alloc.storage == StorageKind::S3));
+            }
+            other => panic!("expected tuning outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failure_rate_flows_through() {
+        let scenario = Scenario::from_json(
+            r#"{
+                "kind": "training",
+                "model": "mobilenet",
+                "constraint": { "budget": 60.0 },
+                "failure_rate": 0.2,
+                "seeds": [3]
+            }"#,
+        )
+        .unwrap();
+        let clean = Scenario {
+            failure_rate: None,
+            ..scenario.clone()
+        };
+        let jct = |o: ScenarioOutcome| match o {
+            ScenarioOutcome::Training(r) => r[0].jct_s,
+            _ => unreachable!(),
+        };
+        assert!(jct(scenario.run().unwrap()) > jct(clean.run().unwrap()));
+    }
+
+    #[test]
+    fn invalid_fields_are_reported() {
+        let bad_model = Scenario::from_json(
+            r#"{"kind": "training", "model": "gpt5", "constraint": {"budget": 1.0}}"#,
+        )
+        .unwrap();
+        assert!(matches!(bad_model.run(), Err(ScenarioError::Invalid(_))));
+
+        let bad_constraint = Scenario::from_json(
+            r#"{"kind": "training", "model": "lr", "constraint": {}}"#,
+        )
+        .unwrap();
+        assert!(matches!(bad_constraint.run(), Err(ScenarioError::Invalid(_))));
+
+        let both = Scenario::from_json(
+            r#"{"kind": "training", "model": "lr",
+                "constraint": {"budget": 1.0, "deadline": 2.0}}"#,
+        )
+        .unwrap();
+        assert!(matches!(both.run(), Err(ScenarioError::Invalid(_))));
+
+        assert!(Scenario::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn scenario_round_trips_through_serde() {
+        let s = Scenario {
+            kind: ScenarioKind::Tuning,
+            model: "lr".into(),
+            dataset: Some("higgs".into()),
+            constraint: ScenarioConstraint {
+                budget: Some(10.0),
+                deadline: None,
+            },
+            method: Some("ce".into()),
+            seeds: vec![1],
+            trials: Some(64),
+            epochs_per_stage: None,
+            failure_rate: None,
+            storage: None,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back = Scenario::from_json(&json).unwrap();
+        assert_eq!(back.model, "lr");
+        assert_eq!(back.trials, Some(64));
+    }
+}

@@ -1,0 +1,62 @@
+//! The complete serverless ML workflow of the paper's Fig. 1: a
+//! hyperparameter-tuning bracket finds the best configuration, then
+//! model training takes the winner to its target loss — one budget
+//! across both phases, compared across scheduling methods.
+//!
+//! ```sh
+//! cargo run --release --example full_workflow
+//! ```
+
+use ce_scaling::models::Workload;
+use ce_scaling::pareto::ParetoProfiler;
+use ce_scaling::prelude::*;
+use ce_scaling::tuning::PartitionPlan;
+use ce_scaling::workflow::{Method, PipelineJob};
+
+fn main() {
+    let workload = Workload::mobilenet_cifar10();
+    let sha = ShaSpec::new(128, 2, 2);
+
+    // A budget sized for both phases: tuning floor plus a comfortably
+    // funded training run.
+    let env = Environment::aws_default();
+    let profile = ParetoProfiler::new(&env).profile_workload(&workload);
+    let tuning_floor = PartitionPlan::uniform(*profile.cheapest().unwrap(), sha).cost();
+    let boundary = profile.boundary();
+    let mid = boundary[boundary.len() / 2];
+    let budget = tuning_floor * 2.0 + mid.cost_usd() * 42.0 * 2.0;
+    // Give tuning a share that covers twice its cheapest plan.
+    let share = (tuning_floor * 2.0 / budget).clamp(0.1, 0.9);
+
+    println!(
+        "workflow: tune {} ({} trials, {} stages) then train the winner; budget ${budget:.2}\n",
+        workload.label(),
+        sha.initial_trials,
+        sha.num_stages()
+    );
+    println!(
+        "{:12} {:>11} {:>10} {:>12} {:>12} {:>9}",
+        "method", "tuning JCT", "train JCT", "tuning cost", "train cost", "violated"
+    );
+    for method in [Method::CeScaling, Method::LambdaMl, Method::Siren] {
+        let job = PipelineJob::new(workload.clone(), sha, Constraint::Budget(budget))
+            .with_tuning_share(share)
+            .with_seed(17);
+        match job.run(method) {
+            Ok(r) => println!(
+                "{:12} {:>10.0}s {:>9.0}s {:>11.2}$ {:>11.2}$ {:>9}",
+                method.label(),
+                r.tuning.jct_s,
+                r.training.jct_s,
+                r.tuning.cost_usd,
+                r.training.cost_usd,
+                r.violated
+            ),
+            Err(e) => println!("{:12} failed: {e}", method.label()),
+        }
+    }
+    println!(
+        "\nUnspent tuning budget rolls into training; the winner's\n\
+         configuration quality determines the training run's convergence."
+    );
+}

@@ -1,0 +1,74 @@
+//! Adaptive model training: watch Algorithm 2 adjust resources as the
+//! online loss-curve prediction sharpens.
+//!
+//! ```sh
+//! cargo run --release --example model_training
+//! ```
+
+use ce_scaling::ml::curve::{table4_target, CurveParams, LossCurve};
+use ce_scaling::prelude::*;
+use ce_scaling::sim::rng::SimRng;
+use ce_scaling::training::{Decision, TrainingObjective};
+
+fn main() {
+    let workload = ce_scaling::models::Workload::mobilenet_cifar10();
+    let params = CurveParams::for_workload(workload.model.family, &workload.dataset.name);
+    let target = table4_target(workload.model.family, &workload.dataset.name);
+    println!(
+        "training {} to loss {target} (family mean: {:.0} epochs)\n",
+        workload.label(),
+        params.mean_epochs_to(target).unwrap()
+    );
+
+    // Profile and build the Algorithm 2 scheduler with a $30 budget.
+    let env = Environment::aws_default();
+    let profile = ParetoProfiler::new(&env).profile_workload(&workload);
+    let mut scheduler = AdaptiveScheduler::new(
+        &profile,
+        TrainingObjective::MinJctGivenBudget { budget: 30.0 },
+        target,
+        params.initial,
+        SchedulerConfig::default(),
+    );
+
+    // Offline estimate seeds the initial allocation (Lines 2–7).
+    let offline_estimate = params.mean_epochs_to(target).unwrap() * 1.3; // a deliberately poor guess
+    let mut alloc = scheduler.initial_allocation(offline_estimate);
+    println!("offline estimate {offline_estimate:.0} epochs → initial allocation {alloc}");
+
+    // Simulate the run: one stochastic convergence realization, the
+    // platform billing each epoch at the current allocation.
+    let mut platform = FaasPlatform::new(env.clone(), 42);
+    let mut run = LossCurve::sample_optimal(&params, SimRng::new(42));
+    for epoch in 1..=200 {
+        let measured = platform.run_epoch(
+            &workload,
+            &alloc,
+            ce_scaling::faas::ExecutionFidelity::Fast,
+        );
+        let loss = run.next_epoch();
+        if loss <= target {
+            println!(
+                "epoch {epoch:3}: loss {loss:.3} ≤ target — done. total billed ${:.2}",
+                platform.ledger().total_dollars()
+            );
+            break;
+        }
+        match scheduler.on_epoch_end(loss, measured.cost.total(), measured.wall_s) {
+            Decision::Keep => {}
+            Decision::Switch { to } => {
+                println!(
+                    "epoch {epoch:3}: loss {loss:.3}, prediction now {:.0} epochs → switch to {to}",
+                    scheduler.predicted_total_epochs()
+                );
+                platform.prewarm(to.n, to.memory_mb);
+                alloc = to;
+            }
+        }
+    }
+    let stats = scheduler.stats();
+    println!(
+        "\nadjustments: {}, candidate evaluations: {}",
+        stats.adjustments, stats.evaluations
+    );
+}

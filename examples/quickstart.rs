@@ -1,0 +1,63 @@
+//! Quickstart: profile a workload, inspect its Pareto boundary, and pick
+//! an allocation under a constraint.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ce_scaling::prelude::*;
+
+fn main() {
+    // 1. Describe the job: logistic regression over the Higgs dataset
+    //    (11 M instances × 28 features), batch size from Table IV.
+    let model = ModelSpec::logistic_regression();
+    let dataset = DatasetSpec::higgs();
+    println!(
+        "workload: {} over {} ({:.0} MB of training data)\n",
+        model.name(),
+        dataset.name,
+        dataset.size_mb
+    );
+
+    // 2. Profile the allocation space: every (n functions, memory,
+    //    storage service) combination gets a predicted epoch time and
+    //    cost from the paper's analytical models (Eqs. 2–5).
+    let env = Environment::aws_default();
+    let profile = ParetoProfiler::new(&env).profile(&model, &dataset);
+    println!(
+        "profiled {} allocations; {} on the Pareto boundary ({} pruned)\n",
+        profile.points().len(),
+        profile.boundary().len(),
+        profile.pruned_count()
+    );
+
+    // 3. Walk the boundary: the efficient frontier of epoch time vs cost.
+    println!("Pareto boundary (fastest → cheapest):");
+    for point in profile.boundary().iter().take(8) {
+        println!(
+            "  {:28} {:7.1} s/epoch  ${:.5}/epoch",
+            point.alloc.to_string(),
+            point.time_s(),
+            point.cost_usd()
+        );
+    }
+    println!("  ...\n");
+
+    // 4. Pick allocations under constraints.
+    let fast = profile
+        .cheapest_within_jct(30.0)
+        .expect("an allocation faster than 30 s/epoch exists");
+    println!(
+        "cheapest allocation with epochs under 30 s: {} (${:.5}/epoch)",
+        fast.alloc,
+        fast.cost_usd()
+    );
+    let frugal = profile
+        .fastest_within_cost(0.03)
+        .expect("an allocation under $0.03/epoch exists");
+    println!(
+        "fastest allocation under $0.03/epoch:      {} ({:.1} s/epoch)",
+        frugal.alloc,
+        frugal.time_s()
+    );
+}

@@ -1,0 +1,88 @@
+//! Substrate honesty check, end to end: run *real* distributed SGD with
+//! workers exchanging gradient bytes through the simulated object store,
+//! then fit the observed losses with the same inverse-power family the
+//! schedulers assume and compare synchronization patterns across storage
+//! services.
+//!
+//! ```sh
+//! cargo run --release --example real_sgd_validation
+//! ```
+
+use ce_scaling::ml::distributed::{BspCluster, SyncPattern};
+use ce_scaling::ml::sgd::LinearLoss;
+use ce_scaling::ml::synth::SynthDataset;
+use ce_scaling::sim::rng::SimRng;
+use ce_scaling::storage::{SimStore, StorageCatalog, StorageKind};
+use ce_scaling::training::LossCurveFitter;
+
+fn main() {
+    let catalog = StorageCatalog::aws_default();
+    let data = SynthDataset::generate(4000, 16, 0.05, &mut SimRng::new(7));
+    let n = 8;
+    println!(
+        "distributed logistic regression: {} instances, {} workers\n",
+        data.len(),
+        n
+    );
+
+    // Train the same job through two storage services.
+    for (kind, pattern) in [
+        (StorageKind::S3, SyncPattern::Stateless),
+        (StorageKind::VmPs, SyncPattern::ParameterServer),
+    ] {
+        let store = SimStore::new(catalog.get(kind).unwrap().clone());
+        let mut cluster = BspCluster::new(
+            data.clone(),
+            n,
+            LinearLoss::Logistic,
+            0.15,
+            0.9,
+            64,
+            store,
+            pattern,
+        );
+        let mut rng = SimRng::new(42);
+        let mut losses = Vec::new();
+        let mut sync_s = 0.0;
+        for _ in 0..20 {
+            let epoch = cluster.epoch(8, &mut rng);
+            losses.push(epoch.loss);
+            sync_s += epoch.sync_time_s;
+        }
+        cluster.assert_consistent();
+        let stats = cluster.store().stats();
+        println!("{kind}:");
+        println!(
+            "  final loss {:.4}; simulated sync time {:.1}s; {} puts, {} gets, ${:.6} in requests",
+            losses.last().unwrap(),
+            sync_s,
+            stats.puts,
+            stats.gets,
+            stats.request_dollars
+        );
+
+        // Fit the observed losses with the scheduler's curve family.
+        let initial = std::f64::consts::LN_2; // zero-weight log-loss
+        let fit = LossCurveFitter::new(initial)
+            .fit(&losses)
+            .expect("enough history");
+        let mean_rel_err: f64 = losses
+            .iter()
+            .enumerate()
+            .map(|(e, &l)| ((fit.loss_at((e + 1) as f64) - l) / l).abs())
+            .sum::<f64>()
+            / losses.len() as f64;
+        println!(
+            "  inverse-power fit: floor {:.4}, rate {:.3}; mean residual {:.1}%\n",
+            fit.floor,
+            fit.rate,
+            mean_rel_err * 100.0
+        );
+    }
+    println!(
+        "Identical trajectories, different bills and sync times — the\n\
+         gradients really crossed the store, following Eq. 3's (3n−2) vs\n\
+         (2n−2) transfer patterns (run the ce-ml distributed tests for the\n\
+         operation-count proofs)."
+    );
+}

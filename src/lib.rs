@@ -1,0 +1,87 @@
+//! # ce-scaling
+//!
+//! A Rust reproduction of **CE-scaling** — *QoS-Aware and Cost-Efficient
+//! Dynamic Resource Allocation for Serverless ML Workflows* (Wu et al.,
+//! IPDPS 2023).
+//!
+//! This facade crate re-exports every workspace crate under a single
+//! namespace so that examples, integration tests, and downstream users can
+//! depend on one package:
+//!
+//! * [`sim`] — deterministic discrete-event simulation engine.
+//! * [`storage`] — external storage service models (S3, DynamoDB,
+//!   ElastiCache, VM-PS) with the paper's Table I characteristics.
+//! * [`faas`] — a serverless (AWS-Lambda-like) platform simulator.
+//! * [`ml`] — ML model/dataset zoo, stochastic loss curves, and a real SGD
+//!   kernel used to validate the convergence model.
+//! * [`models`] — the paper's analytical JCT and cost models (Eqs. 1–5).
+//! * [`pareto`] — the Pareto-boundary profiler (§III-B).
+//! * [`tuning`] — SHA hyperparameter tuning and the greedy heuristic
+//!   resource-partitioning planner (Algorithm 1).
+//! * [`training`] — loss-curve fitting, online/offline epoch prediction,
+//!   and the adaptive resource scheduler (Algorithm 2).
+//! * [`baselines`] — LambdaML, Siren, Cirrus, and Fixed baselines.
+//! * [`workflow`] — end-to-end workflow orchestration and metrics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ce_scaling::prelude::*;
+//!
+//! // Describe the job: logistic regression over the Higgs dataset.
+//! let model = ModelSpec::logistic_regression();
+//! let dataset = DatasetSpec::higgs();
+//!
+//! // Profile the allocation space and keep only Pareto-optimal plans.
+//! let env = Environment::aws_default();
+//! let profile = ParetoProfiler::new(&env).profile(&model, &dataset);
+//! assert!(!profile.boundary().is_empty());
+//!
+//! // Pick the cheapest allocation that trains one epoch in under 120 s.
+//! let theta = profile
+//!     .cheapest_within_jct(120.0)
+//!     .expect("a feasible allocation exists");
+//! println!("chosen allocation: {}", theta.alloc);
+//! ```
+pub use ce_baselines as baselines;
+pub use ce_faas as faas;
+pub use ce_ml as ml;
+pub use ce_models as models;
+pub use ce_pareto as pareto;
+pub use ce_sim_core as sim;
+pub use ce_storage as storage;
+pub use ce_training as training;
+pub use ce_tuning as tuning;
+pub use ce_workflow as workflow;
+
+/// Commonly used items, re-exported for one-line imports.
+pub mod prelude {
+    pub use ce_baselines::{
+        cirrus::CirrusScheduler, fixed::FixedScheduler, lambda_ml::LambdaMlScheduler,
+        siren::SirenScheduler,
+    };
+    pub use ce_faas::platform::{FaasPlatform, PlatformConfig};
+    pub use ce_ml::{
+        curve::LossCurve,
+        dataset::DatasetSpec,
+        model::{ModelFamily, ModelSpec},
+    };
+    pub use ce_models::{
+        allocation::{Allocation, AllocationSpace},
+        cost::CostModel,
+        environment::Environment,
+        time::EpochTimeModel,
+    };
+    pub use ce_pareto::{ParetoProfiler, Profile};
+    pub use ce_sim_core::rng::SimRng;
+    pub use ce_training::scheduler::{AdaptiveScheduler, SchedulerConfig};
+    pub use ce_tuning::{
+        planner::{GreedyPlanner, PlannerConfig},
+        sha::ShaSpec,
+    };
+    pub use ce_workflow::{
+        metrics::{TrainingReport, TuningReport},
+        runner::{TrainingJob, TuningJob},
+        Constraint,
+    };
+}

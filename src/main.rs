@@ -1,0 +1,343 @@
+//! The `ce-scaling` command-line interface: profile workloads, plan
+//! tuning brackets, and run simulated training jobs from the shell.
+//!
+//! ```text
+//! ce-scaling profile      --model mobilenet --dataset cifar10
+//! ce-scaling plan-tuning  --model lr --dataset higgs --trials 1024 --budget 300
+//! ce-scaling train        --model mobilenet --dataset cifar10 --budget 30 --method ce
+//! ce-scaling storage      --model lr --dataset higgs -n 10
+//! ```
+
+use ce_scaling::faas::PlatformConfig;
+use ce_scaling::models::{Allocation, CostModel, Environment, Workload};
+use ce_scaling::pareto::ParetoProfiler;
+use ce_scaling::storage::StorageKind;
+use ce_scaling::tuning::{PartitionPlan, ShaSpec};
+use ce_scaling::workflow::{Constraint, Method, TrainingJob, TuningJob};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage_and_exit(None);
+    };
+    match command.as_str() {
+        // run-config takes a file path, not flag options.
+        "run-config" => cmd_run_config(&args[1..]),
+        "help" | "--help" | "-h" => usage_and_exit(None),
+        "profile" | "plan-tuning" | "train" | "storage" => {
+            let opts = Opts::parse(&args[1..]);
+            match command.as_str() {
+                "profile" => cmd_profile(&opts),
+                "plan-tuning" => cmd_plan_tuning(&opts),
+                "train" => cmd_train(&opts),
+                _ => cmd_storage(&opts),
+            }
+        }
+        other => usage_and_exit(Some(other)),
+    }
+}
+
+/// `run-config <file.json>`: run a declarative scenario and print its
+/// reports as JSON.
+fn cmd_run_config(args: &[String]) {
+    use ce_scaling::workflow::Scenario;
+    let Some(path) = args.first() else {
+        eprintln!("usage: ce-scaling run-config <scenario.json>");
+        std::process::exit(2);
+    };
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let scenario = Scenario::from_json(&json).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    match scenario.run() {
+        Ok(outcome) => println!(
+            "{}",
+            serde_json::to_string_pretty(&outcome).expect("serializable")
+        ),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn usage_and_exit(unknown: Option<&str>) -> ! {
+    if let Some(cmd) = unknown {
+        eprintln!("unknown command: {cmd}\n");
+    }
+    eprintln!(
+        "usage: ce-scaling <command> [options]\n\n\
+         commands:\n  \
+           profile      profile the allocation space, print the Pareto boundary\n  \
+           plan-tuning  plan an SHA bracket with Algorithm 1\n  \
+           train        simulate a training job under a scheduling method\n  \
+           storage      compare external storage services for a workload\n  \
+           run-config   run a declarative JSON scenario (see workflow::scenario)\n\n\
+         options:\n  \
+           --model lr|svm|mobilenet|resnet50|bert     (default lr)\n  \
+           --dataset higgs|yfcc|cifar10|imdb          (default matches model)\n  \
+           --trials N        SHA initial trials, power of 2 (default 256)\n  \
+           --budget X        budget in dollars\n  \
+           --deadline S      deadline in seconds\n  \
+           --method ce|lambdaml|siren|cirrus|fixed    (default ce)\n  \
+           --seed N          RNG seed (default 42)\n  \
+           -n N              functions for `storage` (default 10)\n  \
+           --failure-rate P  inject worker failures (train)\n"
+    );
+    std::process::exit(2);
+}
+
+#[derive(Debug, Default)]
+struct Opts {
+    model: Option<String>,
+    dataset: Option<String>,
+    trials: Option<u32>,
+    budget: Option<f64>,
+    deadline: Option<f64>,
+    method: Option<String>,
+    seed: Option<u64>,
+    n: Option<u32>,
+    failure_rate: Option<f64>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Opts {
+        let mut opts = Opts::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .unwrap_or_else(|| {
+                        eprintln!("missing value for {flag}");
+                        std::process::exit(2);
+                    })
+                    .clone()
+            };
+            match flag.as_str() {
+                "--model" => opts.model = Some(value()),
+                "--dataset" => opts.dataset = Some(value()),
+                "--trials" => opts.trials = Some(parse_or_exit(&value(), flag)),
+                "--budget" => opts.budget = Some(parse_or_exit(&value(), flag)),
+                "--deadline" => opts.deadline = Some(parse_or_exit(&value(), flag)),
+                "--method" => opts.method = Some(value()),
+                "--seed" => opts.seed = Some(parse_or_exit(&value(), flag)),
+                "-n" => opts.n = Some(parse_or_exit(&value(), flag)),
+                "--failure-rate" => opts.failure_rate = Some(parse_or_exit(&value(), flag)),
+                other => {
+                    eprintln!("unknown option: {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        opts
+    }
+
+    fn workload(&self) -> Workload {
+        let model = self.model.as_deref().unwrap_or("lr");
+        let dataset = self.dataset.as_deref();
+        match (model, dataset) {
+            ("lr", None | Some("higgs")) => Workload::lr_higgs(),
+            ("lr", Some("yfcc")) => Workload::lr_yfcc(),
+            ("svm", None | Some("higgs")) => Workload::svm_higgs(),
+            ("svm", Some("yfcc")) => Workload::svm_yfcc(),
+            ("mobilenet", None | Some("cifar10")) => Workload::mobilenet_cifar10(),
+            ("resnet50", None | Some("cifar10")) => Workload::resnet50_cifar10(),
+            ("bert", None | Some("imdb")) => Workload::bert_imdb(),
+            (m, d) => {
+                eprintln!("unsupported model/dataset combination: {m}/{d:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    fn method(&self) -> Method {
+        match self.method.as_deref().unwrap_or("ce") {
+            "ce" | "ce-scaling" => Method::CeScaling,
+            "lambdaml" => Method::LambdaMl,
+            "siren" => Method::Siren,
+            "cirrus" => Method::Cirrus,
+            "fixed" => Method::Fixed,
+            other => {
+                eprintln!("unknown method: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    fn constraint(&self, default_budget: f64) -> Constraint {
+        match (self.budget, self.deadline) {
+            (Some(b), None) => Constraint::Budget(b),
+            (None, Some(t)) => Constraint::Deadline(t),
+            (None, None) => Constraint::Budget(default_budget),
+            (Some(_), Some(_)) => {
+                eprintln!("pass either --budget or --deadline, not both");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn parse_or_exit<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("invalid value for {flag}: {s}");
+        std::process::exit(2);
+    })
+}
+
+fn cmd_profile(opts: &Opts) {
+    let env = Environment::aws_default();
+    let w = opts.workload();
+    let profile = ParetoProfiler::new(&env).profile_workload(&w);
+    println!(
+        "{}: {} allocations profiled, {} on the Pareto boundary\n",
+        w.label(),
+        profile.points().len(),
+        profile.boundary().len()
+    );
+    println!("{:>30}  {:>12}  {:>12}", "allocation", "epoch time", "epoch cost");
+    for p in profile.boundary() {
+        println!(
+            "{:>30}  {:>11.1}s  {:>11.5}$",
+            p.alloc.to_string(),
+            p.time_s(),
+            p.cost_usd()
+        );
+    }
+}
+
+fn cmd_plan_tuning(opts: &Opts) {
+    let env = Environment::aws_default();
+    let w = opts.workload();
+    let trials = opts.trials.unwrap_or(256);
+    let sha = ShaSpec::new(trials, 2, 2);
+    let profile = ParetoProfiler::new(&env).profile_workload(&w);
+    let default_budget =
+        PartitionPlan::uniform(*profile.cheapest().expect("nonempty"), sha).cost() * 2.0;
+    let constraint = opts.constraint(default_budget);
+    let job = TuningJob::new(w.clone(), sha, constraint).with_seed(opts.seed.unwrap_or(42));
+    match job.plan_for(opts.method()) {
+        Ok((plan, overhead_s, evals)) => {
+            println!(
+                "{} plan for {} ({} trials, {} stages) under {constraint:?}:\n",
+                opts.method().label(),
+                w.label(),
+                trials,
+                sha.num_stages()
+            );
+            for (i, s) in plan.stages.iter().enumerate() {
+                println!(
+                    "  stage {:2} (q={:6}): {:28} {:>9.1}s/epoch  ${:.5}/trial-epoch",
+                    i + 1,
+                    sha.trials_in_stage(i),
+                    s.alloc.to_string(),
+                    s.time_s(),
+                    s.cost_usd()
+                );
+            }
+            println!(
+                "\npredicted JCT {:.0}s, cost ${:.2}; planning {:.1}s ({} evaluations)",
+                plan.jct(env.max_concurrency),
+                plan.cost(),
+                overhead_s,
+                evals
+            );
+        }
+        Err(e) => {
+            eprintln!("planning failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_train(opts: &Opts) {
+    let w = opts.workload();
+    let env = Environment::aws_default();
+    let profile = ParetoProfiler::new(&env).profile_workload(&w);
+    let boundary = profile.boundary();
+    let mid = boundary[boundary.len() / 2];
+    let (params, target) = {
+        use ce_scaling::ml::curve::{table4_target, CurveParams};
+        (
+            CurveParams::for_workload(w.model.family, &w.dataset.name),
+            table4_target(w.model.family, &w.dataset.name),
+        )
+    };
+    let default_budget =
+        mid.cost_usd() * params.mean_epochs_to(target).expect("reachable") * 2.0;
+    let constraint = opts.constraint(default_budget);
+    let mut job = TrainingJob::new(w.clone(), constraint).with_seed(opts.seed.unwrap_or(42));
+    if let Some(rate) = opts.failure_rate {
+        job = job.with_platform_config(PlatformConfig {
+            failure_rate: rate,
+            ..PlatformConfig::default()
+        });
+    }
+    match job.run(opts.method()) {
+        Ok(r) => {
+            println!(
+                "{} on {} under {constraint:?} (target loss {target}):\n",
+                opts.method().label(),
+                w.label()
+            );
+            println!("  JCT            {:.0}s", r.jct_s);
+            println!("  cost           ${:.2}", r.cost_usd);
+            println!("  epochs         {}", r.epochs);
+            println!("  restarts       {}", r.restarts);
+            println!("  comm share     {:.1}%", r.comm_fraction() * 100.0);
+            println!("  storage share  {:.1}%", r.storage_fraction() * 100.0);
+            println!("  sched overhead {:.1}s", r.sched_overhead_s);
+            println!(
+                "  allocations    {}",
+                r.allocations
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" -> ")
+            );
+            if r.budget_violated || r.qos_violated {
+                println!("  WARNING: constraint violated");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("training failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_storage(opts: &Opts) {
+    let env = Environment::aws_default();
+    let w = opts.workload();
+    let n = opts.n.unwrap_or(10);
+    let cost_model = CostModel::new(&env);
+    println!(
+        "{} at {n} functions x 1769 MB (model blob {:.3} MB):\n",
+        w.label(),
+        w.model.model_mb
+    );
+    println!(
+        "{:>13}  {:>12}  {:>12}  {:>10}",
+        "storage", "epoch time", "epoch cost", "sync share"
+    );
+    for kind in StorageKind::ALL {
+        let spec = env.storage.get(kind).expect("catalog");
+        if !spec.supports_model(w.model.model_mb) {
+            println!("{:>13}  {:>12}  {:>12}  {:>10}", kind.to_string(), "N/A", "N/A", "");
+            continue;
+        }
+        let alloc = Allocation::new(n, 1769, kind);
+        let (time, cost) = cost_model.epoch_estimate(&w, &alloc);
+        println!(
+            "{:>13}  {:>11.1}s  {:>11.5}$  {:>9.0}%",
+            kind.to_string(),
+            time.total(),
+            cost.total(),
+            time.comm_fraction() * 100.0
+        );
+    }
+}

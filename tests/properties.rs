@@ -1,0 +1,322 @@
+//! Property-based tests (proptest) over the core invariants.
+
+use ce_scaling::ml::curve::CurveParams;
+use ce_scaling::ml::{DatasetSpec, ModelFamily, ModelSpec};
+use ce_scaling::models::{Allocation, CostModel, Environment, EpochTimeModel, Workload};
+use ce_scaling::pareto::{dominates, AllocPoint, ParetoProfiler, Profile};
+use ce_scaling::sim::rng::SimRng;
+use ce_scaling::storage::StorageKind;
+use ce_scaling::tuning::{GreedyPlanner, Objective, PartitionPlan, ShaSpec};
+use proptest::prelude::*;
+
+fn storage_strategy() -> impl Strategy<Value = StorageKind> {
+    prop_oneof![
+        Just(StorageKind::S3),
+        Just(StorageKind::DynamoDb),
+        Just(StorageKind::ElastiCache),
+        Just(StorageKind::VmPs),
+    ]
+}
+
+fn point(time: f64, cost: f64) -> AllocPoint {
+    AllocPoint {
+        alloc: Allocation::new(1, 512, StorageKind::S3),
+        time: ce_scaling::models::TimeBreakdown {
+            load_s: 0.0,
+            compute_s: time,
+            sync_s: 0.0,
+        },
+        cost: ce_scaling::models::CostBreakdown {
+            invocation: 0.0,
+            compute: cost,
+            storage_requests: 0.0,
+            storage_runtime: 0.0,
+        },
+    }
+}
+
+proptest! {
+    /// The Pareto boundary is mutually non-dominated and weakly covers
+    /// every pruned point, for arbitrary point clouds.
+    #[test]
+    fn pareto_boundary_invariants(
+        coords in prop::collection::vec((0.1f64..1e4, 0.1f64..1e3), 1..60)
+    ) {
+        let points: Vec<AllocPoint> =
+            coords.iter().map(|&(t, c)| point(t, c)).collect();
+        let profile = Profile::from_points(points.clone());
+        let boundary = profile.boundary();
+        prop_assert!(!boundary.is_empty());
+        for a in &boundary {
+            for b in &boundary {
+                prop_assert!(!dominates(
+                    a.time_s(), a.cost_usd(), b.time_s(), b.cost_usd()
+                ) || std::ptr::eq(*a, *b));
+            }
+        }
+        for p in &points {
+            let covered = boundary
+                .iter()
+                .any(|b| b.time_s() <= p.time_s() && b.cost_usd() <= p.cost_usd());
+            prop_assert!(covered);
+        }
+    }
+
+    /// Epoch time decreases (weakly) with more memory, at any worker
+    /// count and storage; epoch cost is always positive.
+    #[test]
+    fn epoch_time_monotone_in_memory(
+        n in 1u32..200,
+        mem_step in 0usize..6,
+        storage in storage_strategy(),
+    ) {
+        let env = Environment::aws_default();
+        let w = Workload::new(ModelSpec::logistic_regression(), DatasetSpec::higgs());
+        let ladder = [512u32, 1024, 1769, 3072, 5120, 8192, 10240];
+        let m_lo = ladder[mem_step];
+        let m_hi = ladder[mem_step + 1];
+        let model = EpochTimeModel::new(&env);
+        let t_lo = model.epoch_time(&w, &Allocation::new(n, m_lo, storage));
+        let t_hi = model.epoch_time(&w, &Allocation::new(n, m_hi, storage));
+        prop_assert!(t_hi.total() <= t_lo.total() + 1e-9);
+        let cost = CostModel::new(&env).epoch_cost(&w, &Allocation::new(n, m_lo, storage), &t_lo);
+        prop_assert!(cost.total() > 0.0);
+    }
+
+    /// Billed compute dollars equal n × memory-GB × seconds × rate for
+    /// any inputs (conservation of billing).
+    #[test]
+    fn billing_conservation(
+        n in 1u32..500,
+        mem in 128u32..10240,
+        secs in 0.0f64..1e5,
+    ) {
+        let pricing = ce_scaling::models::FunctionPricing::aws_default();
+        let cost = pricing.compute_cost(n, mem, secs);
+        let expect = f64::from(n) * f64::from(mem) / 1024.0 * secs * pricing.per_gb_second;
+        prop_assert!((cost - expect).abs() < 1e-9 * expect.max(1.0));
+    }
+
+    /// SHA stage arithmetic: trial counts follow q/rf^i exactly and the
+    /// final stage has `rf` trials.
+    #[test]
+    fn sha_stage_arithmetic(power in 1u32..14, rf in 2u32..4) {
+        let initial = rf.pow(power);
+        let sha = ShaSpec::new(initial, rf, 2);
+        prop_assert_eq!(sha.num_stages(), power as usize);
+        for s in 0..sha.num_stages() {
+            prop_assert_eq!(sha.trials_in_stage(s), initial / rf.pow(s as u32));
+        }
+        prop_assert_eq!(sha.trials_in_stage(sha.num_stages() - 1), rf);
+    }
+
+    /// The greedy planner never exceeds the budget and never does worse
+    /// than the optimal static plan, for any budget headroom.
+    #[test]
+    fn planner_dominates_static_under_any_budget(slack in 1.05f64..4.0, seed in 0u64..4) {
+        let env = Environment::aws_default();
+        let w = match seed % 2 {
+            0 => Workload::lr_higgs(),
+            _ => Workload::mobilenet_cifar10(),
+        };
+        let profile = ParetoProfiler::new(&env).profile_workload(&w);
+        let sha = ShaSpec::new(64, 2, 2);
+        let budget =
+            PartitionPlan::uniform(*profile.cheapest().unwrap(), sha).cost() * slack;
+        let planner = GreedyPlanner::new(&profile, sha, env.max_concurrency);
+        let (plan, static_plan, _) = planner
+            .plan(Objective::MinJctGivenBudget { budget, qos_s: None })
+            .expect("feasible");
+        prop_assert!(plan.cost() <= budget + 1e-9);
+        prop_assert!(plan.jct(env.max_concurrency) <= static_plan.jct(env.max_concurrency) + 1e-9);
+    }
+
+    /// The convergence curve's epoch inversion round-trips for any
+    /// parameters and reachable target.
+    #[test]
+    fn curve_inversion_roundtrip(
+        initial in 0.5f64..5.0,
+        floor_frac in 0.01f64..0.9,
+        rate in 0.01f64..5.0,
+        target_frac in 0.05f64..0.95,
+    ) {
+        let floor = initial * floor_frac;
+        let params = CurveParams {
+            initial,
+            floor,
+            rate,
+            power: 1.0,
+            obs_noise: 0.0,
+            rate_var: 0.0,
+        };
+        let target = floor + (initial - floor) * target_frac;
+        let e = params.mean_epochs_to(target).expect("reachable");
+        prop_assert!((params.mean_loss_at(e) - target).abs() < 1e-6);
+    }
+
+    /// Deterministic streams: deriving the same label from the same seed
+    /// always yields the same sequence; different labels diverge.
+    #[test]
+    fn rng_stream_determinism(seed in 0u64..u64::MAX, label in "[a-z]{1,12}") {
+        let a: Vec<u64> = {
+            let mut r = SimRng::new(seed).derive(&label);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SimRng::new(seed).derive(&label);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        prop_assert_eq!(&a, &b);
+        let mut other = SimRng::new(seed).derive(&format!("{label}x"));
+        let c: Vec<u64> = (0..8).map(|_| other.next_u64()).collect();
+        prop_assert_ne!(a, c);
+    }
+
+    /// Storage request pricing is monotone in object size and never
+    /// negative; runtime pricing is monotone in duration.
+    #[test]
+    fn storage_pricing_monotone(
+        size_a in 0.001f64..500.0,
+        size_b in 0.001f64..500.0,
+        secs_a in 0.0f64..1e5,
+        secs_b in 0.0f64..1e5,
+        storage in storage_strategy(),
+    ) {
+        let env = Environment::aws_default();
+        let spec = env.storage.get(storage).unwrap();
+        let (lo, hi) = if size_a <= size_b { (size_a, size_b) } else { (size_b, size_a) };
+        prop_assert!(spec.pricing.put_cost(lo) <= spec.pricing.put_cost(hi));
+        prop_assert!(spec.pricing.get_cost(lo) <= spec.pricing.get_cost(hi));
+        prop_assert!(spec.pricing.put_cost(lo) >= 0.0);
+        let (t_lo, t_hi) = if secs_a <= secs_b { (secs_a, secs_b) } else { (secs_b, secs_a) };
+        prop_assert!(spec.pricing.runtime_cost(t_lo) <= spec.pricing.runtime_cost(t_hi));
+    }
+
+    /// Sync transfer counts: VM-PS always needs at most as many
+    /// transfers as stateless storage, and both grow linearly with n.
+    #[test]
+    fn sync_pattern_invariants(n in 1u32..1000) {
+        let env = Environment::aws_default();
+        let s3 = env.storage.get(StorageKind::S3).unwrap();
+        let vm = env.storage.get(StorageKind::VmPs).unwrap();
+        let stateless = ce_scaling::storage::sync::transfers_per_iteration(s3, n);
+        let vmps = ce_scaling::storage::sync::transfers_per_iteration(vm, n);
+        prop_assert!(vmps <= stateless);
+        prop_assert_eq!(stateless, 3 * n - 2);
+        if n >= 1 {
+            prop_assert_eq!(vmps, 2 * n - 2);
+        }
+    }
+
+    /// ModelSpec compute time is positive and monotone non-increasing in
+    /// memory for every family.
+    #[test]
+    fn compute_time_positive_and_monotone(
+        mem in 128u32..10000,
+        family_idx in 0usize..5,
+    ) {
+        let zoo = ModelSpec::paper_zoo();
+        let model = &zoo[family_idx];
+        let t = model.compute_time_per_mb(mem);
+        prop_assert!(t > 0.0);
+        prop_assert!(model.compute_time_per_mb(mem + 240) <= t + 1e-12);
+        let _ = ModelFamily::LogisticRegression; // exercised via the zoo
+    }
+
+    /// Instance-pool conservation: after any acquire/release sequence,
+    /// warm + executing instances equal creations minus expiries, and
+    /// warm hits never exceed invocations.
+    #[test]
+    fn instance_pool_conservation(
+        ops in prop::collection::vec((1u32..20, 0u8..2, 1.0f64..100.0), 1..30)
+    ) {
+        use ce_scaling::faas::InstancePool;
+        use ce_scaling::sim::time::SimTime;
+        let mut pool = InstancePool::new();
+        let mut now = 0.0f64;
+        for (n, mem_pick, busy) in ops {
+            let mem = [1024u32, 1769][mem_pick as usize];
+            let (ids, cold) = pool.acquire(n, mem, SimTime::from_secs(now));
+            prop_assert_eq!(ids.len() as u32, n);
+            prop_assert!(cold <= n);
+            now += busy;
+            pool.release(&ids, busy, SimTime::from_secs(now));
+        }
+        let stats = pool.stats();
+        prop_assert!(stats.warm_hits + stats.created == stats.invocations
+            || stats.created >= 1);
+        prop_assert_eq!(stats.warm_hits + stats.created, stats.invocations);
+        prop_assert!(pool.len() as u64 <= stats.created);
+    }
+
+    /// ASP inflation is ≥ 1, monotone in n, and bounded.
+    #[test]
+    fn asp_inflation_bounds(n in 1u32..5000) {
+        use ce_scaling::models::asp_epoch_inflation;
+        let f = asp_epoch_inflation(n);
+        prop_assert!((1.0..=1.35).contains(&f));
+        prop_assert!(asp_epoch_inflation(n + 1) >= f);
+    }
+
+    /// TPE suggestions always stay inside the hyperparameter space,
+    /// whatever loss values have been observed.
+    #[test]
+    fn tpe_suggestions_in_bounds(
+        losses in prop::collection::vec(0.0f64..10.0, 0..40),
+        seed in 0u64..1000,
+    ) {
+        use ce_scaling::ml::HyperSpace;
+        use ce_scaling::tuning::TpeSampler;
+        let space = HyperSpace::default();
+        let mut sampler = TpeSampler::new(space.clone());
+        let mut rng = SimRng::new(seed);
+        for loss in losses {
+            let c = sampler.suggest(&mut rng);
+            prop_assert!(c.learning_rate >= space.lr_range.0);
+            prop_assert!(c.learning_rate <= space.lr_range.1);
+            prop_assert!(c.momentum >= space.momentum_range.0);
+            prop_assert!(c.momentum <= space.momentum_range.1);
+            sampler.observe(c, loss);
+        }
+    }
+
+    /// Failure injection never reduces wall time, and scales billing with
+    /// the wall.
+    #[test]
+    fn failure_injection_monotone(seed in 0u64..200, rate in 0.0f64..0.4) {
+        use ce_scaling::faas::{ExecutionFidelity, FaasPlatform, PlatformConfig};
+        let w = Workload::lr_higgs();
+        let alloc = Allocation::new(20, 1769, StorageKind::S3);
+        let run = |failure_rate: f64| {
+            let mut p = FaasPlatform::with_config(
+                Environment::aws_default(),
+                PlatformConfig { failure_rate, ..PlatformConfig::default() },
+                seed,
+            );
+            p.run_epoch(&w, &alloc, ExecutionFidelity::Fast)
+        };
+        let clean = run(0.0);
+        let faulty = run(rate);
+        prop_assert!(faulty.wall_s + 1e-9 >= clean.wall_s - clean.failure_s);
+        prop_assert!(faulty.failure_s >= 0.0);
+        if faulty.failures == 0 {
+            prop_assert_eq!(faulty.failure_s, 0.0);
+        }
+    }
+
+    /// Hyperband bracket ladders are well-formed for any R and η.
+    #[test]
+    fn hyperband_ladder_wellformed(power in 1u32..8, eta in 2u32..4) {
+        use ce_scaling::tuning::HyperbandSpec;
+        let r = eta.pow(power);
+        let hb = HyperbandSpec::new(r, eta);
+        let brackets = hb.brackets();
+        prop_assert_eq!(brackets.len() as u32, hb.s_max() + 1);
+        for b in &brackets {
+            prop_assert!(b.initial_trials >= eta);
+            prop_assert!(b.epochs_per_stage >= 1);
+        }
+        // Most exploratory first.
+        prop_assert!(brackets[0].initial_trials >= brackets.last().unwrap().initial_trials);
+    }
+}
