@@ -64,8 +64,7 @@ impl FixedScheduler {
                     let meets_every_share = |p: &&AllocPoint| {
                         (0..d).all(|s| {
                             let per_wave = (max_concurrency / p.alloc.n).max(1);
-                            let waves =
-                                f64::from(sha.trials_in_stage(s).div_ceil(per_wave));
+                            let waves = f64::from(sha.trials_in_stage(s).div_ceil(per_wave));
                             r * p.time_s() * waves <= share
                         })
                     };
@@ -74,7 +73,9 @@ impl FixedScheduler {
                         .filter(meets_every_share)
                         .min_by(|a, b| a.cost_usd().total_cmp(&b.cost_usd()))
                         .or_else(|| {
-                            points.iter().min_by(|a, b| a.time_s().total_cmp(&b.time_s()))
+                            points
+                                .iter()
+                                .min_by(|a, b| a.time_s().total_cmp(&b.time_s()))
                         })
                 }
             }?;
@@ -137,8 +138,7 @@ mod tests {
         let fixed = FixedScheduler::new()
             .tuning_plan(&p, sha, objective, 3000)
             .unwrap();
-        let optimal_static =
-            crate::statics::optimal_static_plan(&p, sha, objective, 3000).unwrap();
+        let optimal_static = crate::statics::optimal_static_plan(&p, sha, objective, 3000).unwrap();
         assert!(fixed.jct(3000) >= optimal_static.jct(3000));
     }
 

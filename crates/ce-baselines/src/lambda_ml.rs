@@ -8,13 +8,13 @@
 //! "always result in violations in the constraints" in §IV-C.
 
 use crate::statics::{optimal_static_plan, StaticError};
+use ce_ml::curve::CurveParams;
 use ce_models::Allocation;
 use ce_pareto::Profile;
+use ce_sim_core::rng::SimRng;
 use ce_training::predict::OfflinePredictor;
 use ce_training::TrainingObjective;
 use ce_tuning::{Objective, PartitionPlan, ShaSpec};
-use ce_ml::curve::CurveParams;
-use ce_sim_core::rng::SimRng;
 
 /// The static LambdaML scheduler.
 #[derive(Debug, Clone, Default)]
@@ -67,12 +67,20 @@ impl LambdaMlScheduler {
                 .iter()
                 .filter(|p| estimate * p.cost_usd() <= budget)
                 .min_by(|a, b| a.time_s().total_cmp(&b.time_s()))
-                .or_else(|| points.iter().min_by(|a, b| a.cost_usd().total_cmp(&b.cost_usd()))),
+                .or_else(|| {
+                    points
+                        .iter()
+                        .min_by(|a, b| a.cost_usd().total_cmp(&b.cost_usd()))
+                }),
             TrainingObjective::MinCostGivenQos { qos_s } => points
                 .iter()
                 .filter(|p| estimate * p.time_s() <= qos_s)
                 .min_by(|a, b| a.cost_usd().total_cmp(&b.cost_usd()))
-                .or_else(|| points.iter().min_by(|a, b| a.time_s().total_cmp(&b.time_s()))),
+                .or_else(|| {
+                    points
+                        .iter()
+                        .min_by(|a, b| a.time_s().total_cmp(&b.time_s()))
+                }),
         }?;
         Some((chosen.alloc, estimate))
     }

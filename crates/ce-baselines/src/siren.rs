@@ -56,15 +56,15 @@ pub struct SirenPolicy {
 impl SirenPolicy {
     /// The allocation for a training progress fraction in `[0, 1]`.
     pub fn decide(&self, progress: f64) -> Allocation {
-        let bucket = ((progress.clamp(0.0, 1.0)) * (self.greedy.len() as f64 - 1.0)).round()
-            as usize;
+        let bucket =
+            ((progress.clamp(0.0, 1.0)) * (self.greedy.len() as f64 - 1.0)).round() as usize;
         self.candidates[self.greedy[bucket]].alloc
     }
 
     /// The profiled point behind a decision.
     pub fn point_for(&self, progress: f64) -> &AllocPoint {
-        let bucket = ((progress.clamp(0.0, 1.0)) * (self.greedy.len() as f64 - 1.0)).round()
-            as usize;
+        let bucket =
+            ((progress.clamp(0.0, 1.0)) * (self.greedy.len() as f64 - 1.0)).round() as usize;
         &self.candidates[self.greedy[bucket]]
     }
 }
@@ -91,10 +91,8 @@ impl SirenScheduler {
         assert!(!candidates.is_empty(), "profile must not be empty");
         let n_actions = candidates.len();
         let n_states = self.buckets;
-        let mean_t =
-            candidates.iter().map(|p| p.time_s()).sum::<f64>() / n_actions as f64;
-        let mean_c =
-            candidates.iter().map(|p| p.cost_usd()).sum::<f64>() / n_actions as f64;
+        let mean_t = candidates.iter().map(|p| p.time_s()).sum::<f64>() / n_actions as f64;
+        let mean_c = candidates.iter().map(|p| p.cost_usd()).sum::<f64>() / n_actions as f64;
 
         let mut q = vec![vec![0.0f64; n_actions]; n_states];
         let mut rng = SimRng::new(seed).derive("siren-qlearn");
@@ -278,8 +276,7 @@ mod tests {
         let siren = SirenScheduler::new()
             .tuning_plan(&p, sha, objective, 3000)
             .unwrap();
-        let static_opt =
-            crate::statics::optimal_static_plan(&p, sha, objective, 3000).unwrap();
+        let static_opt = crate::statics::optimal_static_plan(&p, sha, objective, 3000).unwrap();
         assert!(
             siren.jct(3000) >= static_opt.jct(3000),
             "siren {} < static {}",

@@ -44,13 +44,11 @@ pub fn optimal_static_plan(
         let (value, feasible) = match objective {
             Objective::MinJctGivenBudget { budget, qos_s } => (
                 plan.jct(max_concurrency),
-                plan.cost() <= budget
-                    && qos_s.is_none_or(|t| plan.jct(max_concurrency) <= t),
+                plan.cost() <= budget && qos_s.is_none_or(|t| plan.jct(max_concurrency) <= t),
             ),
             Objective::MinCostGivenQos { qos_s, budget } => (
                 plan.cost(),
-                plan.jct(max_concurrency) <= qos_s
-                    && budget.is_none_or(|b| plan.cost() <= b),
+                plan.jct(max_concurrency) <= qos_s && budget.is_none_or(|b| plan.cost() <= b),
             ),
         };
         if feasible && best.as_ref().is_none_or(|(v, _)| value < *v) {

@@ -1,47 +1,39 @@
 //! Platform-simulator benchmarks: epoch execution at both fidelities and
 //! a full end-to-end training job.
 
+use ce_bench::Group;
 use ce_faas::{ExecutionFidelity, FaasPlatform};
 use ce_models::{Allocation, Environment, Workload};
 use ce_storage::StorageKind;
 use ce_workflow::{Constraint, Method, TrainingJob};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_epoch(c: &mut Criterion) {
+fn bench_epoch() {
     let env = Environment::aws_default();
     let w = Workload::lr_higgs();
     let alloc = Allocation::new(50, 1769, StorageKind::S3);
-    let mut group = c.benchmark_group("faas/epoch");
+    let group = Group::new("faas/epoch");
     for (name, fidelity) in [
         ("fast", ExecutionFidelity::Fast),
         ("event", ExecutionFidelity::Event),
     ] {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                let mut platform = FaasPlatform::new(env.clone(), 7);
-                black_box(platform.run_epoch(black_box(&w), black_box(&alloc), fidelity))
-            });
+        group.bench(name, || {
+            let mut platform = FaasPlatform::new(env.clone(), 7);
+            black_box(platform.run_epoch(black_box(&w), black_box(&alloc), fidelity))
         });
     }
-    group.finish();
 }
 
-fn bench_training_job(c: &mut Criterion) {
-    let mut group = c.benchmark_group("workflow/training-job");
-    group.sample_size(10);
-    group.bench_function("ce-mobilenet", |b| {
-        b.iter(|| {
-            let job = TrainingJob::new(
-                Workload::mobilenet_cifar10(),
-                Constraint::Budget(50.0),
-            )
-            .with_seed(3);
-            black_box(job.run(Method::CeScaling))
-        });
+fn bench_training_job() {
+    let group = Group::new("workflow/training-job");
+    group.bench("ce-mobilenet", || {
+        let job =
+            TrainingJob::new(Workload::mobilenet_cifar10(), Constraint::Budget(50.0)).with_seed(3);
+        black_box(job.run(Method::CeScaling))
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_epoch, bench_training_job);
-criterion_main!(benches);
+fn main() {
+    bench_epoch();
+    bench_training_job();
+}

@@ -1,13 +1,13 @@
 //! Greedy-planner benchmarks (Fig. 21a): planning latency with the
 //! Pareto boundary vs the full grid (WO-pa).
 
+use ce_bench::Group;
 use ce_models::{Environment, Workload};
 use ce_pareto::ParetoProfiler;
 use ce_tuning::{CandidateSet, GreedyPlanner, Objective, PartitionPlan, PlannerConfig, ShaSpec};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_planner(c: &mut Criterion) {
+fn bench_planner() {
     let env = Environment::aws_default();
     let w = Workload::mobilenet_cifar10();
     let profile = ParetoProfiler::new(&env).profile_workload(&w);
@@ -18,31 +18,26 @@ fn bench_planner(c: &mut Criterion) {
         qos_s: None,
     };
 
-    let mut group = c.benchmark_group("planner/algorithm1");
-    group.sample_size(20);
+    let group = Group::new("planner/algorithm1");
     for (name, candidates) in [
         ("pareto", CandidateSet::ParetoBoundary),
         ("wo-pa-full-grid", CandidateSet::FullSpace),
     ] {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                let planner = GreedyPlanner::new(&profile, sha, 3000).with_config(PlannerConfig {
-                    candidates,
-                    ..PlannerConfig::default()
-                });
-                black_box(planner.plan(black_box(objective)).unwrap())
+        group.bench(name, || {
+            let planner = GreedyPlanner::new(&profile, sha, 3000).with_config(PlannerConfig {
+                candidates,
+                ..PlannerConfig::default()
             });
+            black_box(planner.plan(black_box(objective)).unwrap())
         });
     }
-    group.finish();
 }
 
-fn bench_bracket_scaling(c: &mut Criterion) {
+fn bench_bracket_scaling() {
     let env = Environment::aws_default();
     let w = Workload::lr_higgs();
     let profile = ParetoProfiler::new(&env).profile_workload(&w);
-    let mut group = c.benchmark_group("planner/bracket-scaling");
-    group.sample_size(20);
+    let group = Group::new("planner/bracket-scaling");
     for trials in [64u32, 1024, 16_384] {
         let sha = ShaSpec::new(trials, 2, 2);
         let budget = PartitionPlan::uniform(*profile.cheapest().unwrap(), sha).cost() * 2.0;
@@ -50,15 +45,14 @@ fn bench_bracket_scaling(c: &mut Criterion) {
             budget,
             qos_s: None,
         };
-        group.bench_with_input(BenchmarkId::from_parameter(trials), &sha, |b, &sha| {
-            b.iter(|| {
-                let planner = GreedyPlanner::new(&profile, sha, 3000);
-                black_box(planner.plan(black_box(objective)).unwrap())
-            });
+        group.bench(&trials.to_string(), || {
+            let planner = GreedyPlanner::new(&profile, sha, 3000);
+            black_box(planner.plan(black_box(objective)).unwrap())
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_planner, bench_bracket_scaling);
-criterion_main!(benches);
+fn main() {
+    bench_planner();
+    bench_bracket_scaling();
+}

@@ -3,31 +3,28 @@
 //! seconds"; here it is microseconds, but the scaling with grid size is
 //! what matters).
 
+use ce_bench::Group;
 use ce_models::{AllocationSpace, Environment, Workload};
 use ce_pareto::ParetoProfiler;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_profile_sweep(c: &mut Criterion) {
+fn bench_profile_sweep() {
     let env = Environment::aws_default();
-    let mut group = c.benchmark_group("profiler/sweep");
+    let group = Group::new("profiler/sweep");
     for (name, w) in [
         ("lr-higgs", Workload::lr_higgs()),
         ("mobilenet", Workload::mobilenet_cifar10()),
         ("bert", Workload::bert_imdb()),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &w, |b, w| {
-            let profiler = ParetoProfiler::new(&env);
-            b.iter(|| black_box(profiler.profile_workload(black_box(w))));
-        });
+        let profiler = ParetoProfiler::new(&env);
+        group.bench(name, || black_box(profiler.profile_workload(black_box(&w))));
     }
-    group.finish();
 }
 
-fn bench_grid_scaling(c: &mut Criterion) {
+fn bench_grid_scaling() {
     let env = Environment::aws_default();
     let w = Workload::lr_higgs();
-    let mut group = c.benchmark_group("profiler/grid-scaling");
+    let group = Group::new("profiler/grid-scaling");
     let small = AllocationSpace::small();
     let default = AllocationSpace::aws_default();
     // A denser grid: every multiple of 8 functions and 256 MB.
@@ -37,13 +34,12 @@ fn bench_grid_scaling(c: &mut Criterion) {
         storages: default.storages.clone(),
     };
     for (name, space) in [("small", small), ("default", default), ("dense", dense)] {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            let profiler = ParetoProfiler::new(&env).with_space(space.clone());
-            b.iter(|| black_box(profiler.profile_workload(black_box(&w))));
-        });
+        let profiler = ParetoProfiler::new(&env).with_space(space.clone());
+        group.bench(name, || black_box(profiler.profile_workload(black_box(&w))));
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_profile_sweep, bench_grid_scaling);
-criterion_main!(benches);
+fn main() {
+    bench_profile_sweep();
+    bench_grid_scaling();
+}

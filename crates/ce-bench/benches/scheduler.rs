@@ -1,61 +1,59 @@
 //! Adaptive-scheduler benchmarks (Fig. 21b): per-epoch decision latency
 //! with and without Pareto pruning, plus the online curve fit.
 
+use ce_bench::Group;
 use ce_ml::curve::{CurveParams, LossCurve};
 use ce_ml::model::ModelFamily;
 use ce_models::{Environment, Workload};
 use ce_pareto::ParetoProfiler;
 use ce_sim_core::rng::SimRng;
 use ce_training::{AdaptiveScheduler, LossCurveFitter, SchedulerConfig, TrainingObjective};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_epoch_decision(c: &mut Criterion) {
+fn bench_epoch_decision() {
     let env = Environment::aws_default();
     let w = Workload::mobilenet_cifar10();
     let profile = ParetoProfiler::new(&env).profile_workload(&w);
     let params = CurveParams::for_workload(ModelFamily::MobileNet, "Cifar10");
 
-    let mut group = c.benchmark_group("scheduler/epoch-decision");
+    let group = Group::new("scheduler/epoch-decision");
     for (name, use_pareto) in [("pareto", true), ("wo-pa-full-grid", false)] {
-        group.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| {
-                let mut sched = AdaptiveScheduler::new(
-                    &profile,
-                    TrainingObjective::MinJctGivenBudget { budget: 50.0 },
-                    0.2,
-                    params.initial,
-                    SchedulerConfig {
-                        use_pareto,
-                        delta: 0.01,
-                        ..SchedulerConfig::default()
-                    },
-                );
-                sched.initial_allocation(40.0);
-                let mut run = LossCurve::sample_optimal(&params, SimRng::new(3));
-                for _ in 0..30 {
-                    black_box(sched.on_epoch_end(run.next_epoch(), 0.3, 30.0));
-                }
-                black_box(sched.stats())
-            });
+        group.bench(name, || {
+            let mut sched = AdaptiveScheduler::new(
+                &profile,
+                TrainingObjective::MinJctGivenBudget { budget: 50.0 },
+                0.2,
+                params.initial,
+                SchedulerConfig {
+                    use_pareto,
+                    delta: 0.01,
+                    ..SchedulerConfig::default()
+                },
+            );
+            sched.initial_allocation(40.0);
+            let mut run = LossCurve::sample_optimal(&params, SimRng::new(3));
+            for _ in 0..30 {
+                black_box(sched.on_epoch_end(run.next_epoch(), 0.3, 30.0));
+            }
+            black_box(sched.stats())
         });
     }
-    group.finish();
 }
 
-fn bench_curve_fit(c: &mut Criterion) {
+fn bench_curve_fit() {
     let params = CurveParams::for_workload(ModelFamily::LogisticRegression, "Higgs");
-    let mut group = c.benchmark_group("scheduler/curve-fit");
+    let group = Group::new("scheduler/curve-fit");
     for epochs in [5usize, 20, 60] {
         let mut run = LossCurve::sample_optimal(&params, SimRng::new(9));
         let history: Vec<f64> = (0..epochs).map(|_| run.next_epoch()).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(epochs), &history, |b, h| {
-            let fitter = LossCurveFitter::new(params.initial);
-            b.iter(|| black_box(fitter.fit(black_box(h))));
+        let fitter = LossCurveFitter::new(params.initial);
+        group.bench(&epochs.to_string(), || {
+            black_box(fitter.fit(black_box(&history)))
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_epoch_decision, bench_curve_fit);
-criterion_main!(benches);
+fn main() {
+    bench_epoch_decision();
+    bench_curve_fit();
+}

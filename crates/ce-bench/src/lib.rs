@@ -1,1 +1,64 @@
-//! Criterion benchmark crate for the CE-scaling reproduction; see `benches/`.
+//! Benchmark support crate for the CE-scaling reproduction; see `benches/`.
+//!
+//! The offline build has no criterion, so this crate ships a small timing
+//! harness with the same shape: named benchmark groups, warmup, and
+//! mean-per-iteration reporting. Wall-clock here is fine — benchmarks
+//! measure the host, not the simulation, and are not part of the
+//! deterministic-output contract.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(300);
+/// Upper bound on measured iterations (keeps slow benches bounded).
+const MAX_ITERS: u64 = 10_000;
+
+/// A named group of benchmarks, printed as `group/name`.
+pub struct Group {
+    name: String,
+}
+
+impl Group {
+    /// Starts a new group.
+    pub fn new(name: &str) -> Self {
+        Group {
+            name: name.to_string(),
+        }
+    }
+
+    /// Times `f`, printing the mean wall-clock per iteration.
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) {
+        // Warmup + calibration: time a single iteration.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        let iters = (TARGET.as_nanos() / once.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        let per_iter = total / iters as u32;
+        println!(
+            "{}/{name}: {} iters, {:>12} per iter",
+            self.name,
+            iters,
+            format_duration(per_iter)
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}

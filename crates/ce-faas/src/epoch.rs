@@ -75,7 +75,13 @@ pub fn simulate_epoch(
 }
 
 /// Cost of the epoch given its measured time (shared by both paths).
-fn bill(env: &Environment, w: &Workload, alloc: &Allocation, time: &TimeBreakdown, wall_s: f64) -> CostBreakdown {
+fn bill(
+    env: &Environment,
+    w: &Workload,
+    alloc: &Allocation,
+    time: &TimeBreakdown,
+    wall_s: f64,
+) -> CostBreakdown {
     let spec = env
         .storage
         .get(alloc.storage)
@@ -126,8 +132,7 @@ fn failure_overhead(
         if rng.bernoulli(config.failure_rate) {
             failures += 1;
             let redo = rng.uniform() * per_worker_epoch_s;
-            let retry =
-                config.cold_start_s * rng.lognormal_jitter(config.cold_start_jitter) + redo;
+            let retry = config.cold_start_s * rng.lognormal_jitter(config.cold_start_jitter) + redo;
             stall_s = stall_s.max(retry);
         }
     }
@@ -151,8 +156,7 @@ fn simulate_fast(
     let k = w.dataset.iterations_per_epoch(alloc.n, w.batch);
 
     let cold_s = cold_start_overhead(config, cold, rng);
-    let load_s =
-        shard_mb / env.load_bandwidth_mbps * rng.lognormal_jitter(config.network_jitter);
+    let load_s = shard_mb / env.load_bandwidth_mbps * rng.lognormal_jitter(config.network_jitter);
     let mean_compute = shard_mb * w.model.compute_time_per_mb(alloc.memory_mb);
     let straggle = straggler_factor(alloc.n, config.compute_jitter);
     let compute_s = mean_compute * straggle * rng.lognormal_jitter(config.compute_jitter);
@@ -165,8 +169,7 @@ fn simulate_fast(
         compute_s,
         sync_s,
     };
-    let (failures, failure_s) =
-        failure_overhead(config, alloc.n, load_s + mean_compute, rng);
+    let (failures, failure_s) = failure_overhead(config, alloc.n, load_s + mean_compute, rng);
     let wall_s = cold_s + failure_s + time.total();
     MeasuredEpoch {
         time,
@@ -213,8 +216,7 @@ fn simulate_event(
     // structure means only the slowest matters per iteration.
     let mut ready_at = Vec::with_capacity(n as usize);
     for _ in 0..n {
-        let load =
-            shard_mb / env.load_bandwidth_mbps * rng.lognormal_jitter(config.network_jitter);
+        let load = shard_mb / env.load_bandwidth_mbps * rng.lognormal_jitter(config.network_jitter);
         ready_at.push(cold_s + load);
     }
     let load_end = ready_at.iter().cloned().fold(0.0, f64::max);
@@ -253,8 +255,7 @@ fn simulate_event(
     if k == 0 {
         load_s = load_end - cold_s;
     }
-    let (failures, failure_s) =
-        failure_overhead(config, n, load_s + mean_compute_total, rng);
+    let (failures, failure_s) = failure_overhead(config, n, load_s + mean_compute_total, rng);
     // Use the event clock (plus failure stalls) as ground truth.
     let wall_s = barrier_time + failure_s;
     let time = TimeBreakdown {
@@ -345,9 +346,25 @@ mod tests {
         let w = Workload::lr_higgs();
         let alloc = Allocation::new(10, 1769, StorageKind::S3);
         let mut rng = SimRng::new(5);
-        let warm = simulate_epoch(&env, &config, &w, &alloc, 0, ExecutionFidelity::Fast, &mut rng);
+        let warm = simulate_epoch(
+            &env,
+            &config,
+            &w,
+            &alloc,
+            0,
+            ExecutionFidelity::Fast,
+            &mut rng,
+        );
         let mut rng = SimRng::new(5);
-        let cold = simulate_epoch(&env, &config, &w, &alloc, 10, ExecutionFidelity::Fast, &mut rng);
+        let cold = simulate_epoch(
+            &env,
+            &config,
+            &w,
+            &alloc,
+            10,
+            ExecutionFidelity::Fast,
+            &mut rng,
+        );
         assert_eq!(warm.cold_start_s, 0.0);
         assert!(cold.cold_start_s > 1.0);
         assert!(cold.wall_s > warm.wall_s);
@@ -427,8 +444,15 @@ mod tests {
         let mut total_failures = 0;
         for seed in 0..10 {
             let mut rng = SimRng::new(seed);
-            let faulty =
-                simulate_epoch(&env, &config, &w, &alloc, 0, ExecutionFidelity::Fast, &mut rng);
+            let faulty = simulate_epoch(
+                &env,
+                &config,
+                &w,
+                &alloc,
+                0,
+                ExecutionFidelity::Fast,
+                &mut rng,
+            );
             let mut rng = SimRng::new(seed);
             let clean = simulate_epoch(
                 &env,
@@ -465,8 +489,16 @@ mod tests {
             (0..20)
                 .map(|seed| {
                     let mut rng = SimRng::new(seed);
-                    simulate_epoch(&env, &config, &w, &alloc, 0, ExecutionFidelity::Fast, &mut rng)
-                        .failure_s
+                    simulate_epoch(
+                        &env,
+                        &config,
+                        &w,
+                        &alloc,
+                        0,
+                        ExecutionFidelity::Fast,
+                        &mut rng,
+                    )
+                    .failure_s
                 })
                 .sum::<f64>()
                 / 20.0

@@ -111,7 +111,11 @@ impl InstancePool {
         let mut warm: Vec<usize> = (0..self.instances.len())
             .filter(|&i| !self.instances[i].executing && self.instances[i].memory_mb == memory_mb)
             .collect();
-        warm.sort_by(|&a, &b| self.instances[b].idle_since.cmp(&self.instances[a].idle_since));
+        warm.sort_by(|&a, &b| {
+            self.instances[b]
+                .idle_since
+                .cmp(&self.instances[a].idle_since)
+        });
         for &idx in warm.iter().take(n as usize) {
             self.instances[idx].executing = true;
             ids.push(self.instances[idx].id);

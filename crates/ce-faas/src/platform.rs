@@ -4,6 +4,7 @@ use crate::billing::BillingLedger;
 use crate::epoch::{self, ExecutionFidelity, MeasuredEpoch};
 use crate::function::{InstancePool, PoolStats};
 use ce_models::{Allocation, Environment, Workload};
+use ce_obs::Registry;
 use ce_sim_core::rng::SimRng;
 use ce_sim_core::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -60,6 +61,11 @@ pub struct FaasPlatform {
     /// warm-instance idle expiry.
     now: SimTime,
     epochs_run: u64,
+    /// Observability sink. Private by default; [`Self::with_registry`]
+    /// shares one. All platform metrics are counters/gauges (commutative
+    /// adds), so aggregation across forked trial platforms is
+    /// order-insensitive.
+    obs: Registry,
 }
 
 impl FaasPlatform {
@@ -78,7 +84,19 @@ impl FaasPlatform {
             pool: InstancePool::new(),
             now: SimTime::ZERO,
             epochs_run: 0,
+            obs: Registry::new(),
         }
+    }
+
+    /// Sends platform metrics (`faas.*`) to a shared registry.
+    pub fn with_registry(mut self, registry: &Registry) -> Self {
+        self.obs = registry.clone();
+        self
+    }
+
+    /// The registry the platform's metrics live in.
+    pub fn registry(&self) -> &Registry {
+        &self.obs
     }
 
     /// The environment this platform simulates.
@@ -140,6 +158,7 @@ impl FaasPlatform {
             alloc.n,
             self.config.max_concurrency
         );
+        let breaches_before = self.pool.stats().limit_breaches;
         let (ids, cold) = self.pool.acquire(alloc.n, alloc.memory_mb, self.now);
 
         let mut epoch_rng = self.rng.derive_idx("epoch", self.epochs_run);
@@ -168,6 +187,35 @@ impl FaasPlatform {
             measured.cost.storage_requests,
             measured.cost.storage_runtime,
         );
+
+        self.obs.counter("faas.invocations").add(u64::from(alloc.n));
+        self.obs.counter("faas.cold_starts").add(u64::from(cold));
+        self.obs
+            .counter("faas.warm_starts")
+            .add(u64::from(alloc.n - cold));
+        self.obs
+            .counter("faas.failures")
+            .add(u64::from(measured.failures));
+        self.obs
+            .counter("faas.retries")
+            .add(u64::from(measured.failures));
+        self.obs
+            .gauge("faas.billed_gb_s")
+            .add(f64::from(alloc.n) * f64::from(alloc.memory_mb) / 1024.0 * measured.wall_s);
+        self.obs.gauge("faas.dollars").add(measured.cost.total());
+        self.obs
+            .counter("faas.limit_breaches")
+            .add(self.pool.stats().limit_breaches - breaches_before);
+        if cold > 0 {
+            self.obs
+                .histogram("faas.cold_start_s")
+                .observe(measured.cold_start_s);
+        }
+        if measured.failures > 0 {
+            self.obs
+                .histogram("faas.retry_stall_s")
+                .observe(measured.failure_s);
+        }
         measured
     }
 
@@ -183,6 +231,9 @@ impl FaasPlatform {
             pool: InstancePool::new(),
             now: SimTime::ZERO,
             epochs_run: 0,
+            // Forked trials share the sink: their counter adds commute,
+            // so the aggregate is deterministic regardless of trial order.
+            obs: self.obs.clone(),
         }
     }
 }
@@ -281,8 +332,12 @@ mod tests {
         let mut a1 = p.fork("trial", 0);
         let mut a2 = p.fork("trial", 0);
         let mut b = p.fork("trial", 1);
-        let wa1 = a1.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast).wall_s;
-        let wa2 = a2.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast).wall_s;
+        let wa1 = a1
+            .run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast)
+            .wall_s;
+        let wa2 = a2
+            .run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast)
+            .wall_s;
         let wb = b.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast).wall_s;
         assert_eq!(wa1, wa2);
         assert_ne!(wa1, wb);

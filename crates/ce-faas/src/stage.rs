@@ -50,10 +50,10 @@ pub fn simulate_stage(
     let time_model = EpochTimeModel::new(env);
     let cost_model = CostModel::new(env);
     let mean_epoch = time_model.epoch_time(w, alloc).total();
-    let (_, mean_cost) = {
-        let (t, c) = cost_model.epoch_estimate(w, alloc);
-        (t, c)
-    };
+    let mean_cost = cost_model
+        .epoch_estimate(w, alloc)
+        .expect("measured stage allocations come from the environment catalog")
+        .1;
 
     // Per-trial durations/costs: r epochs with trial-level jitter.
     let durations: Vec<f64> = (0..trials)
@@ -62,9 +62,7 @@ pub fn simulate_stage(
         })
         .collect();
     let costs: Vec<f64> = (0..trials)
-        .map(|_| {
-            f64::from(epochs) * mean_cost.total() * rng.lognormal_jitter(0.02)
-        })
+        .map(|_| f64::from(epochs) * mean_cost.total() * rng.lognormal_jitter(0.02))
         .collect();
 
     // Greedy packing on the event queue: start trials while slots free,
@@ -75,7 +73,10 @@ pub fn simulate_stage(
     let mut peak: u32 = 0;
     let mut wall = 0.0f64;
     while next_trial < trials && running < slots {
-        queue.schedule_at(SimTime::from_secs(durations[next_trial as usize]), next_trial);
+        queue.schedule_at(
+            SimTime::from_secs(durations[next_trial as usize]),
+            next_trial,
+        );
         next_trial += 1;
         running += 1;
     }
@@ -137,12 +138,20 @@ mod tests {
         let trial_s = f64::from(epochs) * mean_epoch;
         let slots = quota / alloc.n; // 30
         let waves = trials.div_ceil(slots); // 2
-        // Lower bound: perfect packing of total work over the slots.
+                                            // Lower bound: perfect packing of total work over the slots.
         let ideal = trial_s * f64::from(trials) / f64::from(slots);
         // Upper bound: the rigid wave model plus jitter headroom.
         let wave_bound = trial_s * f64::from(waves) * 1.15;
-        assert!(m.wall_s >= ideal * 0.85, "wall {} < ideal {ideal}", m.wall_s);
-        assert!(m.wall_s <= wave_bound, "wall {} > waves {wave_bound}", m.wall_s);
+        assert!(
+            m.wall_s >= ideal * 0.85,
+            "wall {} < ideal {ideal}",
+            m.wall_s
+        );
+        assert!(
+            m.wall_s <= wave_bound,
+            "wall {} > waves {wave_bound}",
+            m.wall_s
+        );
     }
 
     #[test]

@@ -329,7 +329,10 @@ mod tests {
             run.next_epoch();
         }
         let min_seen = run.history().iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(min_seen <= target * 1.02, "min {min_seen} vs target {target}");
+        assert!(
+            min_seen <= target * 1.02,
+            "min {min_seen} vs target {target}"
+        );
     }
 
     #[test]

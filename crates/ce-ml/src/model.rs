@@ -251,7 +251,10 @@ mod tests {
         let zoo = ModelSpec::paper_zoo();
         assert_eq!(zoo.len(), 5);
         let names: Vec<String> = zoo.iter().map(|m| m.name()).collect();
-        assert_eq!(names, vec!["LR", "SVM", "MobileNet", "ResNet50", "BERT-base"]);
+        assert_eq!(
+            names,
+            vec!["LR", "SVM", "MobileNet", "ResNet50", "BERT-base"]
+        );
     }
 
     #[test]

@@ -310,7 +310,9 @@ mod tests {
         let run = |seed| {
             let mut t = SoftmaxTrainer::new(10, 4, 0.2, 0.9);
             let mut rng = SimRng::new(seed);
-            (0..5).map(|_| t.train_epoch(&d, 64, &mut rng)).collect::<Vec<f64>>()
+            (0..5)
+                .map(|_| t.train_epoch(&d, 64, &mut rng))
+                .collect::<Vec<f64>>()
         };
         assert_eq!(run(8), run(8));
         assert_ne!(run(8), run(9));

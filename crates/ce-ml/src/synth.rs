@@ -48,11 +48,7 @@ impl SynthDataset {
             for _ in 0..features {
                 x.push(rng.normal() as f32);
             }
-            let margin: f32 = x[start..]
-                .iter()
-                .zip(&w)
-                .map(|(xi, wi)| xi * wi)
-                .sum();
+            let margin: f32 = x[start..].iter().zip(&w).map(|(xi, wi)| xi * wi).sum();
             let mut label = if margin >= 0.0 { 1.0f32 } else { -1.0f32 };
             if rng.bernoulli(label_noise) {
                 label = -label;
@@ -151,7 +147,10 @@ mod tests {
                 .zip(&d.true_weights)
                 .map(|(x, w)| x * w)
                 .sum();
-            assert!(margin * d.y[i] >= 0.0, "instance {i} misclassified by truth");
+            assert!(
+                margin * d.y[i] >= 0.0,
+                "instance {i} misclassified by truth"
+            );
         }
     }
 

@@ -16,8 +16,27 @@ use crate::allocation::Allocation;
 use crate::environment::Environment;
 use crate::time::{EpochTimeModel, TimeBreakdown};
 use crate::workload::Workload;
-use ce_storage::sync;
+use ce_storage::{sync, StorageKind};
 use serde::{Deserialize, Serialize};
+
+/// Typed cost-model failure: the allocation references a storage service
+/// that is not in the environment's catalog.
+///
+/// Returned (never panicked) so a malformed allocation cannot crash a
+/// profiling sweep or an allocation-evaluation loop mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownStorage {
+    /// The storage service the allocation asked for.
+    pub storage: StorageKind,
+}
+
+impl std::fmt::Display for UnknownStorage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "storage {} not in environment catalog", self.storage)
+    }
+}
+
+impl std::error::Error for UnknownStorage {}
 
 /// Components of one epoch's monetary cost, in dollars.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -69,39 +88,61 @@ impl<'e> CostModel<'e> {
 
     /// Predicts one epoch's cost under `alloc`, given that epoch's
     /// (predicted or measured) time breakdown.
+    ///
+    /// # Errors
+    /// Returns [`UnknownStorage`] when the allocation's storage service is
+    /// absent from the environment catalog.
     pub fn epoch_cost(
         &self,
         w: &Workload,
         alloc: &Allocation,
         time: &TimeBreakdown,
-    ) -> CostBreakdown {
-        let spec = self
-            .env
-            .storage
-            .get(alloc.storage)
-            .unwrap_or_else(|| panic!("storage {} not in catalog", alloc.storage));
+    ) -> Result<CostBreakdown, UnknownStorage> {
+        let spec = self.env.storage.get(alloc.storage).ok_or(UnknownStorage {
+            storage: alloc.storage,
+        })?;
         let k = w.dataset.iterations_per_epoch(alloc.n, w.batch);
         let epoch_s = time.total();
         let bill = sync::epoch_bill(spec, alloc.n, w.model.model_mb, k, epoch_s);
-        CostBreakdown {
+        Ok(CostBreakdown {
             invocation: self.env.pricing.invocation_cost(alloc.n),
-            compute: self.env.pricing.compute_cost(alloc.n, alloc.memory_mb, epoch_s),
+            compute: self
+                .env
+                .pricing
+                .compute_cost(alloc.n, alloc.memory_mb, epoch_s),
             storage_requests: bill.request_dollars,
             storage_runtime: bill.runtime_dollars,
-        }
+        })
     }
 
     /// Convenience: predicts time then cost in one call.
-    pub fn epoch_estimate(&self, w: &Workload, alloc: &Allocation) -> (TimeBreakdown, CostBreakdown) {
+    ///
+    /// # Errors
+    /// Returns [`UnknownStorage`] when the allocation's storage service is
+    /// absent from the environment catalog.
+    pub fn epoch_estimate(
+        &self,
+        w: &Workload,
+        alloc: &Allocation,
+    ) -> Result<(TimeBreakdown, CostBreakdown), UnknownStorage> {
         let time = EpochTimeModel::new(self.env).epoch_time(w, alloc);
-        let cost = self.epoch_cost(w, alloc, &time);
-        (time, cost)
+        let cost = self.epoch_cost(w, alloc, &time)?;
+        Ok((time, cost))
     }
 
     /// Predicted total cost of `epochs` epochs.
-    pub fn training_cost(&self, w: &Workload, alloc: &Allocation, epochs: u32) -> f64 {
-        let (_, cost) = self.epoch_estimate(w, alloc);
-        f64::from(epochs) * cost.total()
+    ///
+    /// # Errors
+    /// Returns [`UnknownStorage`] when the allocation's storage service is
+    /// absent from the environment catalog.
+    pub fn training_cost(
+        &self,
+        w: &Workload,
+        alloc: &Allocation,
+        epochs: u32,
+    ) -> Result<f64, UnknownStorage> {
+        let (_, cost) = self.epoch_estimate(w, alloc)?;
+        Ok(f64::from(epochs) * cost.total())
     }
 }
 
@@ -117,8 +158,9 @@ mod tests {
 
     fn estimate(w: &Workload, alloc: &Allocation) -> (TimeBreakdown, CostBreakdown) {
         let env = env();
-        let (t, c) = CostModel::new(&env).epoch_estimate(w, alloc);
-        (t, c)
+        CostModel::new(&env)
+            .epoch_estimate(w, alloc)
+            .expect("catalog storage")
     }
 
     #[test]
@@ -126,7 +168,9 @@ mod tests {
         let env = env();
         let w = Workload::lr_higgs();
         let alloc = Allocation::new(10, 1769, StorageKind::S3);
-        let (t, c) = CostModel::new(&env).epoch_estimate(&w, &alloc);
+        let (t, c) = CostModel::new(&env)
+            .epoch_estimate(&w, &alloc)
+            .expect("catalog");
         let expect = 10.0 * (1769.0 / 1024.0) * 1.66667e-5 * t.total();
         assert!((c.compute - expect).abs() < 1e-12);
     }
@@ -185,8 +229,8 @@ mod tests {
         let model = CostModel::new(&env);
         let w = Workload::lr_higgs();
         let alloc = Allocation::new(10, 1769, StorageKind::S3);
-        let one = model.training_cost(&w, &alloc, 1);
-        let five = model.training_cost(&w, &alloc, 5);
+        let one = model.training_cost(&w, &alloc, 1).expect("catalog");
+        let five = model.training_cost(&w, &alloc, 5).expect("catalog");
         assert!((five - 5.0 * one).abs() < 1e-12);
     }
 

@@ -26,7 +26,7 @@
 //! let env = Environment::aws_default();
 //! let w = Workload::lr_higgs();
 //! let theta = Allocation::new(10, 1769, StorageKind::S3);
-//! let (time, cost) = CostModel::new(&env).epoch_estimate(&w, &theta);
+//! let (time, cost) = CostModel::new(&env).epoch_estimate(&w, &theta).unwrap();
 //! assert!(time.total() > 0.0 && cost.total() > 0.0);
 //! // The breakdown components sum to the totals.
 //! assert!((time.load_s + time.compute_s + time.sync_s - time.total()).abs() < 1e-12);
@@ -40,7 +40,7 @@ pub mod time;
 pub mod workload;
 
 pub use allocation::{Allocation, AllocationSpace};
-pub use cost::{CostBreakdown, CostModel};
+pub use cost::{CostBreakdown, CostModel, UnknownStorage};
 pub use environment::Environment;
 pub use pricing::FunctionPricing;
 pub use time::{asp_epoch_inflation, EpochTimeModel, SyncProtocol, TimeBreakdown};

@@ -131,9 +131,7 @@ impl<'e> EpochTimeModel<'e> {
         let k = self.iterations(w, alloc);
         let per_iter_sync = match protocol {
             SyncProtocol::Bsp => sync::sync_time(spec, alloc.n, w.model.model_mb),
-            SyncProtocol::Asp => {
-                2.0 * spec.transfer_time_contended(w.model.model_mb, alloc.n)
-            }
+            SyncProtocol::Asp => 2.0 * spec.transfer_time_contended(w.model.model_mb, alloc.n),
         };
         TimeBreakdown {
             load_s: shard_mb / self.env.load_bandwidth_mbps,

@@ -1,0 +1,434 @@
+//! Deterministic observability for the CE-scaling reproduction.
+//!
+//! A [`Registry`] holds named [`Counter`]s, [`Gauge`]s, and [`Histogram`]s
+//! plus a structured event sink. Two rules make the layer deterministic —
+//! the property the paper's Fig. 21 overhead analysis and the repo's
+//! reproducibility tests rely on:
+//!
+//! 1. **Sim-time only.** Events are stamped with simulation seconds passed
+//!    in by the caller; the layer never reads a wall clock.
+//! 2. **Stable export order.** Metrics export sorted by name (`BTreeMap`),
+//!    events in append order. Same seed ⇒ byte-identical JSONL.
+//!
+//! Handles are cheap `Arc` clones, so instrumented components keep their
+//! own handle and the registry can be snapshotted at any time. Binaries
+//! use [`global()`]; components that need isolation (e.g. schedulers
+//! compared side by side in tests) take an explicit registry.
+//!
+//! # JSONL schema
+//!
+//! One JSON object per line:
+//!
+//! ```text
+//! {"type":"counter","name":"faas.cold_starts","value":12}
+//! {"type":"gauge","name":"storage.s3.dollars","value":0.0875}
+//! {"type":"histogram","name":"faas.queue_wait_s","count":3,"sum":1.5,"min":0.1,"max":0.9,"mean":0.5}
+//! {"type":"event","at_s":12.5,"name":"stage_done","stage":1,...}
+//! ```
+//!
+//! Counter lines come first (sorted by name), then gauges, then
+//! histograms, then events.
+
+use serde_json::{json, Map, Value};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing `u64` metric.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable / accumulable `f64` metric (stored as bits in an atomic).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Accumulates `delta` (used for running dollar/GB-s totals).
+    pub fn add(&self, delta: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Running distribution summary: count / sum / min / max.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<Mutex<HistogramState>>);
+
+#[derive(Debug, Default, Clone, Copy)]
+struct HistogramState {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        let mut state = self.0.lock().expect("histogram lock");
+        if state.count == 0 {
+            state.min = value;
+            state.max = value;
+        } else {
+            state.min = state.min.min(value);
+            state.max = state.max.max(value);
+        }
+        state.count += 1;
+        state.sum += value;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.lock().expect("histogram lock").count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.0.lock().expect("histogram lock").sum
+    }
+
+    /// Mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let state = self.0.lock().expect("histogram lock");
+        if state.count == 0 {
+            0.0
+        } else {
+            state.sum / state.count as f64
+        }
+    }
+}
+
+/// A structured event stamped with simulation time.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Simulation time in seconds (never wall clock).
+    pub at_s: f64,
+    /// Event name, e.g. `"epoch_end"`.
+    pub name: String,
+    /// Free-form payload fields.
+    pub fields: Map,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    events: Mutex<Vec<Event>>,
+}
+
+/// A named collection of metrics plus an event sink.
+///
+/// Cloning shares the underlying storage (a handle, not a copy).
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field(
+                "counters",
+                &self.inner.counters.lock().expect("counters lock").len(),
+            )
+            .field(
+                "gauges",
+                &self.inner.gauges.lock().expect("gauges lock").len(),
+            )
+            .field(
+                "histograms",
+                &self.inner.histograms.lock().expect("histograms lock").len(),
+            )
+            .field(
+                "events",
+                &self.inner.events.lock().expect("events lock").len(),
+            )
+            .finish()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Gets or creates the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut counters = self.inner.counters.lock().expect("counters lock");
+        counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Gets or creates the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut gauges = self.inner.gauges.lock().expect("gauges lock");
+        gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Gets or creates the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut histograms = self.inner.histograms.lock().expect("histograms lock");
+        histograms.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Current value of counter `name` (0 if it was never created).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner
+            .counters
+            .lock()
+            .expect("counters lock")
+            .get(name)
+            .map(Counter::get)
+            .unwrap_or(0)
+    }
+
+    /// Current value of gauge `name` (0.0 if it was never created).
+    pub fn gauge_value(&self, name: &str) -> f64 {
+        self.inner
+            .gauges
+            .lock()
+            .expect("gauges lock")
+            .get(name)
+            .map(Gauge::get)
+            .unwrap_or(0.0)
+    }
+
+    /// Records a structured event at simulation time `at_s`.
+    pub fn event(&self, at_s: f64, name: &str, fields: &[(&str, Value)]) {
+        let mut map = Map::new();
+        for (k, v) in fields {
+            map.insert((*k).to_string(), v.clone());
+        }
+        self.inner.events.lock().expect("events lock").push(Event {
+            at_s,
+            name: name.to_string(),
+            fields: map,
+        });
+    }
+
+    /// Number of recorded events.
+    pub fn event_count(&self) -> usize {
+        self.inner.events.lock().expect("events lock").len()
+    }
+
+    /// Resets every metric and drops all events. Metric handles held by
+    /// instrumented components stay valid for counters/gauges/histograms
+    /// that already exist (they are zeroed, not replaced).
+    pub fn reset(&self) {
+        for counter in self.inner.counters.lock().expect("counters lock").values() {
+            counter.0.store(0, Ordering::Relaxed);
+        }
+        for gauge in self.inner.gauges.lock().expect("gauges lock").values() {
+            gauge.0.store(0, Ordering::Relaxed);
+        }
+        for histogram in self
+            .inner
+            .histograms
+            .lock()
+            .expect("histograms lock")
+            .values()
+        {
+            *histogram.0.lock().expect("histogram lock") = HistogramState::default();
+        }
+        self.inner.events.lock().expect("events lock").clear();
+    }
+
+    /// One JSON object per metric/event, in deterministic order: counters,
+    /// gauges, histograms (each sorted by name), then events in append
+    /// order. Ends with a trailing newline when non-empty.
+    pub fn export_jsonl(&self) -> String {
+        let mut lines = Vec::new();
+        for (name, counter) in self.inner.counters.lock().expect("counters lock").iter() {
+            lines.push(
+                json!({"type": "counter", "name": name.as_str(), "value": counter.get()})
+                    .to_string(),
+            );
+        }
+        for (name, gauge) in self.inner.gauges.lock().expect("gauges lock").iter() {
+            lines.push(
+                json!({"type": "gauge", "name": name.as_str(), "value": gauge.get()}).to_string(),
+            );
+        }
+        for (name, histogram) in self
+            .inner
+            .histograms
+            .lock()
+            .expect("histograms lock")
+            .iter()
+        {
+            let state = *histogram.0.lock().expect("histogram lock");
+            lines.push(
+                json!({
+                    "type": "histogram",
+                    "name": name.as_str(),
+                    "count": state.count,
+                    "sum": state.sum,
+                    "min": state.min,
+                    "max": state.max,
+                    "mean": if state.count == 0 { 0.0 } else { state.sum / state.count as f64 },
+                })
+                .to_string(),
+            );
+        }
+        for event in self.inner.events.lock().expect("events lock").iter() {
+            let mut map = Map::new();
+            map.insert("type".to_string(), Value::String("event".to_string()));
+            map.insert("at_s".to_string(), json!(event.at_s));
+            map.insert("name".to_string(), Value::String(event.name.clone()));
+            for (k, v) in event.fields.iter() {
+                map.insert(k.clone(), v.clone());
+            }
+            lines.push(Value::Object(map).to_string());
+        }
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The metrics (no events) as one JSON object keyed by metric name.
+    pub fn snapshot(&self) -> Value {
+        let mut map = Map::new();
+        for (name, counter) in self.inner.counters.lock().expect("counters lock").iter() {
+            map.insert(name.clone(), json!(counter.get()));
+        }
+        for (name, gauge) in self.inner.gauges.lock().expect("gauges lock").iter() {
+            map.insert(name.clone(), json!(gauge.get()));
+        }
+        for (name, histogram) in self
+            .inner
+            .histograms
+            .lock()
+            .expect("histograms lock")
+            .iter()
+        {
+            let state = *histogram.0.lock().expect("histogram lock");
+            map.insert(
+                name.clone(),
+                json!({"count": state.count, "sum": state.sum, "min": state.min, "max": state.max}),
+            );
+        }
+        Value::Object(map)
+    }
+}
+
+/// The process-wide registry used by the binaries' `--metrics` flag.
+///
+/// Library code should prefer an explicit [`Registry`] handle; the global
+/// exists so experiment entry points (plain `fn(bool) -> Value`) can share
+/// one sink without threading a parameter through every signature.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let registry = Registry::new();
+        let c = registry.counter("x.count");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(registry.counter_value("x.count"), 5);
+        assert_eq!(registry.counter_value("never-created"), 0);
+        // Same name → same underlying metric.
+        registry.counter("x.count").inc();
+        assert_eq!(c.get(), 6);
+    }
+
+    #[test]
+    fn gauges_set_and_accumulate() {
+        let registry = Registry::new();
+        let g = registry.gauge("dollars");
+        g.set(1.5);
+        g.add(0.25);
+        assert!((g.get() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_tracks_summary() {
+        let registry = Registry::new();
+        let h = registry.histogram("wait_s");
+        for v in [2.0, 1.0, 3.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 6.0).abs() < 1e-12);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn export_is_deterministic_and_sorted() {
+        let build = || {
+            let registry = Registry::new();
+            registry.counter("b.second").add(2);
+            registry.counter("a.first").add(1);
+            registry.gauge("g").set(0.5);
+            registry.event(1.5, "epoch_end", &[("epoch", json!(3))]);
+            registry.event(2.5, "done", &[]);
+            registry.export_jsonl()
+        };
+        let a = build();
+        assert_eq!(a, build(), "same construction must be byte-identical");
+        let lines: Vec<&str> = a.lines().collect();
+        assert!(lines[0].contains("a.first"), "sorted by name: {a}");
+        assert!(lines[1].contains("b.second"));
+        assert!(lines[3].contains("epoch_end"));
+        assert!(a.ends_with('\n'));
+    }
+
+    #[test]
+    fn reset_zeroes_existing_handles() {
+        let registry = Registry::new();
+        let c = registry.counter("n");
+        c.add(7);
+        registry.event(0.0, "e", &[]);
+        registry.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(registry.event_count(), 0);
+        c.inc();
+        assert_eq!(registry.counter_value("n"), 1, "handle stays live");
+    }
+}

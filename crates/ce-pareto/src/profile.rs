@@ -87,9 +87,7 @@ impl Profile {
 
     /// Position of `alloc` on the boundary, if it is Pareto-optimal.
     pub fn boundary_rank(&self, alloc: &ce_models::Allocation) -> Option<usize> {
-        self.boundary()
-            .iter()
-            .position(|p| p.alloc == *alloc)
+        self.boundary().iter().position(|p| p.alloc == *alloc)
     }
 }
 
@@ -196,16 +194,14 @@ mod tests {
 
     #[test]
     fn fastest_and_cheapest_ends() {
-        let profile =
-            Profile::from_points(vec![point(1.0, 4.0), point(2.0, 2.0), point(3.0, 1.0)]);
+        let profile = Profile::from_points(vec![point(1.0, 4.0), point(2.0, 2.0), point(3.0, 1.0)]);
         assert_eq!(profile.fastest().unwrap().time_s(), 1.0);
         assert_eq!(profile.cheapest().unwrap().cost_usd(), 1.0);
     }
 
     #[test]
     fn constrained_selection() {
-        let profile =
-            Profile::from_points(vec![point(1.0, 4.0), point(2.0, 2.0), point(3.0, 1.0)]);
+        let profile = Profile::from_points(vec![point(1.0, 4.0), point(2.0, 2.0), point(3.0, 1.0)]);
         // Cheapest with time <= 2.5 is (2, 2).
         let p = profile.cheapest_within_jct(2.5).unwrap();
         assert_eq!((p.time_s(), p.cost_usd()), (2.0, 2.0));

@@ -47,23 +47,23 @@ impl<'e> ParetoProfiler<'e> {
     /// for every feasible `θ` in the grid (in parallel) and extracts the
     /// Pareto boundary.
     pub fn profile_workload(&self, w: &Workload) -> Profile {
-        let allocs = self.space.enumerate(
-            &self.env.storage,
-            w.model.min_memory_mb(),
-            w.model.model_mb,
-        );
+        let allocs =
+            self.space
+                .enumerate(&self.env.storage, w.model.min_memory_mb(), w.model.model_mb);
         let time_model = EpochTimeModel::new(self.env);
         let cost_model = CostModel::new(self.env);
         let points: Vec<AllocPoint> = allocs
             .par_iter()
-            .map(|alloc| {
+            .filter_map(|alloc| {
                 let time = time_model.epoch_time(w, alloc);
-                let cost = cost_model.epoch_cost(w, alloc, &time);
-                AllocPoint {
+                // An allocation naming a storage outside the catalog is
+                // unprofilable, not fatal: drop the point, keep the sweep.
+                let cost = cost_model.epoch_cost(w, alloc, &time).ok()?;
+                Some(AllocPoint {
                     alloc: *alloc,
                     time,
                     cost,
-                }
+                })
             })
             .collect();
         Profile::from_points(points)
@@ -89,7 +89,10 @@ mod tests {
         // LR fits everywhere: 4 n × 3 m × 4 s = 48 points.
         assert_eq!(profile.points().len(), 48);
         assert!(!profile.boundary().is_empty());
-        assert!(profile.pruned_count() > 0, "grid must contain dominated points");
+        assert!(
+            profile.pruned_count() > 0,
+            "grid must contain dominated points"
+        );
     }
 
     #[test]
@@ -120,9 +123,9 @@ mod tests {
             if !on_boundary {
                 // Weak dominance suffices: duplicates of boundary coords
                 // are pruned too.
-                let covered = boundary.iter().any(|b| {
-                    b.time_s() <= p.time_s() && b.cost_usd() <= p.cost_usd()
-                });
+                let covered = boundary
+                    .iter()
+                    .any(|b| b.time_s() <= p.time_s() && b.cost_usd() <= p.cost_usd());
                 assert!(covered, "pruned point {} not covered", p.alloc);
             }
         }
@@ -148,7 +151,10 @@ mod tests {
         let b = profiler.profile_workload(&Workload::lr_higgs());
         assert_eq!(a.points().len(), b.points().len());
         let coords = |p: &Profile| -> Vec<(f64, f64)> {
-            p.boundary().iter().map(|x| (x.time_s(), x.cost_usd())).collect()
+            p.boundary()
+                .iter()
+                .map(|x| (x.time_s(), x.cost_usd()))
+                .collect()
         };
         assert_eq!(coords(&a), coords(&b));
     }
@@ -174,8 +180,8 @@ mod tests {
     fn facade_quickstart_path_works() {
         // Mirrors the facade doc example.
         let env = env();
-        let profile =
-            ParetoProfiler::new(&env).profile(&ModelSpec::logistic_regression(), &DatasetSpec::higgs());
+        let profile = ParetoProfiler::new(&env)
+            .profile(&ModelSpec::logistic_regression(), &DatasetSpec::higgs());
         assert!(!profile.boundary().is_empty());
         assert!(profile.cheapest_within_jct(120.0).is_some());
     }

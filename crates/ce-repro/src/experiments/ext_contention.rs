@@ -35,12 +35,17 @@ pub fn run(_quick: bool) -> Value {
     };
 
     let mut cells = Vec::new();
-    println!("Extension — single-node storage saturation ({})\n", w.label());
+    println!(
+        "Extension — single-node storage saturation ({})\n",
+        w.label()
+    );
     for storage in [StorageKind::ElastiCache, StorageKind::VmPs] {
         let mut table = Table::new(["n", "uncontended epoch", "single-node epoch", "slowdown"]);
         for n in [10u32, 50, 100, 200] {
             let alloc = Allocation::new(n, 1769, storage);
-            let free = EpochTimeModel::new(&base_env).epoch_time(&w, &alloc).total();
+            let free = EpochTimeModel::new(&base_env)
+                .epoch_time(&w, &alloc)
+                .total();
             let tight = EpochTimeModel::new(&contended_env)
                 .epoch_time(&w, &alloc)
                 .total();

@@ -80,6 +80,9 @@ mod tests {
         assert!(last >= first, "first {first} last {last}");
         // Static concentrates the bulk of its budget in the early stages.
         let static_share = find("LambdaML")["first_two_stage_share"].as_f64().unwrap();
-        assert!(static_share > 0.6, "static early-stage share {static_share}");
+        assert!(
+            static_share > 0.6,
+            "static early-stage share {static_share}"
+        );
     }
 }

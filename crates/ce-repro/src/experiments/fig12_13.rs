@@ -51,16 +51,14 @@ fn run_matrix(budget_mode: bool, quick: bool) -> Value {
                         runs: 0,
                     };
                     for &seed in &seeds {
-                        let job =
-                            TrainingJob::new(w.clone(), constraint).with_seed(seed);
+                        let job = TrainingJob::new(w.clone(), constraint).with_seed(seed);
                         if let Ok(r) = job.run(method) {
                             acc.jct_s += r.jct_s;
                             acc.cost_usd += r.cost_usd;
                             acc.comm_s += r.comm_s;
                             acc.storage_usd += r.storage_cost_usd;
                             acc.restarts += f64::from(r.restarts);
-                            acc.violations +=
-                                u32::from(r.budget_violated || r.qos_violated);
+                            acc.violations += u32::from(r.budget_violated || r.qos_violated);
                             acc.runs += 1;
                         }
                     }
@@ -95,9 +93,11 @@ fn run_matrix(budget_mode: bool, quick: bool) -> Value {
         "CE vs best baseline",
     ]);
     for w in &workloads {
-        let get = |m: &str| cells
-            .iter()
-            .find(|c| c["workload"] == w.label() && c["method"] == m);
+        let get = |m: &str| {
+            cells
+                .iter()
+                .find(|c| c["workload"] == w.label() && c["method"] == m)
+        };
         let fmt = |c: Option<&Value>| -> String {
             let Some(c) = c else { return "err".into() };
             if budget_mode {

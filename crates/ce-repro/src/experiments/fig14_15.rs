@@ -26,12 +26,9 @@ pub fn run_fig14(quick: bool) -> Value {
             Method::TUNING
                 .par_iter()
                 .map(|&method| {
-                    let job = TuningJob::new(
-                        w.clone(),
-                        sha,
-                        Constraint::Budget(unit_budget * scale),
-                    )
-                    .with_seed(19);
+                    let job =
+                        TuningJob::new(w.clone(), sha, Constraint::Budget(unit_budget * scale))
+                            .with_seed(19);
                     match job.run(method) {
                         Ok(r) => json!({
                             "scale": scale,
@@ -90,11 +87,9 @@ pub fn run_fig15(quick: bool) -> Value {
                     let mut cost = 0.0;
                     let mut runs = 0u32;
                     for &seed in &seeds {
-                        let job = TrainingJob::new(
-                            w.clone(),
-                            Constraint::Budget(unit_budget * scale),
-                        )
-                        .with_seed(seed);
+                        let job =
+                            TrainingJob::new(w.clone(), Constraint::Budget(unit_budget * scale))
+                                .with_seed(seed);
                         if let Ok(r) = job.run(method) {
                             jct += r.jct_s;
                             cost += r.cost_usd;
@@ -115,7 +110,13 @@ pub fn run_fig15(quick: bool) -> Value {
         .collect();
 
     println!("Fig. 15 — training JCT/cost vs budget scale, LR-YFCC\n");
-    let mut table = Table::new(["Budget scale", "CE JCT", "Siren JCT", "Cirrus JCT", "CE cost"]);
+    let mut table = Table::new([
+        "Budget scale",
+        "CE JCT",
+        "Siren JCT",
+        "Cirrus JCT",
+        "CE cost",
+    ]);
     for &scale in &SCALES {
         let get = |m: &str, k: &str| {
             cells

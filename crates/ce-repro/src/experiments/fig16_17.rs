@@ -31,8 +31,7 @@ pub fn run_fig16(quick: bool) -> Value {
         let profile = ce_pareto::ParetoProfiler::new(&env)
             .with_space(space.clone())
             .profile_workload(&w);
-        let budget = ce_tuning::PartitionPlan::uniform(*profile.cheapest().unwrap(), sha)
-            .cost()
+        let budget = ce_tuning::PartitionPlan::uniform(*profile.cheapest().unwrap(), sha).cost()
             * context::BUDGET_SCALE;
         let mut table = Table::new(["Method", "JCT", "Cost"]);
         for method in METHODS {

@@ -28,7 +28,12 @@ pub fn run(quick: bool) -> Value {
         for storage in StorageKind::ALL {
             let spec = env.storage.get(storage).expect("catalog");
             if !spec.supports_model(w.model.model_mb) {
-                table.row([storage.letter().to_string(), "N/A".into(), "N/A".into(), "".into()]);
+                table.row([
+                    storage.letter().to_string(),
+                    "N/A".into(),
+                    "N/A".into(),
+                    "".into(),
+                ]);
                 cells.push(json!({
                     "workload": w.label(),
                     "storage": storage.to_string(),

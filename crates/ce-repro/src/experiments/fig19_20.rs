@@ -35,14 +35,16 @@ fn validate(allocs: &[Allocation], quick: bool, label: &str) -> Value {
     let mut rows = Vec::new();
     for &alloc in allocs {
         let est_jct = time_model.training_time(&w, &alloc, EPOCHS);
-        let est_cost = cost_model.training_cost(&w, &alloc, EPOCHS);
+        let est_cost = cost_model
+            .training_cost(&w, &alloc, EPOCHS)
+            .expect("catalog");
         // Measure on the platform at full event fidelity, averaged over
         // seeds (the paper averages CloudWatch runs).
         let mut meas_jct = 0.0;
         let mut meas_cost = 0.0;
         for &seed in &seeds {
-            let job = TrainingJob::new(w.clone(), Constraint::Budget(f64::INFINITY))
-                .with_seed(seed);
+            let job =
+                TrainingJob::new(w.clone(), Constraint::Budget(f64::INFINITY)).with_seed(seed);
             let r = job.run_fixed_allocation(alloc, EPOCHS, ExecutionFidelity::Event);
             meas_jct += r.jct_s;
             meas_cost += r.cost_usd;
@@ -113,7 +115,11 @@ mod tests {
         // The paper's worst-case errors are 4.9 % (JCT) and 7.6 % (cost);
         // allow a slightly wider band for the simulated substrate.
         for v in [super::run_fig19(true), super::run_fig20(true)] {
-            let key = if v.get("fig19").is_some() { "fig19" } else { "fig20" };
+            let key = if v.get("fig19").is_some() {
+                "fig19"
+            } else {
+                "fig20"
+            };
             for row in v[key].as_array().unwrap() {
                 let jct_err = row["jct_err"].as_f64().unwrap();
                 let cost_err = row["cost_err"].as_f64().unwrap();

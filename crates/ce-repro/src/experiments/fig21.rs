@@ -10,7 +10,8 @@
 use crate::context;
 use crate::report::{secs, Table};
 use ce_models::{Environment, Workload};
-use ce_workflow::{Constraint, Method, TrainingJob, TuningJob};
+use ce_obs::Registry;
+use ce_workflow::{Constraint, Method, TrainingJob, TuningJob, EVAL_COST_S};
 use serde_json::{json, Value};
 
 /// Fig. 21a: tuning planning overhead, CE vs WO-pa.
@@ -23,12 +24,23 @@ pub fn run_fig21a(quick: bool) -> Value {
     let mut table = Table::new(["Workload", "CE overhead", "WO-pa overhead", "reduction"]);
     for w in [Workload::lr_higgs(), Workload::mobilenet_cifar10()] {
         let budget = context::tuning_budget(&env, &w, sha);
-        let job = TuningJob::new(w.clone(), sha, Constraint::Budget(budget)).with_seed(29);
-        let (_, ce_overhead, ce_evals) = job.plan_for(Method::CeScaling).expect("feasible");
+        // Overhead is sourced from the planner's own ce-obs counters: a
+        // local registry per variant isolates the counts.
+        let ce_reg = Registry::new();
+        let job = TuningJob::new(w.clone(), sha, Constraint::Budget(budget))
+            .with_seed(29)
+            .with_obs(&ce_reg);
+        let _ = job.plan_for(Method::CeScaling).expect("feasible");
+        let ce_evals = ce_reg.counter_value("planner.evaluations");
+        let ce_overhead = ce_evals as f64 * EVAL_COST_S;
+        let wo_reg = Registry::new();
         let job_wo = TuningJob::new(w.clone(), sha, Constraint::Budget(budget))
             .with_seed(29)
-            .without_pareto();
-        let (_, wo_overhead, wo_evals) = job_wo.plan_for(Method::CeScaling).expect("feasible");
+            .without_pareto()
+            .with_obs(&wo_reg);
+        let _ = job_wo.plan_for(Method::CeScaling).expect("feasible");
+        let wo_evals = wo_reg.counter_value("planner.evaluations");
+        let wo_overhead = wo_evals as f64 * EVAL_COST_S;
         let reduction = 1.0 - ce_overhead / wo_overhead;
         table.row([
             w.label(),
@@ -67,21 +79,22 @@ pub fn run_fig21b(quick: bool) -> Value {
     println!("Fig. 21b — training scheduling overhead (MobileNet-Cifar10)\n");
     let mut table = Table::new(["Variant", "sched overhead", "restarts", "JCT"]);
     for (name, configure) in variants {
-        let mut overhead = 0.0;
-        let mut restarts = 0.0;
-        let mut jct = 0.0;
+        // One local registry per variant: the summary counters/gauges the
+        // runner feeds it accumulate across seeds, so the figure's
+        // numbers come straight off the ce-obs sink.
+        let reg = Registry::new();
         let mut runs = 0u32;
         for &seed in &seeds {
-            let job = configure(
-                TrainingJob::new(w.clone(), Constraint::Budget(budget)).with_seed(seed),
-            );
-            if let Ok(r) = job.run(Method::CeScaling) {
-                overhead += r.sched_overhead_s;
-                restarts += f64::from(r.restarts);
-                jct += r.jct_s;
+            let job =
+                configure(TrainingJob::new(w.clone(), Constraint::Budget(budget)).with_seed(seed))
+                    .with_obs(&reg);
+            if job.run(Method::CeScaling).is_ok() {
                 runs += 1;
             }
         }
+        let overhead = reg.gauge_value("training.sched_overhead_s");
+        let restarts = reg.counter_value("training.restarts") as f64;
+        let jct = reg.gauge_value("training.jct_s");
         let n = f64::from(runs.max(1));
         table.row([
             name.to_string(),
@@ -114,21 +127,20 @@ pub fn run_fig21c(quick: bool) -> Value {
     println!("Fig. 21c — impact of the adjustment threshold δ (MobileNet-Cifar10)\n");
     let mut table = Table::new(["delta", "restarts", "sched overhead", "JCT"]);
     for &delta in &deltas {
-        let mut restarts = 0.0;
-        let mut overhead = 0.0;
-        let mut jct = 0.0;
+        let reg = Registry::new();
         let mut runs = 0u32;
         for &seed in &seeds {
             let job = TrainingJob::new(w.clone(), Constraint::Budget(budget))
                 .with_seed(seed)
-                .with_delta(delta);
-            if let Ok(r) = job.run(Method::CeScaling) {
-                restarts += f64::from(r.restarts);
-                overhead += r.sched_overhead_s;
-                jct += r.jct_s;
+                .with_delta(delta)
+                .with_obs(&reg);
+            if job.run(Method::CeScaling).is_ok() {
                 runs += 1;
             }
         }
+        let restarts = reg.counter_value("training.restarts") as f64;
+        let overhead = reg.gauge_value("training.sched_overhead_s");
+        let jct = reg.gauge_value("training.jct_s");
         let n = f64::from(runs.max(1));
         table.row([
             format!("{delta}"),

@@ -49,8 +49,7 @@ fn reallocated(
         .copied()
         .copied()
         .unwrap_or(static_point);
-    let freed =
-        f64::from(sha.trials_in_stage(0)) * r * (c_static - stage1.cost_usd());
+    let freed = f64::from(sha.trials_in_stage(0)) * r * (c_static - stage1.cost_usd());
 
     // Later stages: the freed dollars are split into equal *per-stage*
     // shares, so the late, narrow stages receive the largest per-trial

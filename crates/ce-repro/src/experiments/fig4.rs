@@ -15,7 +15,11 @@ use serde_json::{json, Value};
 /// Runs the prediction-error comparison for LR-Higgs and
 /// MobileNet-Cifar10.
 pub fn run(quick: bool) -> Value {
-    let seeds: Vec<u64> = if quick { (0..5).collect() } else { (0..25).collect() };
+    let seeds: Vec<u64> = if quick {
+        (0..5).collect()
+    } else {
+        (0..25).collect()
+    };
     let checkpoints = [5u32, 10, 15, 20, 25, 30, 35, 40];
     let mut out = Vec::new();
 

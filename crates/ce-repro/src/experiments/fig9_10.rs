@@ -58,7 +58,11 @@ fn run_matrix(budget_mode: bool, quick: bool) -> Value {
     } else {
         "Fig. 10 — tuning cost given a QoS constraint"
     };
-    println!("{title} (bracket: {} trials, {} stages)\n", sha.initial_trials, sha.num_stages());
+    println!(
+        "{title} (bracket: {} trials, {} stages)\n",
+        sha.initial_trials,
+        sha.num_stages()
+    );
     let mut table = Table::new([
         "Workload",
         "CE-scaling",
@@ -76,7 +80,9 @@ fn run_matrix(budget_mode: bool, quick: bool) -> Value {
         let get = |m: &str| -> Option<f64> { cell(m).and_then(|c| c[metric].as_f64()) };
         // A '*' marks a best-effort run that violated the constraint.
         let fmt = |m: &str| -> String {
-            let Some(c) = cell(m) else { return "err".into() };
+            let Some(c) = cell(m) else {
+                return "err".into();
+            };
             let Some(x) = c[metric].as_f64() else {
                 return format!("err: {}", c["error"].as_str().unwrap_or("?"));
             };

@@ -20,14 +20,22 @@ pub fn run(_quick: bool) -> Value {
     println!("Table II — storage services under static allocations, normalized to S3\n");
     for n in [10u32, 50] {
         let alloc_of = |s: StorageKind| Allocation::new(n, 1769, s);
-        let mut table = Table::new(["Storage", "LR JCT", "LR cost", "MobileNet JCT", "MobileNet cost"]);
+        let mut table = Table::new([
+            "Storage",
+            "LR JCT",
+            "LR cost",
+            "MobileNet JCT",
+            "MobileNet cost",
+        ]);
         let mut rows = Vec::new();
         // S3 reference values per workload.
         let cost_model = CostModel::new(&env);
         let reference: Vec<(f64, f64)> = workloads
             .iter()
             .map(|w| {
-                let (t, c) = cost_model.epoch_estimate(w, &alloc_of(StorageKind::S3));
+                let (t, c) = cost_model
+                    .epoch_estimate(w, &alloc_of(StorageKind::S3))
+                    .expect("catalog");
                 (t.total(), c.total())
             })
             .collect();
@@ -43,7 +51,7 @@ pub fn run(_quick: bool) -> Value {
                     row[format!("{}_cost", w.model.name())] = Value::Null;
                     continue;
                 }
-                let (t, c) = cost_model.epoch_estimate(w, &alloc_of(s));
+                let (t, c) = cost_model.epoch_estimate(w, &alloc_of(s)).expect("catalog");
                 let jct_norm = t.total() / reference[wi].0;
                 let cost_norm = c.total() / reference[wi].1;
                 cells.push(format!("{jct_norm:.2}"));

@@ -20,6 +20,15 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let metrics_path: Option<String> = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if args.iter().any(|a| a == "--metrics") && metrics_path.is_none() {
+        eprintln!("missing value for --metrics");
+        std::process::exit(2);
+    }
     let selected: Vec<String> = {
         let mut skip_next = false;
         args.iter()
@@ -28,7 +37,7 @@ fn main() {
                     skip_next = false;
                     return false;
                 }
-                if *a == "--out" {
+                if *a == "--out" || *a == "--metrics" {
                     skip_next = true;
                     return false;
                 }
@@ -79,17 +88,30 @@ fn main() {
         eprintln!("no experiment matched {selected:?}; try `ce-repro list`");
         std::process::exit(2);
     }
+    if let Some(path) = &metrics_path {
+        // Every job defaults to the process-global ce-obs registry, so
+        // this dump covers all experiments that just ran.
+        std::fs::write(path, ce_obs::global().export_jsonl())
+            .unwrap_or_else(|err| panic!("write {path}: {err}"));
+        if !json_out {
+            eprintln!("metrics written to {path}");
+        }
+    }
     if json_out {
-        let merged: Value = results
-            .into_iter()
-            .fold(Value::Object(serde_json::Map::new()), |mut acc, v| {
-                if let (Value::Object(acc_map), Value::Object(map)) = (&mut acc, v) {
-                    for (k, val) in map {
-                        acc_map.insert(k, val);
+        let merged: Value =
+            results
+                .into_iter()
+                .fold(Value::Object(serde_json::Map::new()), |mut acc, v| {
+                    if let (Value::Object(acc_map), Value::Object(map)) = (&mut acc, v) {
+                        for (k, val) in map {
+                            acc_map.insert(k, val);
+                        }
                     }
-                }
-                acc
-            });
-        println!("{}", serde_json::to_string_pretty(&merged).expect("serializable"));
+                    acc
+                });
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&merged).expect("serializable")
+        );
     }
 }

@@ -10,8 +10,9 @@
 use std::collections::HashMap;
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+use ce_obs::{Counter, Gauge, Registry};
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 use crate::service::StorageSpec;
 
@@ -29,7 +30,10 @@ pub struct OpReceipt {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreError {
     /// The object exceeds the service's size limit (e.g. DynamoDB 400 KB).
-    ObjectTooLarge { size_mb_x1000: u64, limit_mb_x1000: u64 },
+    ObjectTooLarge {
+        size_mb_x1000: u64,
+        limit_mb_x1000: u64,
+    },
     /// GET of a key that does not exist.
     NotFound(String),
 }
@@ -61,6 +65,31 @@ impl std::error::Error for StoreError {}
 pub struct SimStore {
     spec: StorageSpec,
     inner: Mutex<Inner>,
+    obs: Option<StoreObs>,
+}
+
+/// Per-service metric handles (`storage.<service>.*`), held so the hot
+/// path never does a name lookup.
+#[derive(Debug, Clone)]
+struct StoreObs {
+    puts: Counter,
+    gets: Counter,
+    bytes_in: Counter,
+    bytes_out: Counter,
+    dollars: Gauge,
+}
+
+impl StoreObs {
+    fn new(registry: &Registry, spec: &StorageSpec) -> Self {
+        let prefix = format!("storage.{}", spec.kind).to_lowercase();
+        StoreObs {
+            puts: registry.counter(&format!("{prefix}.puts")),
+            gets: registry.counter(&format!("{prefix}.gets")),
+            bytes_in: registry.counter(&format!("{prefix}.bytes_in")),
+            bytes_out: registry.counter(&format!("{prefix}.bytes_out")),
+            dollars: registry.gauge(&format!("{prefix}.dollars")),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -94,6 +123,18 @@ impl SimStore {
         SimStore {
             spec,
             inner: Mutex::new(Inner::default()),
+            obs: None,
+        }
+    }
+
+    /// Creates a store that additionally reports per-service request,
+    /// byte, and dollar metrics (`storage.<service>.*`) into `registry`.
+    pub fn with_registry(spec: StorageSpec, registry: &Registry) -> Self {
+        let obs = StoreObs::new(registry, &spec);
+        SimStore {
+            spec,
+            inner: Mutex::new(Inner::default()),
+            obs: Some(obs),
         }
     }
 
@@ -115,17 +156,25 @@ impl SimStore {
         }
         let duration_s = self.spec.transfer_time(size_mb);
         let dollars = self.spec.pricing.put_cost(size_mb);
-        let mut inner = self.inner.lock();
+        if let Some(obs) = &self.obs {
+            obs.puts.inc();
+            obs.bytes_in.add(value.len() as u64);
+            obs.dollars.add(dollars);
+        }
+        let mut inner = self.inner.lock().expect("store lock");
         inner.bytes_in += value.len() as u64;
         inner.put_count += 1;
         inner.dollars += dollars;
         inner.objects.insert(key.to_owned(), value);
-        Ok(OpReceipt { duration_s, dollars })
+        Ok(OpReceipt {
+            duration_s,
+            dollars,
+        })
     }
 
     /// Fetches the object under `key`, returning it with the receipt.
     pub fn get(&self, key: &str) -> Result<(Bytes, OpReceipt), StoreError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("store lock");
         let value = inner
             .objects
             .get(key)
@@ -137,7 +186,19 @@ impl SimStore {
         inner.bytes_out += value.len() as u64;
         inner.get_count += 1;
         inner.dollars += dollars;
-        Ok((value, OpReceipt { duration_s, dollars }))
+        drop(inner);
+        if let Some(obs) = &self.obs {
+            obs.gets.inc();
+            obs.bytes_out.add(value.len() as u64);
+            obs.dollars.add(dollars);
+        }
+        Ok((
+            value,
+            OpReceipt {
+                duration_s,
+                dollars,
+            },
+        ))
     }
 
     /// Server-side GET: reads an object *inside* the storage node, with
@@ -153,7 +214,7 @@ impl SimStore {
             "{} cannot execute server-side operations",
             self.spec.kind
         );
-        let inner = self.inner.lock();
+        let inner = self.inner.lock().expect("store lock");
         let value = inner
             .objects
             .get(key)
@@ -179,7 +240,7 @@ impl SimStore {
             "{} cannot execute server-side operations",
             self.spec.kind
         );
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("store lock");
         inner.objects.insert(key.to_owned(), value);
         Ok(OpReceipt {
             duration_s: 0.0,
@@ -189,17 +250,26 @@ impl SimStore {
 
     /// Removes the object under `key` if present.
     pub fn delete(&self, key: &str) -> bool {
-        self.inner.lock().objects.remove(key).is_some()
+        self.inner
+            .lock()
+            .expect("store lock")
+            .objects
+            .remove(key)
+            .is_some()
     }
 
     /// Whether an object exists under `key`.
     pub fn contains(&self, key: &str) -> bool {
-        self.inner.lock().objects.contains_key(key)
+        self.inner
+            .lock()
+            .expect("store lock")
+            .objects
+            .contains_key(key)
     }
 
     /// Number of stored objects.
     pub fn len(&self) -> usize {
-        self.inner.lock().objects.len()
+        self.inner.lock().expect("store lock").objects.len()
     }
 
     /// Whether the store holds no objects.
@@ -209,7 +279,7 @@ impl SimStore {
 
     /// Usage counters accumulated since creation.
     pub fn stats(&self) -> StoreStats {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock().expect("store lock");
         StoreStats {
             puts: inner.put_count,
             gets: inner.get_count,
@@ -221,7 +291,7 @@ impl SimStore {
 
     /// Drops all objects but keeps usage counters (end-of-epoch cleanup).
     pub fn clear_objects(&self) {
-        self.inner.lock().objects.clear();
+        self.inner.lock().expect("store lock").objects.clear();
     }
 }
 

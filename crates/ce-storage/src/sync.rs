@@ -90,7 +90,13 @@ impl StorageBill {
 
 /// Computes the full storage bill for one epoch: `iterations` BSP rounds
 /// plus `epoch_secs` of attached runtime.
-pub fn epoch_bill(spec: &StorageSpec, n: u32, model_mb: f64, iterations: u32, epoch_secs: f64) -> StorageBill {
+pub fn epoch_bill(
+    spec: &StorageSpec,
+    n: u32,
+    model_mb: f64,
+    iterations: u32,
+    epoch_secs: f64,
+) -> StorageBill {
     StorageBill {
         request_dollars: f64::from(iterations) * request_cost_per_iteration(spec, n, model_mb),
         runtime_dollars: runtime_cost_for_epoch(spec, epoch_secs),
@@ -141,10 +147,7 @@ mod tests {
         let s3 = cat.get(StorageKind::S3).unwrap();
         let vm = cat.get(StorageKind::VmPs).unwrap();
         for n in [10, 50, 100] {
-            assert!(
-                sync_time(vm, n, 89.0) < sync_time(s3, n, 89.0),
-                "n = {n}"
-            );
+            assert!(sync_time(vm, n, 89.0) < sync_time(s3, n, 89.0), "n = {n}");
         }
     }
 

@@ -225,7 +225,11 @@ mod tests {
             mean(&late_errs),
             mean(&early_errs)
         );
-        assert!(mean(&late_errs) < 0.12, "late error {:.3}", mean(&late_errs));
+        assert!(
+            mean(&late_errs) < 0.12,
+            "late error {:.3}",
+            mean(&late_errs)
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use crate::predict::OnlinePredictor;
 use ce_models::Allocation;
+use ce_obs::{Counter, Registry};
 use ce_pareto::{AllocPoint, Profile};
 use serde::{Deserialize, Serialize};
 
@@ -82,6 +83,11 @@ pub enum Decision {
 }
 
 /// Work counters for the Fig. 21b/21c overhead analysis.
+///
+/// A read-only snapshot: the live counts are `ce-obs` counters owned by
+/// the scheduler (`scheduler.evaluations` / `scheduler.adjustments` /
+/// `scheduler.triggers`), so a shared registry sees them without any
+/// side-channel bookkeeping.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct SchedulerStats {
     /// Allocation candidates evaluated across all selections.
@@ -94,7 +100,7 @@ pub struct SchedulerStats {
 }
 
 /// The Algorithm 2 scheduler.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct AdaptiveScheduler {
     candidates: Vec<AllocPoint>,
     objective: TrainingObjective,
@@ -118,7 +124,43 @@ pub struct AdaptiveScheduler {
     /// Epochs completed (`e'`).
     epochs_done: u32,
     current: Option<Allocation>,
-    stats: SchedulerStats,
+    /// Observability sink; private by default, shareable via
+    /// [`Self::bind_registry`].
+    obs: Registry,
+    evaluations: Counter,
+    adjustments: Counter,
+    triggers: Counter,
+}
+
+impl Clone for AdaptiveScheduler {
+    /// Clones into an *independent* scheduler: the work counters are
+    /// copied by value into a fresh registry, so the clone's stats do not
+    /// feed back into the original's sink.
+    fn clone(&self) -> Self {
+        let obs = Registry::new();
+        let (evaluations, adjustments, triggers) = Self::handles(&obs);
+        evaluations.add(self.evaluations.get());
+        adjustments.add(self.adjustments.get());
+        triggers.add(self.triggers.get());
+        AdaptiveScheduler {
+            candidates: self.candidates.clone(),
+            objective: self.objective,
+            target_loss: self.target_loss,
+            config: self.config,
+            predictor: self.predictor.clone(),
+            accepted_prediction: self.accepted_prediction,
+            initial_estimate: self.initial_estimate,
+            recent_predictions: self.recent_predictions.clone(),
+            spent: self.spent,
+            elapsed: self.elapsed,
+            epochs_done: self.epochs_done,
+            current: self.current,
+            obs,
+            evaluations,
+            adjustments,
+            triggers,
+        }
+    }
 }
 
 impl AdaptiveScheduler {
@@ -138,6 +180,8 @@ impl AdaptiveScheduler {
         } else {
             profile.points().to_vec()
         };
+        let obs = Registry::new();
+        let (evaluations, adjustments, triggers) = Self::handles(&obs);
         AdaptiveScheduler {
             candidates,
             objective,
@@ -151,8 +195,44 @@ impl AdaptiveScheduler {
             elapsed: 0.0,
             epochs_done: 0,
             current: None,
-            stats: SchedulerStats::default(),
+            obs,
+            evaluations,
+            adjustments,
+            triggers,
         }
+    }
+
+    fn handles(registry: &Registry) -> (Counter, Counter, Counter) {
+        (
+            registry.counter("scheduler.evaluations"),
+            registry.counter("scheduler.adjustments"),
+            registry.counter("scheduler.triggers"),
+        )
+    }
+
+    /// Re-homes the work counters into `registry` (e.g. a job-wide or the
+    /// process-global sink), carrying the counts accumulated so far.
+    /// Counter names are shared, so schedulers bound to the same registry
+    /// aggregate; [`Self::stats`] then reports the aggregate.
+    pub fn bind_registry(&mut self, registry: &Registry) {
+        let carried = (
+            self.evaluations.get(),
+            self.adjustments.get(),
+            self.triggers.get(),
+        );
+        self.obs = registry.clone();
+        let (evaluations, adjustments, triggers) = Self::handles(registry);
+        evaluations.add(carried.0);
+        adjustments.add(carried.1);
+        triggers.add(carried.2);
+        self.evaluations = evaluations;
+        self.adjustments = adjustments;
+        self.triggers = triggers;
+    }
+
+    /// The registry the work counters live in.
+    pub fn registry(&self) -> &Registry {
+        &self.obs
     }
 
     /// The target loss `σ*`.
@@ -160,9 +240,13 @@ impl AdaptiveScheduler {
         self.target_loss
     }
 
-    /// Work counters.
+    /// Snapshot of the work counters.
     pub fn stats(&self) -> SchedulerStats {
-        self.stats
+        SchedulerStats {
+            evaluations: self.evaluations.get(),
+            adjustments: u32::try_from(self.adjustments.get()).unwrap_or(u32::MAX),
+            triggers: u32::try_from(self.triggers.get()).unwrap_or(u32::MAX),
+        }
     }
 
     /// Latest accepted total-epoch prediction.
@@ -239,7 +323,7 @@ impl AdaptiveScheduler {
             return Decision::Keep;
         }
         self.accepted_prediction = predicted_total;
-        self.stats.triggers += 1;
+        self.triggers.inc();
         let remaining = (predicted_total - f64::from(self.epochs_done)).max(1.0);
         let Some(point) = self.select_best(remaining) else {
             return Decision::Keep;
@@ -249,7 +333,7 @@ impl AdaptiveScheduler {
             return Decision::Keep;
         }
         self.current = Some(alloc);
-        self.stats.adjustments += 1;
+        self.adjustments.inc();
         Decision::Switch { to: alloc }
     }
 
@@ -273,9 +357,7 @@ impl AdaptiveScheduler {
         candidates
             .iter()
             .filter(|p| constrained(p) <= best * (1.0 + Self::FALLBACK_TOLERANCE))
-            .min_by(|a, b| {
-                (a.cost_usd() * a.time_s()).total_cmp(&(b.cost_usd() * b.time_s()))
-            })
+            .min_by(|a, b| (a.cost_usd() * a.time_s()).total_cmp(&(b.cost_usd() * b.time_s())))
             .copied()
     }
 
@@ -286,7 +368,7 @@ impl AdaptiveScheduler {
     const OVERRUN_PENALTY: f64 = 12.0;
 
     fn select_best(&mut self, remaining_epochs: f64) -> Option<AllocPoint> {
-        self.stats.evaluations += self.candidates.len() as u64;
+        self.evaluations.add(self.candidates.len() as u64);
         // Scalarized selection: minimize the predicted remaining value of
         // the *objective* metric, multiplied by a steep soft penalty on
         // the projected overrun of the *constrained* metric (measured
@@ -297,18 +379,14 @@ impl AdaptiveScheduler {
         // other; the soft penalty takes those trades exactly when they
         // are lopsided enough.
         type Metric = fn(&AllocPoint) -> f64;
-        let (objective_of, constrained_of, remaining): (Metric, Metric, f64) =
-            match self.objective {
-            TrainingObjective::MinJctGivenBudget { budget } => (
-                |p| p.time_s(),
-                |p| p.cost_usd(),
-                budget - self.spent,
-            ),
-            TrainingObjective::MinCostGivenQos { qos_s } => (
-                |p| p.cost_usd(),
-                |p| p.time_s(),
-                qos_s - self.elapsed,
-            ),
+        let (objective_of, constrained_of, remaining): (Metric, Metric, f64) = match self.objective
+        {
+            TrainingObjective::MinJctGivenBudget { budget } => {
+                (|p| p.time_s(), |p| p.cost_usd(), budget - self.spent)
+            }
+            TrainingObjective::MinCostGivenQos { qos_s } => {
+                (|p| p.cost_usd(), |p| p.time_s(), qos_s - self.elapsed)
+            }
         };
         let r_eff = remaining * self.config.safety_margin;
         if r_eff <= 0.0 {
@@ -423,11 +501,7 @@ mod tests {
             SchedulerConfig::default(),
         );
         let alloc = s.initial_allocation(40.0);
-        let point = p
-            .boundary()
-            .into_iter()
-            .find(|q| q.alloc == alloc)
-            .unwrap();
+        let point = p.boundary().into_iter().find(|q| q.alloc == alloc).unwrap();
         assert!(40.0 * point.time_s() <= qos);
     }
 
@@ -526,11 +600,7 @@ mod tests {
             SchedulerConfig::default(),
         );
         let alloc = s.initial_allocation(40.0);
-        let chosen = p
-            .boundary()
-            .into_iter()
-            .find(|q| q.alloc == alloc)
-            .unwrap();
+        let chosen = p.boundary().into_iter().find(|q| q.alloc == alloc).unwrap();
         let cheapest = p.cheapest().unwrap();
         // Far faster than the pathological cheap tail...
         assert!(chosen.time_s() < cheapest.time_s() * 0.5);

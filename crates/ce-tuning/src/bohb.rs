@@ -64,8 +64,8 @@ impl TpeSampler {
         // Split the archive at the γ-quantile of losses.
         let mut sorted: Vec<&(HyperConfig, f64)> = self.archive.iter().collect();
         sorted.sort_by(|a, b| a.1.total_cmp(&b.1));
-        let n_good = ((sorted.len() as f64 * self.gamma).ceil() as usize)
-            .clamp(2, sorted.len() - 1);
+        let n_good =
+            ((sorted.len() as f64 * self.gamma).ceil() as usize).clamp(2, sorted.len() - 1);
         let good: Vec<[f64; 2]> = sorted[..n_good].iter().map(|(c, _)| embed(c)).collect();
         let bad: Vec<[f64; 2]> = sorted[n_good..].iter().map(|(c, _)| embed(c)).collect();
         let bw = self.bandwidths();
@@ -224,9 +224,7 @@ mod tests {
         for i in 0..100 {
             let c = sampler.suggest(&mut rng);
             assert!(c.learning_rate >= space.lr_range.0 && c.learning_rate <= space.lr_range.1);
-            assert!(
-                c.momentum >= space.momentum_range.0 && c.momentum <= space.momentum_range.1
-            );
+            assert!(c.momentum >= space.momentum_range.0 && c.momentum <= space.momentum_range.1);
             sampler.observe(c, (i as f64).sin().abs());
         }
     }

@@ -179,10 +179,7 @@ mod tests {
     fn mixed_plan_objectives() {
         let cheap = point(4, 10.0, 0.004);
         let fast = point(25, 3.0, 0.02);
-        let plan = PartitionPlan::new(
-            vec![cheap, cheap, cheap, fast, fast],
-            sha(),
-        );
+        let plan = PartitionPlan::new(vec![cheap, cheap, cheap, fast, fast], sha());
         let uniform_cheap = PartitionPlan::uniform(cheap, sha());
         // Upgrading late stages shortens JCT and raises cost.
         assert!(plan.jct(3000) < uniform_cheap.jct(3000));

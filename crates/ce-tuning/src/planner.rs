@@ -24,6 +24,7 @@
 
 use crate::plan::PartitionPlan;
 use crate::sha::ShaSpec;
+use ce_obs::{Counter, Registry};
 use ce_pareto::{AllocPoint, Profile};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -81,6 +82,10 @@ impl Default for PlannerConfig {
 }
 
 /// Work counters, used by the Fig. 21a overhead comparison.
+///
+/// A per-call snapshot; the live counts are `ce-obs` counters
+/// (`planner.evaluations` / `planner.iterations`) in the planner's
+/// registry, which accumulate across calls when the registry is shared.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct PlannerStats {
     /// Candidate plans whose objectives were evaluated.
@@ -125,6 +130,7 @@ pub struct GreedyPlanner<'p> {
     sha: ShaSpec,
     max_concurrency: u32,
     config: PlannerConfig,
+    obs: Registry,
 }
 
 impl<'p> GreedyPlanner<'p> {
@@ -135,6 +141,7 @@ impl<'p> GreedyPlanner<'p> {
             sha,
             max_concurrency,
             config: PlannerConfig::default(),
+            obs: Registry::new(),
         }
     }
 
@@ -142,6 +149,18 @@ impl<'p> GreedyPlanner<'p> {
     pub fn with_config(mut self, config: PlannerConfig) -> Self {
         self.config = config;
         self
+    }
+
+    /// Sends the work counters to a shared registry (e.g. a job-wide or
+    /// the process-global sink) instead of a private one.
+    pub fn with_registry(mut self, registry: &Registry) -> Self {
+        self.obs = registry.clone();
+        self
+    }
+
+    /// The registry the work counters live in.
+    pub fn registry(&self) -> &Registry {
+        &self.obs
     }
 
     fn candidates(&self) -> Vec<AllocPoint> {
@@ -161,10 +180,12 @@ impl<'p> GreedyPlanner<'p> {
         if candidates.is_empty() {
             return Err(PlanError::EmptyProfile);
         }
-        let mut stats = PlannerStats {
-            candidate_count: candidates.len(),
-            ..PlannerStats::default()
-        };
+        let evals = self.obs.counter("planner.evaluations");
+        let iters = self.obs.counter("planner.iterations");
+        // The registry may be shared across plan() calls; this call's
+        // stats are the deltas from here.
+        let (evals_before, iters_before) = (evals.get(), iters.get());
+        let candidate_count = candidates.len();
         let d = self.sha.num_stages();
 
         // --- Warm start: enumerate static plans over the *full* profiled
@@ -178,7 +199,7 @@ impl<'p> GreedyPlanner<'p> {
         let mut best_resource = f64::INFINITY;
         for point in self.profile.points() {
             let plan = PartitionPlan::uniform(*point, self.sha);
-            stats.evaluations += 1;
+            evals.inc();
             let res = self.resource(&plan, objective);
             best_resource = best_resource.min(res);
             if !self.feasible(&plan, objective) {
@@ -211,7 +232,7 @@ impl<'p> GreedyPlanner<'p> {
         let mut best = static_assign.clone();
         let mut best_value = self.value(&self.materialize(&best, &candidates), objective);
         while let Some((recycled_stage, recycled)) =
-            self.best_recycle(&best, &candidates, objective, &mut stats)
+            self.best_recycle(&best, &candidates, objective, &evals)
         {
             // Reallocate the freed resource to *later* stages only (the
             // paper moves resources from early stages to later ones;
@@ -228,7 +249,7 @@ impl<'p> GreedyPlanner<'p> {
                     objective,
                     None,
                     Some(recycled_stage + 1),
-                    &mut stats,
+                    &evals,
                 ) {
                     Some(next) => {
                         let next_plan = self.materialize(&next, &candidates);
@@ -249,20 +270,15 @@ impl<'p> GreedyPlanner<'p> {
             }
             best = trial;
             best_value = trial_value;
-            stats.iterations += 1;
+            iters.inc();
         }
 
         // --- Phase 2 (Lines 15–25): spend the remaining constraint slack
         // on the best upgrades, excluding ones that violate it.
         let mut excluded: HashSet<(usize, usize)> = HashSet::new();
-        while let Some(next) = self.best_realloc(
-            &best,
-            &candidates,
-            objective,
-            Some(&excluded),
-            None,
-            &mut stats,
-        ) {
+        while let Some(next) =
+            self.best_realloc(&best, &candidates, objective, Some(&excluded), None, &evals)
+        {
             let next_plan = self.materialize(&next, &candidates);
             let next_value = self.value(&next_plan, objective);
             let reduction = best_value - next_value;
@@ -277,16 +293,20 @@ impl<'p> GreedyPlanner<'p> {
             }
             best = next;
             best_value = next_value;
-            stats.iterations += 1;
+            iters.inc();
         }
 
         let final_plan = self.materialize(&best, &candidates);
         debug_assert!(self.feasible(&final_plan, objective));
         debug_assert!(
-            self.value(&final_plan, objective)
-                <= self.value(&static_plan, objective) + 1e-9,
+            self.value(&final_plan, objective) <= self.value(&static_plan, objective) + 1e-9,
             "planner must never be worse than static"
         );
+        let stats = PlannerStats {
+            evaluations: evals.get() - evals_before,
+            iterations: u32::try_from(iters.get() - iters_before).unwrap_or(u32::MAX),
+            candidate_count,
+        };
         Ok((final_plan, static_plan, stats))
     }
 
@@ -314,12 +334,10 @@ impl<'p> GreedyPlanner<'p> {
     fn feasible(&self, plan: &PartitionPlan, objective: Objective) -> bool {
         match objective {
             Objective::MinJctGivenBudget { budget, qos_s } => {
-                plan.cost() <= budget
-                    && qos_s.is_none_or(|t| plan.jct(self.max_concurrency) <= t)
+                plan.cost() <= budget && qos_s.is_none_or(|t| plan.jct(self.max_concurrency) <= t)
             }
             Objective::MinCostGivenQos { qos_s, budget } => {
-                plan.jct(self.max_concurrency) <= qos_s
-                    && budget.is_none_or(|b| plan.cost() <= b)
+                plan.jct(self.max_concurrency) <= qos_s && budget.is_none_or(|b| plan.cost() <= b)
             }
         }
     }
@@ -333,7 +351,7 @@ impl<'p> GreedyPlanner<'p> {
         assign: &[usize],
         candidates: &[AllocPoint],
         objective: Objective,
-        stats: &mut PlannerStats,
+        evals: &Counter,
     ) -> Option<(usize, Vec<usize>)> {
         let base = self.materialize(assign, candidates);
         let base_value = self.value(&base, objective);
@@ -349,7 +367,7 @@ impl<'p> GreedyPlanner<'p> {
                 let mut next = assign.to_vec();
                 next[stage] = cand;
                 let plan = self.materialize(&next, candidates);
-                stats.evaluations += 1;
+                evals.inc();
                 let freed = base_resource - self.resource(&plan, objective);
                 if freed <= 0.0 {
                     continue;
@@ -375,7 +393,7 @@ impl<'p> GreedyPlanner<'p> {
         objective: Objective,
         excluded: Option<&HashSet<(usize, usize)>>,
         min_stage: Option<usize>,
-        stats: &mut PlannerStats,
+        evals: &Counter,
     ) -> Option<Vec<usize>> {
         let base = self.materialize(assign, candidates);
         let base_value = self.value(&base, objective);
@@ -392,7 +410,7 @@ impl<'p> GreedyPlanner<'p> {
                 let mut next = assign.to_vec();
                 next[stage] = cand;
                 let plan = self.materialize(&next, candidates);
-                stats.evaluations += 1;
+                evals.inc();
                 let gain = base_value - self.value(&plan, objective);
                 if gain <= 0.0 {
                     continue;
@@ -412,7 +430,8 @@ impl<'p> GreedyPlanner<'p> {
                         benefit > *b
                             || (benefit == f64::INFINITY && *b == f64::INFINITY && {
                                 // Among win-win moves prefer the larger gain.
-                                let prev = self.materialize(best.as_ref().unwrap().1.as_slice(), candidates);
+                                let prev = self
+                                    .materialize(best.as_ref().unwrap().1.as_slice(), candidates);
                                 gain > base_value - self.value(&prev, objective)
                             })
                     }
@@ -551,9 +570,7 @@ mod tests {
         let p = profile(&w);
         let sha = ShaSpec::motivation_example();
         let objective = budget_objective(&p, sha, 1.5);
-        let (_, _, pareto_stats) = GreedyPlanner::new(&p, sha, 3000)
-            .plan(objective)
-            .unwrap();
+        let (_, _, pareto_stats) = GreedyPlanner::new(&p, sha, 3000).plan(objective).unwrap();
         let (wo_pa_plan, _, full_stats) = GreedyPlanner::new(&p, sha, 3000)
             .with_config(PlannerConfig {
                 candidates: CandidateSet::FullSpace,

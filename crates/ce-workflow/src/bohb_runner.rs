@@ -125,10 +125,7 @@ impl BohbJob {
                     sampler.observe(outcome.config, rank as f64 / order.len() as f64);
                 }
             }
-            if best
-                .as_ref()
-                .is_none_or(|(_, l)| report.best_loss < *l)
-            {
+            if best.as_ref().is_none_or(|(_, l)| report.best_loss < *l) {
                 best = Some((report.best_config, report.best_loss));
             }
             jct_s += report.jct_s;
@@ -222,9 +219,13 @@ mod tests {
         let mut without = 0.0;
         for seed in 0..seeds {
             let bjob = job(2.0).with_seed(seed);
-            with_model += bjob.hyper.quality(&bjob.run(Method::CeScaling).unwrap().best_config);
+            with_model += bjob
+                .hyper
+                .quality(&bjob.run(Method::CeScaling).unwrap().best_config);
             let pjob = job(2.0).with_seed(seed).without_model();
-            without += pjob.hyper.quality(&pjob.run(Method::CeScaling).unwrap().best_config);
+            without += pjob
+                .hyper
+                .quality(&pjob.run(Method::CeScaling).unwrap().best_config);
         }
         assert!(
             with_model >= without - 1e-9,

@@ -26,10 +26,10 @@ pub mod scenario;
 pub mod trace;
 
 pub use bohb_runner::{BohbJob, BohbReport};
-pub use pipeline::{PipelineJob, PipelineReport};
-pub use scenario::{Scenario, ScenarioOutcome};
 pub use metrics::{TrainingReport, TuningReport};
+pub use pipeline::{PipelineJob, PipelineReport};
 pub use runner::{TrainingJob, TuningJob};
+pub use scenario::{Scenario, ScenarioOutcome};
 pub use trace::{Trace, TraceEvent, TraceKind};
 
 use serde::{Deserialize, Serialize};
@@ -107,7 +107,10 @@ impl std::fmt::Display for WorkflowError {
         match self {
             WorkflowError::Infeasible(what) => write!(f, "infeasible: {what}"),
             WorkflowError::DidNotConverge { epochs } => {
-                write!(f, "training did not reach the target loss in {epochs} epochs")
+                write!(
+                    f,
+                    "training did not reach the target loss in {epochs} epochs"
+                )
             }
         }
     }

@@ -109,10 +109,8 @@ impl PipelineJob {
             .with_seed(self.seed.wrapping_add(1));
         // The winner's plateau may sit above the Table IV optimum; aim
         // for what this configuration can actually reach.
-        let params = CurveParams::for_workload(
-            self.workload.model.family,
-            &self.workload.dataset.name,
-        );
+        let params =
+            CurveParams::for_workload(self.workload.model.family, &self.workload.dataset.name);
         let probe = LossCurve::sample(
             &params,
             quality.max(1e-3),
@@ -180,7 +178,11 @@ mod tests {
     fn full_workflow_completes_within_budget() {
         let p = job();
         let r = p.run(Method::CeScaling).unwrap();
-        assert!(!r.violated, "cost {:.2} under {:?}", r.cost_usd, p.constraint);
+        assert!(
+            !r.violated,
+            "cost {:.2} under {:?}",
+            r.cost_usd, p.constraint
+        );
         assert!((r.jct_s - (r.tuning.jct_s + r.training.jct_s)).abs() < 1e-9);
         assert!((r.cost_usd - (r.tuning.cost_usd + r.training.cost_usd)).abs() < 1e-9);
         assert!(r.training.epochs > 0);

@@ -8,6 +8,7 @@ use ce_faas::{ExecutionFidelity, FaasPlatform, MeasuredEpoch};
 use ce_ml::curve::{table4_target, CurveParams, LossCurve};
 use ce_ml::HyperSpace;
 use ce_models::{Allocation, AllocationSpace, Environment, Workload};
+use ce_obs::Registry;
 use ce_pareto::{ParetoProfiler, Profile};
 use ce_sim_core::rng::SimRng;
 use ce_storage::StorageKind;
@@ -84,6 +85,10 @@ pub struct TuningJob {
     pub use_pareto: bool,
     /// When `true`, the report carries a full execution timeline.
     pub capture_trace: bool,
+    /// Metrics/event sink. Defaults to the process-global registry so a
+    /// `--metrics` dump sees every job without per-call wiring; override
+    /// with [`Self::with_obs`] for per-experiment isolation.
+    pub obs: Registry,
 }
 
 impl TuningJob {
@@ -99,12 +104,20 @@ impl TuningJob {
             hyper: HyperSpace::default(),
             use_pareto: true,
             capture_trace: false,
+            obs: ce_obs::global().clone(),
         }
     }
 
     /// Captures a full execution timeline into the report.
     pub fn with_trace(mut self) -> Self {
         self.capture_trace = true;
+        self
+    }
+
+    /// Routes metrics and events into `registry` instead of the global
+    /// sink.
+    pub fn with_obs(mut self, registry: &Registry) -> Self {
+        self.obs = registry.clone();
         self
     }
 
@@ -173,8 +186,9 @@ impl TuningJob {
         let quota = self.env.max_concurrency;
         match method {
             Method::CeScaling => {
-                let planner =
-                    GreedyPlanner::new(&profile, self.sha, quota).with_config(PlannerConfig {
+                let planner = GreedyPlanner::new(&profile, self.sha, quota)
+                    .with_registry(&self.obs)
+                    .with_config(PlannerConfig {
                         candidates: if self.use_pareto {
                             CandidateSet::ParetoBoundary
                         } else {
@@ -185,13 +199,18 @@ impl TuningJob {
                 let (plan, _static, stats) = planner
                     .plan(objective)
                     .map_err(|e| WorkflowError::Infeasible(e.to_string()))?;
-                Ok((plan, stats.evaluations as f64 * EVAL_COST_S, stats.evaluations))
+                Ok((
+                    plan,
+                    stats.evaluations as f64 * EVAL_COST_S,
+                    stats.evaluations,
+                ))
             }
             Method::LambdaMl => {
                 let plan = LambdaMlScheduler::new()
                     .tuning_plan(&profile, self.sha, objective, quota)
                     .map_err(|e| WorkflowError::Infeasible(e.to_string()))?;
                 let evals = profile.points().len() as u64;
+                self.obs.counter("planner.evaluations").add(evals);
                 Ok((plan, evals as f64 * EVAL_COST_S, evals))
             }
             Method::Cirrus => {
@@ -199,6 +218,7 @@ impl TuningJob {
                     .tuning_plan(&profile, self.sha, objective, quota)
                     .map_err(|e| WorkflowError::Infeasible(e.to_string()))?;
                 let evals = profile.points().len() as u64;
+                self.obs.counter("planner.evaluations").add(evals);
                 Ok((plan, evals as f64 * EVAL_COST_S, evals))
             }
             Method::Siren => {
@@ -206,6 +226,7 @@ impl TuningJob {
                     .tuning_plan(&profile, self.sha, objective, quota)
                     .ok_or_else(|| WorkflowError::Infeasible("empty profile".into()))?;
                 let evals = (profile.boundary().len() * self.sha.num_stages()) as u64;
+                self.obs.counter("planner.evaluations").add(evals);
                 Ok((plan, evals as f64 * EVAL_COST_S, evals))
             }
             Method::Fixed => {
@@ -213,6 +234,7 @@ impl TuningJob {
                     .tuning_plan(&profile, self.sha, objective, quota)
                     .ok_or_else(|| WorkflowError::Infeasible("empty profile".into()))?;
                 let evals = (profile.points().len() * self.sha.num_stages()) as u64;
+                self.obs.counter("planner.evaluations").add(evals);
                 Ok((plan, evals as f64 * EVAL_COST_S, evals))
             }
         }
@@ -247,16 +269,16 @@ impl TuningJob {
             "one configuration per first-stage trial"
         );
         let (plan, sched_overhead_s, planner_evaluations) = self.plan_for(method)?;
-        let mut trace = self.capture_trace.then(crate::trace::Trace::new);
-        if let Some(t) = trace.as_mut() {
-            t.push(
-                sched_overhead_s,
-                crate::trace::TraceKind::Planned {
-                    evaluations: planner_evaluations,
-                    initial: plan.stages[0].alloc,
-                },
-            );
-        }
+        // The timeline is always captured: it feeds the observability
+        // sink; the report only carries it when `capture_trace` is set.
+        let mut trace = crate::trace::Trace::new();
+        trace.push(
+            sched_overhead_s,
+            crate::trace::TraceKind::Planned {
+                evaluations: planner_evaluations,
+                initial: plan.stages[0].alloc,
+            },
+        );
         let rng = SimRng::new(self.seed).derive("tuning");
         let curve = curve_for(&self.workload);
 
@@ -299,22 +321,20 @@ impl TuningJob {
             }
             // Stage wall/cost from the plan's estimates plus platform
             // jitter.
-            let stage_jct = plan.stage_jct(stage, self.env.max_concurrency)
-                * jitter_rng.lognormal_jitter(0.03);
+            let stage_jct =
+                plan.stage_jct(stage, self.env.max_concurrency) * jitter_rng.lognormal_jitter(0.03);
             let stage_cost = plan.stage_cost(stage) * jitter_rng.lognormal_jitter(0.02);
             total_jct += stage_jct;
             total_cost += stage_cost;
-            if let Some(t) = trace.as_mut() {
-                t.push(
-                    total_jct,
-                    crate::trace::TraceKind::Stage {
-                        stage,
-                        trials: q,
-                        jct_s: stage_jct,
-                        cost_usd: stage_cost,
-                    },
-                );
-            }
+            trace.push(
+                total_jct,
+                crate::trace::TraceKind::Stage {
+                    stage,
+                    trials: q,
+                    jct_s: stage_jct,
+                    cost_usd: stage_cost,
+                },
+            );
             stages.push(StageMetrics {
                 stage,
                 trials: q,
@@ -326,10 +346,7 @@ impl TuningJob {
             let survivors =
                 ShaSpec::select_survivors(&losses, self.sha.survivors_of_stage(stage) as usize);
             if stage + 1 < self.sha.num_stages() {
-                trials = survivors
-                    .into_iter()
-                    .map(|i| trials[i].clone())
-                    .collect();
+                trials = survivors.into_iter().map(|i| trials[i].clone()).collect();
             } else {
                 // Bracket done: the winner is the best of the last stage.
                 let best = survivors[0];
@@ -339,9 +356,17 @@ impl TuningJob {
                     Constraint::Deadline(t) => (false, total_jct > t),
                 };
                 let best_loss = curve.last_loss().expect("ran at least one epoch");
-                if let Some(t) = trace.as_mut() {
-                    t.push(total_jct, crate::trace::TraceKind::Done { loss: best_loss });
-                }
+                trace.push(total_jct, crate::trace::TraceKind::Done { loss: best_loss });
+                trace.replay_into(&self.obs);
+                self.obs.counter("tuning.stages").add(stages.len() as u64);
+                self.obs
+                    .counter("tuning.trials")
+                    .add(u64::from(self.sha.initial_trials));
+                self.obs.gauge("tuning.jct_s").add(total_jct);
+                self.obs.gauge("tuning.cost_usd").add(total_cost);
+                self.obs
+                    .gauge("tuning.sched_overhead_s")
+                    .add(sched_overhead_s);
                 return Ok(TuningReport {
                     jct_s: total_jct,
                     cost_usd: total_cost,
@@ -353,7 +378,7 @@ impl TuningJob {
                     qos_violated,
                     planner_evaluations,
                     trials: outcomes,
-                    trace,
+                    trace: self.capture_trace.then_some(trace),
                 });
             }
         }
@@ -395,6 +420,9 @@ pub struct TrainingJob {
     pub platform: ce_faas::PlatformConfig,
     /// When `true`, the report carries a full execution timeline.
     pub capture_trace: bool,
+    /// Metrics/event sink. Defaults to the process-global registry;
+    /// override with [`Self::with_obs`] for per-experiment isolation.
+    pub obs: Registry,
 }
 
 impl TrainingJob {
@@ -414,12 +442,20 @@ impl TrainingJob {
             delayed_restart: true,
             platform: ce_faas::PlatformConfig::default(),
             capture_trace: false,
+            obs: ce_obs::global().clone(),
         }
     }
 
     /// Captures a full execution timeline into the report.
     pub fn with_trace(mut self) -> Self {
         self.capture_trace = true;
+        self
+    }
+
+    /// Routes metrics and events into `registry` instead of the global
+    /// sink.
+    pub fn with_obs(mut self, registry: &Registry) -> Self {
+        self.obs = registry.clone();
         self
     }
 
@@ -482,8 +518,8 @@ impl TrainingJob {
         let objective = training_objective(self.constraint);
         let curve = curve_for(&self.workload);
         let rng = SimRng::new(self.seed).derive("training");
-        let mut platform =
-            FaasPlatform::with_config(self.env.clone(), self.platform, self.seed);
+        let mut platform = FaasPlatform::with_config(self.env.clone(), self.platform, self.seed)
+            .with_registry(&self.obs);
         let mut run = LossCurve::sample_optimal(&curve, rng.derive("run"));
 
         // Offline estimate (used by every method for its initial sizing).
@@ -520,6 +556,9 @@ impl TrainingJob {
             )),
             _ => None,
         };
+        if let Some(s) = ce_sched.as_mut() {
+            s.bind_registry(&self.obs);
+        }
         let siren_policy = (method == Method::Siren).then(|| {
             SirenScheduler::new().train_policy(&profile, objective, mean_estimate, self.seed)
         });
@@ -560,16 +599,15 @@ impl TrainingJob {
             allocations: vec![alloc],
             trace: None,
         };
-        let mut trace = self.capture_trace.then(crate::trace::Trace::new);
-        if let Some(t) = trace.as_mut() {
-            t.push(
-                0.0,
-                crate::trace::TraceKind::Planned {
-                    evaluations: 0,
-                    initial: alloc,
-                },
-            );
-        }
+        // Always captured; feeds the sink, only reported on request.
+        let mut trace = crate::trace::Trace::new();
+        trace.push(
+            0.0,
+            crate::trace::TraceKind::Planned {
+                evaluations: 0,
+                initial: alloc,
+            },
+        );
 
         let mut restart_exposed_s = 0.0;
         for _ in 0..self.max_epochs {
@@ -582,17 +620,15 @@ impl TrainingJob {
             report.comm_s += measured.time.sync_s;
             report.storage_cost_usd += measured.cost.storage();
             report.final_loss = loss;
-            if let Some(t) = trace.as_mut() {
-                t.push(
-                    report.jct_s,
-                    crate::trace::TraceKind::Epoch {
-                        epoch: report.epochs,
-                        loss,
-                        wall_s: measured.wall_s,
-                        cost_usd: measured.cost.total(),
-                    },
-                );
-            }
+            trace.push(
+                report.jct_s,
+                crate::trace::TraceKind::Epoch {
+                    epoch: report.epochs,
+                    loss,
+                    wall_s: measured.wall_s,
+                    cost_usd: measured.cost.total(),
+                },
+            );
             if loss <= self.target_loss {
                 break;
             }
@@ -603,8 +639,7 @@ impl TrainingJob {
                     let sched = ce_sched.as_mut().expect("scheduler present");
                     report.sched_overhead_s += FIT_COST_S;
                     let before = sched.stats().evaluations;
-                    let decision =
-                        sched.on_epoch_end(loss, measured.cost.total(), measured.wall_s);
+                    let decision = sched.on_epoch_end(loss, measured.cost.total(), measured.wall_s);
                     let evals = sched.stats().evaluations - before;
                     report.sched_overhead_s += evals as f64 * EVAL_COST_S;
                     match decision {
@@ -617,7 +652,10 @@ impl TrainingJob {
                     report.sched_overhead_s += FIT_COST_S;
                     let progress =
                         f64::from(report.epochs) / mean_estimate.max(f64::from(report.epochs));
-                    let next = siren_policy.as_ref().expect("policy present").decide(progress);
+                    let next = siren_policy
+                        .as_ref()
+                        .expect("policy present")
+                        .decide(progress);
                     (next != alloc).then_some(next)
                 }
                 Method::LambdaMl => None,
@@ -634,23 +672,20 @@ impl TrainingJob {
                     plan_restart(&self.env, &self.workload, &to, measured.wall_s, delayed);
                 restart_exposed_s += restart.exposed_overhead_s;
                 // The new wave is billed while it warms up/overlaps.
-                report.cost_usd += self.env.pricing.compute_cost(
-                    to.n,
-                    to.memory_mb,
-                    restart.prepare_s,
-                );
+                report.cost_usd +=
+                    self.env
+                        .pricing
+                        .compute_cost(to.n, to.memory_mb, restart.prepare_s);
                 platform.prewarm(to.n, to.memory_mb);
                 report.restarts += 1;
-                if let Some(t) = trace.as_mut() {
-                    t.push(
-                        report.jct_s + restart.exposed_overhead_s,
-                        crate::trace::TraceKind::Adjustment {
-                            from: alloc,
-                            to,
-                            exposed_s: restart.exposed_overhead_s,
-                        },
-                    );
-                }
+                trace.push(
+                    report.jct_s + restart.exposed_overhead_s,
+                    crate::trace::TraceKind::Adjustment {
+                        from: alloc,
+                        to,
+                        exposed_s: restart.exposed_overhead_s,
+                    },
+                );
                 report.allocations.push(to);
                 alloc = to;
             }
@@ -669,15 +704,25 @@ impl TrainingJob {
             Constraint::Budget(b) => report.budget_violated = report.cost_usd > b,
             Constraint::Deadline(t) => report.qos_violated = report.jct_s > t,
         }
-        if let Some(t) = trace.as_mut() {
-            t.push(
-                report.jct_s,
-                crate::trace::TraceKind::Done {
-                    loss: report.final_loss,
-                },
-            );
-        }
-        report.trace = trace;
+        trace.push(
+            report.jct_s,
+            crate::trace::TraceKind::Done {
+                loss: report.final_loss,
+            },
+        );
+        trace.replay_into(&self.obs);
+        self.obs
+            .counter("training.epochs")
+            .add(u64::from(report.epochs));
+        self.obs
+            .counter("training.restarts")
+            .add(u64::from(report.restarts));
+        self.obs.gauge("training.jct_s").add(report.jct_s);
+        self.obs.gauge("training.cost_usd").add(report.cost_usd);
+        self.obs
+            .gauge("training.sched_overhead_s")
+            .add(report.sched_overhead_s);
+        report.trace = self.capture_trace.then_some(trace);
         Ok(report)
     }
 
@@ -690,8 +735,8 @@ impl TrainingJob {
         epochs: u32,
         fidelity: ExecutionFidelity,
     ) -> TrainingReport {
-        let mut platform =
-            FaasPlatform::with_config(self.env.clone(), self.platform, self.seed);
+        let mut platform = FaasPlatform::with_config(self.env.clone(), self.platform, self.seed)
+            .with_registry(&self.obs);
         let mut report = TrainingReport {
             jct_s: 0.0,
             cost_usd: 0.0,
@@ -725,11 +770,7 @@ mod tests {
     use super::*;
 
     fn tuning_job(constraint: Constraint) -> TuningJob {
-        TuningJob::new(
-            Workload::lr_higgs(),
-            ShaSpec::new(256, 2, 2),
-            constraint,
-        )
+        TuningJob::new(Workload::lr_higgs(), ShaSpec::new(256, 2, 2), constraint)
     }
 
     /// A budget that gives the planner headroom: 3× the cheapest static.
@@ -838,7 +879,11 @@ mod tests {
         job.constraint = Constraint::Budget(training_budget(&job));
         let r = job.run(Method::CeScaling).unwrap();
         assert!(r.final_loss <= job.target_loss);
-        assert!(!r.budget_violated, "cost {} budget {:?}", r.cost_usd, job.constraint);
+        assert!(
+            !r.budget_violated,
+            "cost {} budget {:?}",
+            r.cost_usd, job.constraint
+        );
         assert!(r.epochs > 5);
     }
 
@@ -850,8 +895,9 @@ mod tests {
         let mean_jct = |method: Method| {
             let mut total = 0.0;
             for seed in 0..3 {
-                let job = TrainingJob::new(Workload::mobilenet_cifar10(), Constraint::Budget(budget))
-                    .with_seed(seed);
+                let job =
+                    TrainingJob::new(Workload::mobilenet_cifar10(), Constraint::Budget(budget))
+                        .with_seed(seed);
                 total += job.run(method).map(|r| r.jct_s).unwrap_or(f64::INFINITY);
             }
             total / 3.0
@@ -875,14 +921,11 @@ mod tests {
         let restarts = |method: Method| {
             (0..3)
                 .map(|seed| {
-                    TrainingJob::new(
-                        Workload::mobilenet_cifar10(),
-                        Constraint::Budget(budget),
-                    )
-                    .with_seed(seed)
-                    .run(method)
-                    .map(|r| r.restarts)
-                    .unwrap_or(0)
+                    TrainingJob::new(Workload::mobilenet_cifar10(), Constraint::Budget(budget))
+                        .with_seed(seed)
+                        .run(method)
+                        .map(|r| r.restarts)
+                        .unwrap_or(0)
                 })
                 .sum::<u32>()
         };
@@ -908,7 +951,10 @@ mod tests {
                     .unwrap_or(true)
             })
             .count();
-        assert!(violations > 0, "offline prediction never violated the budget");
+        assert!(
+            violations > 0,
+            "offline prediction never violated the budget"
+        );
     }
 
     #[test]
@@ -920,8 +966,8 @@ mod tests {
         let curve = curve_for(&base.workload);
         let epochs = curve.mean_epochs_to(base.target_loss).unwrap();
         let tau = mid.time_s() * epochs * 1.5;
-        let job = TrainingJob::new(Workload::mobilenet_cifar10(), Constraint::Deadline(tau))
-            .with_seed(3);
+        let job =
+            TrainingJob::new(Workload::mobilenet_cifar10(), Constraint::Deadline(tau)).with_seed(3);
         let r = job.run(Method::CeScaling).unwrap();
         assert!(!r.qos_violated, "JCT {} vs deadline {tau}", r.jct_s);
     }
@@ -933,15 +979,12 @@ mod tests {
         let restarts = |delta: f64| {
             (0..4)
                 .map(|seed| {
-                    TrainingJob::new(
-                        Workload::mobilenet_cifar10(),
-                        Constraint::Budget(budget),
-                    )
-                    .with_seed(seed)
-                    .with_delta(delta)
-                    .run(Method::CeScaling)
-                    .map(|r| r.restarts)
-                    .unwrap_or(0)
+                    TrainingJob::new(Workload::mobilenet_cifar10(), Constraint::Budget(budget))
+                        .with_seed(seed)
+                        .with_delta(delta)
+                        .run(Method::CeScaling)
+                        .map(|r| r.restarts)
+                        .unwrap_or(0)
                 })
                 .sum::<u32>()
         };
@@ -969,9 +1012,7 @@ mod tests {
     fn pinned_space_restricts_all_methods() {
         let mut job = tuning_job(Constraint::Budget(1.0));
         job.constraint = Constraint::Budget(roomy_budget(&job));
-        let job = job.with_space(
-            AllocationSpace::aws_default().with_only_storage(StorageKind::S3),
-        );
+        let job = job.with_space(AllocationSpace::aws_default().with_only_storage(StorageKind::S3));
         for method in [Method::CeScaling, Method::Cirrus] {
             let r = job.run(method).unwrap();
             assert!(

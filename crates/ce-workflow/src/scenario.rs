@@ -163,9 +163,7 @@ impl Scenario {
             "vmps" | "vm-ps" => StorageKind::VmPs,
             other => return Err(ScenarioError::Invalid(format!("unknown storage {other}"))),
         };
-        Ok(Some(
-            AllocationSpace::aws_default().with_only_storage(kind),
-        ))
+        Ok(Some(AllocationSpace::aws_default().with_only_storage(kind)))
     }
 
     fn seeds(&self) -> Vec<u64> {
@@ -187,8 +185,7 @@ impl Scenario {
             ScenarioKind::Training => {
                 let mut reports = Vec::new();
                 for seed in self.seeds() {
-                    let mut job =
-                        TrainingJob::new(workload.clone(), constraint).with_seed(seed);
+                    let mut job = TrainingJob::new(workload.clone(), constraint).with_seed(seed);
                     if let Some(rate) = self.failure_rate {
                         job = job.with_platform_config(PlatformConfig {
                             failure_rate: rate,
@@ -208,8 +205,7 @@ impl Scenario {
                 let sha = ShaSpec::new(trials, 2, epochs);
                 let mut reports = Vec::new();
                 for seed in self.seeds() {
-                    let mut job =
-                        TuningJob::new(workload.clone(), sha, constraint).with_seed(seed);
+                    let mut job = TuningJob::new(workload.clone(), sha, constraint).with_seed(seed);
                     if let Some(space) = &space {
                         job = job.with_space(space.clone());
                     }
@@ -301,11 +297,13 @@ mod tests {
         .unwrap();
         assert!(matches!(bad_model.run(), Err(ScenarioError::Invalid(_))));
 
-        let bad_constraint = Scenario::from_json(
-            r#"{"kind": "training", "model": "lr", "constraint": {}}"#,
-        )
-        .unwrap();
-        assert!(matches!(bad_constraint.run(), Err(ScenarioError::Invalid(_))));
+        let bad_constraint =
+            Scenario::from_json(r#"{"kind": "training", "model": "lr", "constraint": {}}"#)
+                .unwrap();
+        assert!(matches!(
+            bad_constraint.run(),
+            Err(ScenarioError::Invalid(_))
+        ));
 
         let both = Scenario::from_json(
             r#"{"kind": "training", "model": "lr",

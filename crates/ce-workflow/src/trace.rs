@@ -106,6 +106,76 @@ impl Trace {
             .count()
     }
 
+    /// Replays the timeline into a [`ce_obs::Registry`] event sink, one
+    /// structured event per trace entry, stamped with the trace's
+    /// sim-time. This is the single export path for timelines: the
+    /// `--metrics` JSONL stream and [`Self::to_jsonl`] both derive from
+    /// the same events.
+    pub fn replay_into(&self, registry: &ce_obs::Registry) {
+        use serde_json::json;
+        for e in &self.events {
+            match &e.kind {
+                TraceKind::Planned {
+                    evaluations,
+                    initial,
+                } => registry.event(
+                    e.at_s,
+                    "planned",
+                    &[
+                        ("evaluations", json!(*evaluations)),
+                        ("initial", json!(initial.to_string())),
+                    ],
+                ),
+                TraceKind::Epoch {
+                    epoch,
+                    loss,
+                    wall_s,
+                    cost_usd,
+                } => registry.event(
+                    e.at_s,
+                    "epoch",
+                    &[
+                        ("epoch", json!(*epoch)),
+                        ("loss", json!(*loss)),
+                        ("wall_s", json!(*wall_s)),
+                        ("cost_usd", json!(*cost_usd)),
+                    ],
+                ),
+                TraceKind::Adjustment {
+                    from,
+                    to,
+                    exposed_s,
+                } => registry.event(
+                    e.at_s,
+                    "adjustment",
+                    &[
+                        ("from", json!(from.to_string())),
+                        ("to", json!(to.to_string())),
+                        ("exposed_s", json!(*exposed_s)),
+                    ],
+                ),
+                TraceKind::Stage {
+                    stage,
+                    trials,
+                    jct_s,
+                    cost_usd,
+                } => registry.event(
+                    e.at_s,
+                    "stage",
+                    &[
+                        ("stage", json!(*stage)),
+                        ("trials", json!(*trials)),
+                        ("jct_s", json!(*jct_s)),
+                        ("cost_usd", json!(*cost_usd)),
+                    ],
+                ),
+                TraceKind::Done { loss } => {
+                    registry.event(e.at_s, "done", &[("loss", json!(*loss))]);
+                }
+            }
+        }
+    }
+
     /// Serializes the trace as JSON lines (one event per line).
     pub fn to_jsonl(&self) -> String {
         self.events

@@ -20,11 +20,7 @@ fn main() {
     ];
 
     for w in &workloads {
-        println!(
-            "\n{} (model blob: {:.3} MB)",
-            w.label(),
-            w.model.model_mb
-        );
+        println!("\n{} (model blob: {:.3} MB)", w.label(), w.model.model_mb);
         println!(
             "  {:>4} {:>13} {:>12} {:>12} {:>10}",
             "n", "storage", "epoch time", "epoch cost", "sync share"
@@ -33,11 +29,17 @@ fn main() {
             for storage in StorageKind::ALL {
                 let spec = env.storage.get(storage).expect("catalog");
                 if !spec.supports_model(w.model.model_mb) {
-                    println!("  {n:>4} {:>13} {:>12} {:>12} {:>10}", storage.to_string(), "N/A", "N/A", "");
+                    println!(
+                        "  {n:>4} {:>13} {:>12} {:>12} {:>10}",
+                        storage.to_string(),
+                        "N/A",
+                        "N/A",
+                        ""
+                    );
                     continue;
                 }
                 let alloc = Allocation::new(n, 1769, storage);
-                let (time, cost) = cost_model.epoch_estimate(w, &alloc);
+                let (time, cost) = cost_model.epoch_estimate(w, &alloc).expect("catalog");
                 println!(
                     "  {n:>4} {:>13} {:>11.1}s {:>11.5}$ {:>9.0}%",
                     storage.to_string(),

@@ -47,6 +47,7 @@ pub use ce_baselines as baselines;
 pub use ce_faas as faas;
 pub use ce_ml as ml;
 pub use ce_models as models;
+pub use ce_obs as obs;
 pub use ce_pareto as pareto;
 pub use ce_sim_core as sim;
 pub use ce_storage as storage;

@@ -32,6 +32,17 @@ fn main() {
                 "train" => cmd_train(&opts),
                 _ => cmd_storage(&opts),
             }
+            if let Some(path) = &opts.metrics {
+                // Jobs feed the process-global ce-obs registry; the dump
+                // is the deterministic JSONL metrics stream.
+                std::fs::write(path, ce_scaling::obs::global().export_jsonl()).unwrap_or_else(
+                    |e| {
+                        eprintln!("cannot write {path}: {e}");
+                        std::process::exit(1);
+                    },
+                );
+                eprintln!("metrics written to {path}");
+            }
         }
         other => usage_and_exit(Some(other)),
     }
@@ -86,7 +97,8 @@ fn usage_and_exit(unknown: Option<&str>) -> ! {
            --method ce|lambdaml|siren|cirrus|fixed    (default ce)\n  \
            --seed N          RNG seed (default 42)\n  \
            -n N              functions for `storage` (default 10)\n  \
-           --failure-rate P  inject worker failures (train)\n"
+           --failure-rate P  inject worker failures (train)\n  \
+           --metrics PATH    dump the ce-obs metrics/event stream as JSONL\n"
     );
     std::process::exit(2);
 }
@@ -102,6 +114,7 @@ struct Opts {
     seed: Option<u64>,
     n: Option<u32>,
     failure_rate: Option<f64>,
+    metrics: Option<String>,
 }
 
 impl Opts {
@@ -127,6 +140,7 @@ impl Opts {
                 "--seed" => opts.seed = Some(parse_or_exit(&value(), flag)),
                 "-n" => opts.n = Some(parse_or_exit(&value(), flag)),
                 "--failure-rate" => opts.failure_rate = Some(parse_or_exit(&value(), flag)),
+                "--metrics" => opts.metrics = Some(value()),
                 other => {
                     eprintln!("unknown option: {other}");
                     std::process::exit(2);
@@ -198,7 +212,10 @@ fn cmd_profile(opts: &Opts) {
         profile.points().len(),
         profile.boundary().len()
     );
-    println!("{:>30}  {:>12}  {:>12}", "allocation", "epoch time", "epoch cost");
+    println!(
+        "{:>30}  {:>12}  {:>12}",
+        "allocation", "epoch time", "epoch cost"
+    );
     for p in profile.boundary() {
         println!(
             "{:>30}  {:>11.1}s  {:>11.5}$",
@@ -266,8 +283,7 @@ fn cmd_train(opts: &Opts) {
             table4_target(w.model.family, &w.dataset.name),
         )
     };
-    let default_budget =
-        mid.cost_usd() * params.mean_epochs_to(target).expect("reachable") * 2.0;
+    let default_budget = mid.cost_usd() * params.mean_epochs_to(target).expect("reachable") * 2.0;
     let constraint = opts.constraint(default_budget);
     let mut job = TrainingJob::new(w.clone(), constraint).with_seed(opts.seed.unwrap_or(42));
     if let Some(rate) = opts.failure_rate {
@@ -327,11 +343,17 @@ fn cmd_storage(opts: &Opts) {
     for kind in StorageKind::ALL {
         let spec = env.storage.get(kind).expect("catalog");
         if !spec.supports_model(w.model.model_mb) {
-            println!("{:>13}  {:>12}  {:>12}  {:>10}", kind.to_string(), "N/A", "N/A", "");
+            println!(
+                "{:>13}  {:>12}  {:>12}  {:>10}",
+                kind.to_string(),
+                "N/A",
+                "N/A",
+                ""
+            );
             continue;
         }
         let alloc = Allocation::new(n, 1769, kind);
-        let (time, cost) = cost_model.epoch_estimate(&w, &alloc);
+        let (time, cost) = cost_model.epoch_estimate(&w, &alloc).expect("catalog");
         println!(
             "{:>13}  {:>11.1}s  {:>11.5}$  {:>9.0}%",
             kind.to_string(),

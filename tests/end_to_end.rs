@@ -28,8 +28,8 @@ fn tuning_full_pipeline_ce_beats_every_baseline() {
     let w = Workload::lr_higgs();
     let sha = ShaSpec::new(512, 2, 2);
     let budget = tuning_budget(&w, sha, 2.5);
-    let job = TuningJob::new(w, sha, ce_scaling::workflow::Constraint::Budget(budget))
-        .with_seed(100);
+    let job =
+        TuningJob::new(w, sha, ce_scaling::workflow::Constraint::Budget(budget)).with_seed(100);
     let ce = job.run(Method::CeScaling).expect("CE plans");
     assert!(!ce.budget_violated);
     for baseline in [Method::LambdaMl, Method::Siren, Method::Fixed] {
@@ -49,8 +49,7 @@ fn tuning_finds_a_near_optimal_configuration() {
     let w = Workload::lr_higgs();
     let sha = ShaSpec::new(512, 2, 2);
     let budget = tuning_budget(&w, sha, 2.0);
-    let job = TuningJob::new(w, sha, ce_scaling::workflow::Constraint::Budget(budget))
-        .with_seed(5);
+    let job = TuningJob::new(w, sha, ce_scaling::workflow::Constraint::Budget(budget)).with_seed(5);
     let r = job.run(Method::CeScaling).unwrap();
     let quality = job.hyper.quality(&r.best_config);
     assert!(quality > 0.7, "SHA winner quality {quality:.2}");
@@ -61,11 +60,14 @@ fn training_full_pipeline_converges_and_respects_budget() {
     let w = Workload::mobilenet_cifar10();
     let target = table4_target(w.model.family, &w.dataset.name);
     let budget = training_budget(&w, 2.5);
-    let job = TrainingJob::new(w, ce_scaling::workflow::Constraint::Budget(budget))
-        .with_seed(3);
+    let job = TrainingJob::new(w, ce_scaling::workflow::Constraint::Budget(budget)).with_seed(3);
     let r = job.run(Method::CeScaling).expect("converges");
     assert!(r.final_loss <= target);
-    assert!(!r.budget_violated, "cost {:.2} vs budget {budget:.2}", r.cost_usd);
+    assert!(
+        !r.budget_violated,
+        "cost {:.2} vs budget {budget:.2}",
+        r.cost_usd
+    );
     assert!(r.jct_s > 0.0 && r.epochs > 5);
     assert!(r.comm_s < r.jct_s);
 }
@@ -74,8 +76,7 @@ fn training_full_pipeline_converges_and_respects_budget() {
 fn training_reports_are_bit_identical_across_runs() {
     let w = Workload::mobilenet_cifar10();
     let budget = training_budget(&w, 2.0);
-    let job = TrainingJob::new(w, ce_scaling::workflow::Constraint::Budget(budget))
-        .with_seed(11);
+    let job = TrainingJob::new(w, ce_scaling::workflow::Constraint::Budget(budget)).with_seed(11);
     let a = job.run(Method::CeScaling).unwrap();
     let b = job.run(Method::CeScaling).unwrap();
     assert_eq!(a, b, "same seed must reproduce the identical report");
@@ -87,19 +88,19 @@ fn different_seeds_give_different_stochastic_outcomes() {
     let budget = training_budget(&w, 2.0);
     let epochs: Vec<u32> = (0..4)
         .map(|seed| {
-            TrainingJob::new(
-                w.clone(),
-                ce_scaling::workflow::Constraint::Budget(budget),
-            )
-            .with_seed(seed)
-            .run(Method::CeScaling)
-            .unwrap()
-            .epochs
+            TrainingJob::new(w.clone(), ce_scaling::workflow::Constraint::Budget(budget))
+                .with_seed(seed)
+                .run(Method::CeScaling)
+                .unwrap()
+                .epochs
         })
         .collect();
     let min = epochs.iter().min().unwrap();
     let max = epochs.iter().max().unwrap();
-    assert!(max > min, "convergence epochs must vary across seeds: {epochs:?}");
+    assert!(
+        max > min,
+        "convergence epochs must vary across seeds: {epochs:?}"
+    );
 }
 
 #[test]
@@ -115,7 +116,7 @@ fn analytical_model_tracks_simulator_within_paper_band() {
         Allocation::new(10, 3072, StorageKind::S3),
     ] {
         let est_t = time_model.training_time(&w, &alloc, 5);
-        let est_c = cost_model.training_cost(&w, &alloc, 5);
+        let est_c = cost_model.training_cost(&w, &alloc, 5).expect("catalog");
         let job = TrainingJob::new(
             w.clone(),
             ce_scaling::workflow::Constraint::Budget(f64::INFINITY),
@@ -134,12 +135,9 @@ fn storage_pinning_flows_through_the_whole_stack() {
     let w = Workload::mobilenet_cifar10();
     let budget = training_budget(&w, 2.5);
     for storage in [StorageKind::S3, StorageKind::ElastiCache, StorageKind::VmPs] {
-        let job = TrainingJob::new(
-            w.clone(),
-            ce_scaling::workflow::Constraint::Budget(budget),
-        )
-        .with_seed(4)
-        .with_space(AllocationSpace::aws_default().with_only_storage(storage));
+        let job = TrainingJob::new(w.clone(), ce_scaling::workflow::Constraint::Budget(budget))
+            .with_seed(4)
+            .with_space(AllocationSpace::aws_default().with_only_storage(storage));
         let r = job.run(Method::CeScaling).unwrap();
         assert!(
             r.allocations.iter().all(|a| a.storage == storage),
@@ -155,14 +153,11 @@ fn lambdaml_offline_prediction_violates_tight_budgets() {
     let budget = training_budget(&w, 1.05);
     let violations = (0..6)
         .filter(|&seed| {
-            TrainingJob::new(
-                w.clone(),
-                ce_scaling::workflow::Constraint::Budget(budget),
-            )
-            .with_seed(seed)
-            .run(Method::LambdaMl)
-            .map(|r| r.budget_violated)
-            .unwrap_or(true)
+            TrainingJob::new(w.clone(), ce_scaling::workflow::Constraint::Budget(budget))
+                .with_seed(seed)
+                .run(Method::LambdaMl)
+                .map(|r| r.budget_violated)
+                .unwrap_or(true)
         })
         .count();
     assert!(violations > 0);
@@ -199,7 +194,10 @@ fn training_survives_worker_failures() {
         faulty_jct > clean_jct,
         "failures must cost wall time: {faulty_jct} vs {clean_jct}"
     );
-    assert!(faulty_jct < clean_jct * 3.0, "failure overhead out of bounds");
+    assert!(
+        faulty_jct < clean_jct * 3.0,
+        "failure overhead out of bounds"
+    );
 }
 
 #[test]

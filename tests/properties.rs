@@ -1,4 +1,10 @@
-//! Property-based tests (proptest) over the core invariants.
+//! Property-based tests over the core invariants.
+//!
+//! Uses an in-tree seeded harness instead of proptest (the offline build
+//! vendors no external crates): each property runs many randomized cases
+//! drawn from a `SimRng` stream derived from the property's name, so
+//! failures are reproducible by case index and the sweep is identical on
+//! every run.
 
 use ce_scaling::ml::curve::CurveParams;
 use ce_scaling::ml::{DatasetSpec, ModelFamily, ModelSpec};
@@ -7,15 +13,31 @@ use ce_scaling::pareto::{dominates, AllocPoint, ParetoProfiler, Profile};
 use ce_scaling::sim::rng::SimRng;
 use ce_scaling::storage::StorageKind;
 use ce_scaling::tuning::{GreedyPlanner, Objective, PartitionPlan, ShaSpec};
-use proptest::prelude::*;
 
-fn storage_strategy() -> impl Strategy<Value = StorageKind> {
-    prop_oneof![
-        Just(StorageKind::S3),
-        Just(StorageKind::DynamoDb),
-        Just(StorageKind::ElastiCache),
-        Just(StorageKind::VmPs),
-    ]
+/// Root seed for every property stream.
+const PROP_SEED: u64 = 0xCE5C_A11E;
+
+/// Runs `body` against `iters` independent randomized cases. Each case gets
+/// its own deterministic RNG stream; on failure the case index is printed
+/// so the exact inputs can be re-derived.
+fn prop(label: &'static str, iters: u64, body: impl Fn(&mut SimRng)) {
+    for case in 0..iters {
+        let mut rng = SimRng::new(PROP_SEED).derive_idx(label, case);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!("property `{label}` failed on case {case}/{iters}");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+fn any_storage(rng: &mut SimRng) -> StorageKind {
+    [
+        StorageKind::S3,
+        StorageKind::DynamoDb,
+        StorageKind::ElastiCache,
+        StorageKind::VmPs,
+    ][rng.gen_index(4)]
 }
 
 fn point(time: f64, cost: f64) -> AllocPoint {
@@ -35,41 +57,43 @@ fn point(time: f64, cost: f64) -> AllocPoint {
     }
 }
 
-proptest! {
-    /// The Pareto boundary is mutually non-dominated and weakly covers
-    /// every pruned point, for arbitrary point clouds.
-    #[test]
-    fn pareto_boundary_invariants(
-        coords in prop::collection::vec((0.1f64..1e4, 0.1f64..1e3), 1..60)
-    ) {
-        let points: Vec<AllocPoint> =
-            coords.iter().map(|&(t, c)| point(t, c)).collect();
+/// The Pareto boundary is mutually non-dominated and weakly covers every
+/// pruned point, for arbitrary point clouds.
+#[test]
+fn pareto_boundary_invariants() {
+    prop("pareto_boundary", 128, |rng| {
+        let n = 1 + rng.gen_index(59);
+        let points: Vec<AllocPoint> = (0..n)
+            .map(|_| point(rng.uniform_range(0.1, 1e4), rng.uniform_range(0.1, 1e3)))
+            .collect();
         let profile = Profile::from_points(points.clone());
         let boundary = profile.boundary();
-        prop_assert!(!boundary.is_empty());
+        assert!(!boundary.is_empty());
         for a in &boundary {
             for b in &boundary {
-                prop_assert!(!dominates(
-                    a.time_s(), a.cost_usd(), b.time_s(), b.cost_usd()
-                ) || std::ptr::eq(*a, *b));
+                assert!(
+                    !dominates(a.time_s(), a.cost_usd(), b.time_s(), b.cost_usd())
+                        || std::ptr::eq(*a, *b)
+                );
             }
         }
         for p in &points {
             let covered = boundary
                 .iter()
                 .any(|b| b.time_s() <= p.time_s() && b.cost_usd() <= p.cost_usd());
-            prop_assert!(covered);
+            assert!(covered);
         }
-    }
+    });
+}
 
-    /// Epoch time decreases (weakly) with more memory, at any worker
-    /// count and storage; epoch cost is always positive.
-    #[test]
-    fn epoch_time_monotone_in_memory(
-        n in 1u32..200,
-        mem_step in 0usize..6,
-        storage in storage_strategy(),
-    ) {
+/// Epoch time decreases (weakly) with more memory, at any worker count and
+/// storage; epoch cost is always positive.
+#[test]
+fn epoch_time_monotone_in_memory() {
+    prop("epoch_time_monotone", 128, |rng| {
+        let n = 1 + rng.gen_index(199) as u32;
+        let mem_step = rng.gen_index(6);
+        let storage = any_storage(rng);
         let env = Environment::aws_default();
         let w = Workload::new(ModelSpec::logistic_regression(), DatasetSpec::higgs());
         let ladder = [512u32, 1024, 1769, 3072, 5120, 8192, 10240];
@@ -78,69 +102,82 @@ proptest! {
         let model = EpochTimeModel::new(&env);
         let t_lo = model.epoch_time(&w, &Allocation::new(n, m_lo, storage));
         let t_hi = model.epoch_time(&w, &Allocation::new(n, m_hi, storage));
-        prop_assert!(t_hi.total() <= t_lo.total() + 1e-9);
-        let cost = CostModel::new(&env).epoch_cost(&w, &Allocation::new(n, m_lo, storage), &t_lo);
-        prop_assert!(cost.total() > 0.0);
-    }
+        assert!(t_hi.total() <= t_lo.total() + 1e-9);
+        let cost = CostModel::new(&env)
+            .epoch_cost(&w, &Allocation::new(n, m_lo, storage), &t_lo)
+            .expect("catalog storage");
+        assert!(cost.total() > 0.0);
+    });
+}
 
-    /// Billed compute dollars equal n × memory-GB × seconds × rate for
-    /// any inputs (conservation of billing).
-    #[test]
-    fn billing_conservation(
-        n in 1u32..500,
-        mem in 128u32..10240,
-        secs in 0.0f64..1e5,
-    ) {
+/// Billed compute dollars equal n × memory-GB × seconds × rate for any
+/// inputs (conservation of billing).
+#[test]
+fn billing_conservation() {
+    prop("billing_conservation", 256, |rng| {
+        let n = 1 + rng.gen_index(499) as u32;
+        let mem = 128 + rng.gen_index(10240 - 128) as u32;
+        let secs = rng.uniform_range(0.0, 1e5);
         let pricing = ce_scaling::models::FunctionPricing::aws_default();
         let cost = pricing.compute_cost(n, mem, secs);
         let expect = f64::from(n) * f64::from(mem) / 1024.0 * secs * pricing.per_gb_second;
-        prop_assert!((cost - expect).abs() < 1e-9 * expect.max(1.0));
-    }
+        assert!((cost - expect).abs() < 1e-9 * expect.max(1.0));
+    });
+}
 
-    /// SHA stage arithmetic: trial counts follow q/rf^i exactly and the
-    /// final stage has `rf` trials.
-    #[test]
-    fn sha_stage_arithmetic(power in 1u32..14, rf in 2u32..4) {
+/// SHA stage arithmetic: trial counts follow q/rf^i exactly and the final
+/// stage has `rf` trials.
+#[test]
+fn sha_stage_arithmetic() {
+    prop("sha_stage_arithmetic", 64, |rng| {
+        let power = 1 + rng.gen_index(13) as u32;
+        let rf = 2 + rng.gen_index(2) as u32;
         let initial = rf.pow(power);
         let sha = ShaSpec::new(initial, rf, 2);
-        prop_assert_eq!(sha.num_stages(), power as usize);
+        assert_eq!(sha.num_stages(), power as usize);
         for s in 0..sha.num_stages() {
-            prop_assert_eq!(sha.trials_in_stage(s), initial / rf.pow(s as u32));
+            assert_eq!(sha.trials_in_stage(s), initial / rf.pow(s as u32));
         }
-        prop_assert_eq!(sha.trials_in_stage(sha.num_stages() - 1), rf);
-    }
+        assert_eq!(sha.trials_in_stage(sha.num_stages() - 1), rf);
+    });
+}
 
-    /// The greedy planner never exceeds the budget and never does worse
-    /// than the optimal static plan, for any budget headroom.
-    #[test]
-    fn planner_dominates_static_under_any_budget(slack in 1.05f64..4.0, seed in 0u64..4) {
+/// The greedy planner never exceeds the budget and never does worse than
+/// the optimal static plan, for any budget headroom.
+#[test]
+fn planner_dominates_static_under_any_budget() {
+    prop("planner_dominates_static", 16, |rng| {
+        let slack = rng.uniform_range(1.05, 4.0);
         let env = Environment::aws_default();
-        let w = match seed % 2 {
-            0 => Workload::lr_higgs(),
-            _ => Workload::mobilenet_cifar10(),
+        let w = if rng.bernoulli(0.5) {
+            Workload::lr_higgs()
+        } else {
+            Workload::mobilenet_cifar10()
         };
         let profile = ParetoProfiler::new(&env).profile_workload(&w);
         let sha = ShaSpec::new(64, 2, 2);
-        let budget =
-            PartitionPlan::uniform(*profile.cheapest().unwrap(), sha).cost() * slack;
+        let budget = PartitionPlan::uniform(*profile.cheapest().unwrap(), sha).cost() * slack;
         let planner = GreedyPlanner::new(&profile, sha, env.max_concurrency);
         let (plan, static_plan, _) = planner
-            .plan(Objective::MinJctGivenBudget { budget, qos_s: None })
+            .plan(Objective::MinJctGivenBudget {
+                budget,
+                qos_s: None,
+            })
             .expect("feasible");
-        prop_assert!(plan.cost() <= budget + 1e-9);
-        prop_assert!(plan.jct(env.max_concurrency) <= static_plan.jct(env.max_concurrency) + 1e-9);
-    }
+        assert!(plan.cost() <= budget + 1e-9);
+        assert!(plan.jct(env.max_concurrency) <= static_plan.jct(env.max_concurrency) + 1e-9);
+    });
+}
 
-    /// The convergence curve's epoch inversion round-trips for any
-    /// parameters and reachable target.
-    #[test]
-    fn curve_inversion_roundtrip(
-        initial in 0.5f64..5.0,
-        floor_frac in 0.01f64..0.9,
-        rate in 0.01f64..5.0,
-        target_frac in 0.05f64..0.95,
-    ) {
-        let floor = initial * floor_frac;
+/// The convergence curve's epoch inversion round-trips for any parameters
+/// and reachable target.
+#[test]
+fn curve_inversion_roundtrip() {
+    prop("curve_inversion", 256, |rng| {
+        let initial = rng.uniform_range(0.5, 5.0);
+        let floor = initial * rng.uniform_range(0.01, 0.9);
+        let rate = rng.uniform_range(0.01, 5.0);
+        let target_frac = rng.uniform_range(0.05, 0.95);
         let params = CurveParams {
             initial,
             floor,
@@ -151,13 +188,20 @@ proptest! {
         };
         let target = floor + (initial - floor) * target_frac;
         let e = params.mean_epochs_to(target).expect("reachable");
-        prop_assert!((params.mean_loss_at(e) - target).abs() < 1e-6);
-    }
+        assert!((params.mean_loss_at(e) - target).abs() < 1e-6);
+    });
+}
 
-    /// Deterministic streams: deriving the same label from the same seed
-    /// always yields the same sequence; different labels diverge.
-    #[test]
-    fn rng_stream_determinism(seed in 0u64..u64::MAX, label in "[a-z]{1,12}") {
+/// Deterministic streams: deriving the same label from the same seed
+/// always yields the same sequence; different labels diverge.
+#[test]
+fn rng_stream_determinism() {
+    prop("rng_stream_determinism", 128, |rng| {
+        let seed = rng.next_u64();
+        let len = 1 + rng.gen_index(12);
+        let label: String = (0..len)
+            .map(|_| char::from(b'a' + rng.gen_index(26) as u8))
+            .collect();
         let a: Vec<u64> = {
             let mut r = SimRng::new(seed).derive(&label);
             (0..8).map(|_| r.next_u64()).collect()
@@ -166,157 +210,252 @@ proptest! {
             let mut r = SimRng::new(seed).derive(&label);
             (0..8).map(|_| r.next_u64()).collect()
         };
-        prop_assert_eq!(&a, &b);
+        assert_eq!(a, b);
         let mut other = SimRng::new(seed).derive(&format!("{label}x"));
         let c: Vec<u64> = (0..8).map(|_| other.next_u64()).collect();
-        prop_assert_ne!(a, c);
-    }
+        assert_ne!(a, c);
+    });
+}
 
-    /// Storage request pricing is monotone in object size and never
-    /// negative; runtime pricing is monotone in duration.
-    #[test]
-    fn storage_pricing_monotone(
-        size_a in 0.001f64..500.0,
-        size_b in 0.001f64..500.0,
-        secs_a in 0.0f64..1e5,
-        secs_b in 0.0f64..1e5,
-        storage in storage_strategy(),
-    ) {
+/// Storage request pricing is monotone in object size and never negative;
+/// runtime pricing is monotone in duration.
+#[test]
+fn storage_pricing_monotone() {
+    prop("storage_pricing_monotone", 256, |rng| {
+        let size_a = rng.uniform_range(0.001, 500.0);
+        let size_b = rng.uniform_range(0.001, 500.0);
+        let secs_a = rng.uniform_range(0.0, 1e5);
+        let secs_b = rng.uniform_range(0.0, 1e5);
+        let storage = any_storage(rng);
         let env = Environment::aws_default();
         let spec = env.storage.get(storage).unwrap();
-        let (lo, hi) = if size_a <= size_b { (size_a, size_b) } else { (size_b, size_a) };
-        prop_assert!(spec.pricing.put_cost(lo) <= spec.pricing.put_cost(hi));
-        prop_assert!(spec.pricing.get_cost(lo) <= spec.pricing.get_cost(hi));
-        prop_assert!(spec.pricing.put_cost(lo) >= 0.0);
-        let (t_lo, t_hi) = if secs_a <= secs_b { (secs_a, secs_b) } else { (secs_b, secs_a) };
-        prop_assert!(spec.pricing.runtime_cost(t_lo) <= spec.pricing.runtime_cost(t_hi));
-    }
+        let (lo, hi) = if size_a <= size_b {
+            (size_a, size_b)
+        } else {
+            (size_b, size_a)
+        };
+        assert!(spec.pricing.put_cost(lo) <= spec.pricing.put_cost(hi));
+        assert!(spec.pricing.get_cost(lo) <= spec.pricing.get_cost(hi));
+        assert!(spec.pricing.put_cost(lo) >= 0.0);
+        let (t_lo, t_hi) = if secs_a <= secs_b {
+            (secs_a, secs_b)
+        } else {
+            (secs_b, secs_a)
+        };
+        assert!(spec.pricing.runtime_cost(t_lo) <= spec.pricing.runtime_cost(t_hi));
+    });
+}
 
-    /// Sync transfer counts: VM-PS always needs at most as many
-    /// transfers as stateless storage, and both grow linearly with n.
-    #[test]
-    fn sync_pattern_invariants(n in 1u32..1000) {
+/// Sync transfer counts: VM-PS always needs at most as many transfers as
+/// stateless storage, and both grow linearly with n.
+#[test]
+fn sync_pattern_invariants() {
+    prop("sync_pattern", 256, |rng| {
+        let n = 1 + rng.gen_index(999) as u32;
         let env = Environment::aws_default();
         let s3 = env.storage.get(StorageKind::S3).unwrap();
         let vm = env.storage.get(StorageKind::VmPs).unwrap();
         let stateless = ce_scaling::storage::sync::transfers_per_iteration(s3, n);
         let vmps = ce_scaling::storage::sync::transfers_per_iteration(vm, n);
-        prop_assert!(vmps <= stateless);
-        prop_assert_eq!(stateless, 3 * n - 2);
-        if n >= 1 {
-            prop_assert_eq!(vmps, 2 * n - 2);
-        }
-    }
+        assert!(vmps <= stateless);
+        assert_eq!(stateless, 3 * n - 2);
+        assert_eq!(vmps, 2 * n - 2);
+    });
+}
 
-    /// ModelSpec compute time is positive and monotone non-increasing in
-    /// memory for every family.
-    #[test]
-    fn compute_time_positive_and_monotone(
-        mem in 128u32..10000,
-        family_idx in 0usize..5,
-    ) {
+/// ModelSpec compute time is positive and monotone non-increasing in
+/// memory for every family.
+#[test]
+fn compute_time_positive_and_monotone() {
+    prop("compute_time_monotone", 256, |rng| {
+        let mem = 128 + rng.gen_index(10000 - 128) as u32;
+        let family_idx = rng.gen_index(5);
         let zoo = ModelSpec::paper_zoo();
         let model = &zoo[family_idx];
         let t = model.compute_time_per_mb(mem);
-        prop_assert!(t > 0.0);
-        prop_assert!(model.compute_time_per_mb(mem + 240) <= t + 1e-12);
+        assert!(t > 0.0);
+        assert!(model.compute_time_per_mb(mem + 240) <= t + 1e-12);
         let _ = ModelFamily::LogisticRegression; // exercised via the zoo
-    }
+    });
+}
 
-    /// Instance-pool conservation: after any acquire/release sequence,
-    /// warm + executing instances equal creations minus expiries, and
-    /// warm hits never exceed invocations.
-    #[test]
-    fn instance_pool_conservation(
-        ops in prop::collection::vec((1u32..20, 0u8..2, 1.0f64..100.0), 1..30)
-    ) {
+/// Instance-pool conservation: after any acquire/release sequence, warm
+/// hits plus creations equal invocations, and the pool never holds more
+/// instances than were created.
+#[test]
+fn instance_pool_conservation() {
+    prop("instance_pool", 128, |rng| {
         use ce_scaling::faas::InstancePool;
         use ce_scaling::sim::time::SimTime;
         let mut pool = InstancePool::new();
         let mut now = 0.0f64;
-        for (n, mem_pick, busy) in ops {
-            let mem = [1024u32, 1769][mem_pick as usize];
+        let ops = 1 + rng.gen_index(29);
+        for _ in 0..ops {
+            let n = 1 + rng.gen_index(19) as u32;
+            let mem = [1024u32, 1769][rng.gen_index(2)];
+            let busy = rng.uniform_range(1.0, 100.0);
             let (ids, cold) = pool.acquire(n, mem, SimTime::from_secs(now));
-            prop_assert_eq!(ids.len() as u32, n);
-            prop_assert!(cold <= n);
+            assert_eq!(ids.len() as u32, n);
+            assert!(cold <= n);
             now += busy;
             pool.release(&ids, busy, SimTime::from_secs(now));
         }
         let stats = pool.stats();
-        prop_assert!(stats.warm_hits + stats.created == stats.invocations
-            || stats.created >= 1);
-        prop_assert_eq!(stats.warm_hits + stats.created, stats.invocations);
-        prop_assert!(pool.len() as u64 <= stats.created);
-    }
+        assert_eq!(stats.warm_hits + stats.created, stats.invocations);
+        assert!(pool.len() as u64 <= stats.created);
+    });
+}
 
-    /// ASP inflation is ≥ 1, monotone in n, and bounded.
-    #[test]
-    fn asp_inflation_bounds(n in 1u32..5000) {
+/// ASP inflation is ≥ 1, monotone in n, and bounded.
+#[test]
+fn asp_inflation_bounds() {
+    prop("asp_inflation", 256, |rng| {
         use ce_scaling::models::asp_epoch_inflation;
+        let n = 1 + rng.gen_index(4999) as u32;
         let f = asp_epoch_inflation(n);
-        prop_assert!((1.0..=1.35).contains(&f));
-        prop_assert!(asp_epoch_inflation(n + 1) >= f);
-    }
+        assert!((1.0..=1.35).contains(&f));
+        assert!(asp_epoch_inflation(n + 1) >= f);
+    });
+}
 
-    /// TPE suggestions always stay inside the hyperparameter space,
-    /// whatever loss values have been observed.
-    #[test]
-    fn tpe_suggestions_in_bounds(
-        losses in prop::collection::vec(0.0f64..10.0, 0..40),
-        seed in 0u64..1000,
-    ) {
+/// TPE suggestions always stay inside the hyperparameter space, whatever
+/// loss values have been observed.
+#[test]
+fn tpe_suggestions_in_bounds() {
+    prop("tpe_in_bounds", 64, |rng| {
         use ce_scaling::ml::HyperSpace;
         use ce_scaling::tuning::TpeSampler;
         let space = HyperSpace::default();
         let mut sampler = TpeSampler::new(space.clone());
-        let mut rng = SimRng::new(seed);
-        for loss in losses {
-            let c = sampler.suggest(&mut rng);
-            prop_assert!(c.learning_rate >= space.lr_range.0);
-            prop_assert!(c.learning_rate <= space.lr_range.1);
-            prop_assert!(c.momentum >= space.momentum_range.0);
-            prop_assert!(c.momentum <= space.momentum_range.1);
+        let mut inner = SimRng::new(rng.next_u64());
+        let observations = rng.gen_index(40);
+        for _ in 0..observations {
+            let loss = rng.uniform_range(0.0, 10.0);
+            let c = sampler.suggest(&mut inner);
+            assert!(c.learning_rate >= space.lr_range.0);
+            assert!(c.learning_rate <= space.lr_range.1);
+            assert!(c.momentum >= space.momentum_range.0);
+            assert!(c.momentum <= space.momentum_range.1);
             sampler.observe(c, loss);
         }
-    }
+    });
+}
 
-    /// Failure injection never reduces wall time, and scales billing with
-    /// the wall.
-    #[test]
-    fn failure_injection_monotone(seed in 0u64..200, rate in 0.0f64..0.4) {
+/// Failure injection never reduces wall time, and scales billing with the
+/// wall.
+#[test]
+fn failure_injection_monotone() {
+    prop("failure_injection", 32, |rng| {
         use ce_scaling::faas::{ExecutionFidelity, FaasPlatform, PlatformConfig};
+        let seed = rng.gen_index(200) as u64;
+        let rate = rng.uniform_range(0.0, 0.4);
         let w = Workload::lr_higgs();
         let alloc = Allocation::new(20, 1769, StorageKind::S3);
         let run = |failure_rate: f64| {
             let mut p = FaasPlatform::with_config(
                 Environment::aws_default(),
-                PlatformConfig { failure_rate, ..PlatformConfig::default() },
+                PlatformConfig {
+                    failure_rate,
+                    ..PlatformConfig::default()
+                },
                 seed,
             );
             p.run_epoch(&w, &alloc, ExecutionFidelity::Fast)
         };
         let clean = run(0.0);
         let faulty = run(rate);
-        prop_assert!(faulty.wall_s + 1e-9 >= clean.wall_s - clean.failure_s);
-        prop_assert!(faulty.failure_s >= 0.0);
+        assert!(faulty.wall_s + 1e-9 >= clean.wall_s - clean.failure_s);
+        assert!(faulty.failure_s >= 0.0);
         if faulty.failures == 0 {
-            prop_assert_eq!(faulty.failure_s, 0.0);
+            assert_eq!(faulty.failure_s, 0.0);
         }
-    }
+    });
+}
 
-    /// Hyperband bracket ladders are well-formed for any R and η.
-    #[test]
-    fn hyperband_ladder_wellformed(power in 1u32..8, eta in 2u32..4) {
+/// Hyperband bracket ladders are well-formed for any R and η.
+#[test]
+fn hyperband_ladder_wellformed() {
+    prop("hyperband_ladder", 64, |rng| {
         use ce_scaling::tuning::HyperbandSpec;
+        let power = 1 + rng.gen_index(7) as u32;
+        let eta = 2 + rng.gen_index(2) as u32;
         let r = eta.pow(power);
         let hb = HyperbandSpec::new(r, eta);
         let brackets = hb.brackets();
-        prop_assert_eq!(brackets.len() as u32, hb.s_max() + 1);
+        assert_eq!(brackets.len() as u32, hb.s_max() + 1);
         for b in &brackets {
-            prop_assert!(b.initial_trials >= eta);
-            prop_assert!(b.epochs_per_stage >= 1);
+            assert!(b.initial_trials >= eta);
+            assert!(b.epochs_per_stage >= 1);
         }
         // Most exploratory first.
-        prop_assert!(brackets[0].initial_trials >= brackets.last().unwrap().initial_trials);
-    }
+        assert!(brackets[0].initial_trials >= brackets.last().unwrap().initial_trials);
+    });
+}
+
+/// Scheduler counter invariants (Algorithm 2, via ce-obs): a δ-drift
+/// trigger precedes every adjustment, so `triggers >= adjustments` always;
+/// and `evaluations` is monotone non-decreasing across epochs.
+#[test]
+fn scheduler_counter_invariants() {
+    prop("scheduler_counters", 12, |rng| {
+        use ce_scaling::ml::curve::LossCurve;
+        use ce_scaling::training::{AdaptiveScheduler, SchedulerConfig, TrainingObjective};
+        let env = Environment::aws_default();
+        let w = Workload::mobilenet_cifar10();
+        let profile = ParetoProfiler::new(&env).profile_workload(&w);
+        let params = CurveParams::for_workload(ModelFamily::MobileNet, "Cifar10");
+        let budget = rng.uniform_range(20.0, 120.0);
+        let delta = rng.uniform_range(0.005, 0.2);
+        let mut sched = AdaptiveScheduler::new(
+            &profile,
+            TrainingObjective::MinJctGivenBudget { budget },
+            0.2,
+            params.initial,
+            SchedulerConfig {
+                delta,
+                ..SchedulerConfig::default()
+            },
+        );
+        sched.initial_allocation(40.0);
+        let mut run = LossCurve::sample_optimal(&params, SimRng::new(rng.next_u64()));
+        let mut last_evals = sched.stats().evaluations;
+        for _ in 0..25 {
+            sched.on_epoch_end(run.next_epoch(), 0.3, 30.0);
+            let stats = sched.stats();
+            assert!(
+                stats.triggers >= stats.adjustments,
+                "every adjustment must be preceded by a trigger: {stats:?}"
+            );
+            assert!(
+                stats.evaluations >= last_evals,
+                "evaluations must be monotone: {} < {last_evals}",
+                stats.evaluations
+            );
+            last_evals = stats.evaluations;
+        }
+    });
+}
+
+#[test]
+fn same_seed_runs_export_identical_metrics_jsonl() {
+    use ce_scaling::obs::Registry;
+    use ce_scaling::workflow::{Constraint, Method, TrainingJob};
+
+    // Two runs of the same job with the same seed, each feeding a fresh
+    // registry, must export byte-identical JSONL: counters, gauges,
+    // histograms, and the replayed event timeline are all sim-time
+    // stamped and never touch the wall clock.
+    let export = || {
+        let reg = Registry::new();
+        let job = TrainingJob::new(Workload::mobilenet_cifar10(), Constraint::Budget(100.0))
+            .with_seed(11)
+            .with_obs(&reg);
+        job.run(Method::CeScaling).expect("converges");
+        reg.export_jsonl()
+    };
+    let a = export();
+    let b = export();
+    assert!(!a.is_empty());
+    assert!(a.lines().any(|l| l.contains("\"type\":\"event\"")));
+    assert_eq!(a, b, "same seed must give a byte-identical metrics stream");
 }

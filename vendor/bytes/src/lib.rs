@@ -1,0 +1,88 @@
+//! Minimal in-tree replacement for the `bytes` crate.
+//!
+//! [`Bytes`] is an immutable, cheaply cloneable byte buffer backed by
+//! `Arc<[u8]>` — the same sharing semantics the real crate provides for the
+//! usage in this workspace (store blobs that are cloned between the object
+//! store and its callers without copying).
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data: data.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Bytes {
+    fn from(data: [u8; N]) -> Self {
+        Bytes::copy_from_slice(&data)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Bytes::from(vec![1u8, 2, 3, 4]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.chunks_exact(2).count(), 2);
+    }
+}

@@ -1,0 +1,173 @@
+//! Sequential stand-in for rayon's parallel-iterator API.
+//!
+//! The offline build cannot fetch rayon, so this shim exposes the same
+//! combinator surface (`par_iter`, `into_par_iter`, `map`, `flat_map`,
+//! `fold`/`reduce` with rayon's identity-closure signatures, `sum`,
+//! `collect`, ...) executed sequentially. That trade is deliberate beyond
+//! the build constraint: sequential execution makes every reduction order —
+//! including float accumulation — deterministic, which the observability
+//! layer's byte-identical-export guarantee relies on.
+
+use std::cmp::Ordering;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+/// The "parallel" iterator adapter: a newtype over a std iterator.
+///
+/// A distinct type (rather than a re-export of `Iterator`) is required
+/// because rayon's `fold`/`reduce` take identity *closures*, which would
+/// collide with `Iterator::fold`'s seed-value signature.
+pub struct ParIter<I>(I);
+
+/// By-value conversion, mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    type Iter: Iterator<Item = Self::Item>;
+    type Item;
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Iter = T::IntoIter;
+    type Item = T::Item;
+    fn into_par_iter(self) -> ParIter<T::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// By-reference conversion, mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    type Iter: Iterator<Item = Self::Item>;
+    type Item;
+    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, T: ?Sized> IntoParallelRefIterator<'data> for T
+where
+    &'data T: IntoIterator,
+    T: 'data,
+{
+    type Iter = <&'data T as IntoIterator>::IntoIter;
+    type Item = <&'data T as IntoIterator>::Item;
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    pub fn flat_map<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FlatMap<I, U, F>> {
+        ParIter(self.0.flat_map(f))
+    }
+
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    pub fn filter_map<U, F: FnMut(I::Item) -> Option<U>>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FilterMap<I, F>> {
+        ParIter(self.0.filter_map(f))
+    }
+
+    /// Rayon-style fold: seeds with `identity()` and folds every item into
+    /// one accumulator, yielding a single-item iterator (rayon yields one
+    /// accumulator per split; sequentially there is exactly one split).
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        ParIter(std::iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    /// Rayon-style reduce: folds items onto `identity()`.
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    pub fn max_by<F: FnMut(&I::Item, &I::Item) -> Ordering>(self, f: F) -> Option<I::Item> {
+        self.0.max_by(f)
+    }
+
+    pub fn min_by<F: FnMut(&I::Item, &I::Item) -> Ordering>(self, f: F) -> Option<I::Item> {
+        self.0.min_by(f)
+    }
+
+    pub fn max_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
+        self.0.max_by_key(f)
+    }
+
+    pub fn min_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
+        self.0.min_by_key(f)
+    }
+
+    pub fn any<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+        let mut it = self.0;
+        it.any(f)
+    }
+
+    pub fn all<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
+        let mut it = self.0;
+        it.all(f)
+    }
+
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    pub fn zip<J: IntoParallelIterator>(self, other: J) -> ParIter<std::iter::Zip<I, J::Iter>> {
+        ParIter(self.0.zip(other.into_par_iter().0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn fold_reduce_matches_sequential() {
+        let data: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let total: f32 = data
+            .par_iter()
+            .fold(|| 0.0f32, |acc, &x| acc + x)
+            .reduce(|| 0.0f32, |a, b| a + b);
+        assert_eq!(total, data.iter().sum::<f32>());
+    }
+
+    #[test]
+    fn ranges_and_collect_work() {
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+        let n: usize = (0..10usize).into_par_iter().filter(|&i| i % 2 == 0).count();
+        assert_eq!(n, 5);
+    }
+}

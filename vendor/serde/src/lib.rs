@@ -1,0 +1,24 @@
+//! Minimal in-tree `serde` replacement.
+//!
+//! The build environment is fully offline (no crates-io registry), so the
+//! workspace vendors the small slice of serde it actually uses: a JSON
+//! value model ([`Value`], [`Map`], [`Number`]) plus [`Serialize`] /
+//! [`Deserialize`] traits whose derive macros live in the companion
+//! `serde_derive` proc-macro crate.
+//!
+//! Unlike real serde there is no `Serializer`/`Deserializer` abstraction:
+//! serialization goes through the [`Value`] tree. That is exactly what this
+//! workspace needs (all serialization targets JSON via `serde_json`) and it
+//! keeps the implementation small and deterministic.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+pub use value::{Map, Number, Value};
+
+// Derive macros, re-exported so `use serde::{Serialize, Deserialize}` pulls
+// in both the traits and the derives (they live in separate namespaces).
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,563 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Parses the struct/enum token stream by hand (the offline build has no
+//! syn/quote) and emits `Serialize`/`Deserialize` impls targeting the
+//! shim's `Value`-tree model. Supported shapes — the full set used by this
+//! workspace:
+//!
+//! - named-field structs (with `#[serde(default)]` per field; `Option`
+//!   fields tolerate missing keys)
+//! - newtype and tuple structs (newtype is transparent, tuples are arrays)
+//! - enums with unit / newtype / tuple / struct variants, externally
+//!   tagged, honoring `#[serde(rename_all = "lowercase" | "snake_case" |
+//!   "UPPERCASE")]`
+//!
+//! Generics are intentionally unsupported (unused in this workspace) and
+//! rejected with a compile error.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, generate: fn(&Container) -> String) -> TokenStream {
+    let container = match parse_container(input) {
+        Ok(c) => c,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = generate(&container);
+    code.parse().unwrap_or_else(|e| {
+        compile_error(&format!(
+            "serde_derive generated invalid code for {}: {e}",
+            container.name
+        ))
+    })
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg)
+        .parse()
+        .expect("literal")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed model
+// ---------------------------------------------------------------------------
+
+struct Container {
+    name: String,
+    rename_all: Option<String>,
+    data: Data,
+}
+
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    has_default: bool,
+    is_option: bool,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// What a `#[serde(...)]` attribute contributed.
+#[derive(Default)]
+struct SerdeAttrs {
+    has_default: bool,
+    rename_all: Option<String>,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_container(input: TokenStream) -> Result<Container, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let attrs = skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i)?;
+    let name = expect_ident(&tokens, &mut i)?;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive (vendored) does not support generic type `{name}`"
+        ));
+    }
+
+    let data = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g))
+            }
+            _ => Data::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g)?)
+            }
+            other => return Err(format!("expected enum body for `{name}`, got {other:?}")),
+        },
+        other => return Err(format!("expected `struct` or `enum`, got `{other}`")),
+    };
+
+    Ok(Container {
+        name,
+        rename_all: attrs.rename_all,
+        data,
+    })
+}
+
+/// Skips `#[...]` attribute groups, collecting serde-relevant contents.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            scan_serde_attr(g, &mut attrs);
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+    attrs
+}
+
+/// Extracts `default` / `rename_all = "..."` from a `[serde(...)]` group.
+fn scan_serde_attr(bracket: &Group, attrs: &mut SerdeAttrs) {
+    let inner: Vec<TokenTree> = bracket.stream().into_iter().collect();
+    match (inner.first(), inner.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            let args: Vec<TokenTree> = args.stream().into_iter().collect();
+            let mut j = 0;
+            while j < args.len() {
+                if let TokenTree::Ident(key) = &args[j] {
+                    match key.to_string().as_str() {
+                        "default" => attrs.has_default = true,
+                        "rename_all" => {
+                            if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                                (args.get(j + 1), args.get(j + 2))
+                            {
+                                if eq.as_char() == '=' {
+                                    attrs.rename_all = Some(literal_string(lit));
+                                    j += 2;
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+        }
+        _ => {}
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!("expected identifier, got {other:?}")),
+    }
+}
+
+/// Strips the surrounding quotes from a string literal token.
+fn literal_string(lit: &proc_macro::Literal) -> String {
+    let repr = lit.to_string();
+    repr.trim_matches('"').to_string()
+}
+
+fn parse_named_fields(brace: &Group) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = brace.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i)?;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        let is_option =
+            matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "Option");
+        skip_type(&tokens, &mut i);
+        fields.push(Field {
+            name,
+            has_default: attrs.has_default,
+            is_option,
+        });
+    }
+    Ok(fields)
+}
+
+/// Advances past a type, stopping after the comma that terminates it (or at
+/// end of input). Tracks angle-bracket depth so commas inside `Vec<(A, B)>`
+/// style generics do not split the field.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i64;
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Number of fields in a tuple-struct/tuple-variant parenthesis group.
+fn count_tuple_fields(paren: &Group) -> usize {
+    let tokens: Vec<TokenTree> = paren.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i < tokens.len() {
+            fields += 1;
+            skip_type(&tokens, &mut i);
+        }
+    }
+    fields
+}
+
+fn parse_variants(brace: &Group) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = brace.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i); // e.g. doc comments, `#[default]`
+        let name = expect_ident(&tokens, &mut i)?;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                match count_tuple_fields(g) {
+                    1 => VariantKind::Newtype,
+                    n => VariantKind::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g)?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip the separating comma (and any explicit discriminant).
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Naming helpers
+// ---------------------------------------------------------------------------
+
+/// Applies a container-level `rename_all` rule to a field/variant name.
+fn apply_rename(rule: Option<&str>, name: &str) -> String {
+    match rule {
+        Some("lowercase") => name.to_lowercase(),
+        Some("UPPERCASE") => name.to_uppercase(),
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (idx, c) in name.chars().enumerate() {
+                if c.is_uppercase() {
+                    if idx > 0 {
+                        out.push('_');
+                    }
+                    out.extend(c.to_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        _ => name.to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.data {
+        Data::NamedStruct(fields) => {
+            let mut s = String::from("let mut __map = serde::value::Map::new();\n");
+            for f in fields {
+                let key = apply_rename(c.rename_all.as_deref(), &f.name);
+                s.push_str(&format!(
+                    "__map.insert({key:?}.to_string(), \
+                     serde::ser::Serialize::serialize_value(&self.{field}));\n",
+                    field = f.name
+                ));
+            }
+            s.push_str("serde::value::Value::Object(__map)");
+            s
+        }
+        Data::TupleStruct(1) => String::from("serde::ser::Serialize::serialize_value(&self.0)"),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("serde::ser::Serialize::serialize_value(&self.{k})"))
+                .collect();
+            format!("serde::value::Value::Array(vec![{}])", items.join(", "))
+        }
+        Data::UnitStruct => String::from("serde::value::Value::Null"),
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let tag = apply_rename(c.rename_all.as_deref(), &v.name);
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => serde::value::Value::String({tag:?}.to_string()),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{name}::{v}(__f0) => {{\n\
+                         let mut __map = serde::value::Map::new();\n\
+                         __map.insert({tag:?}.to_string(), \
+                         serde::ser::Serialize::serialize_value(__f0));\n\
+                         serde::value::Value::Object(__map)\n}}\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("serde::ser::Serialize::serialize_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({binders}) => {{\n\
+                             let mut __map = serde::value::Map::new();\n\
+                             __map.insert({tag:?}.to_string(), \
+                             serde::value::Value::Array(vec![{items}]));\n\
+                             serde::value::Value::Object(__map)\n}}\n",
+                            v = v.name,
+                            binders = binders.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner =
+                            String::from("let mut __inner = serde::value::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__inner.insert({key:?}.to_string(), \
+                                 serde::ser::Serialize::serialize_value({field}));\n",
+                                key = f.name,
+                                field = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binders} }} => {{\n\
+                             {inner}\
+                             let mut __map = serde::value::Map::new();\n\
+                             __map.insert({tag:?}.to_string(), \
+                             serde::value::Value::Object(__inner));\n\
+                             serde::value::Value::Object(__map)\n}}\n",
+                            v = v.name,
+                            binders = binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl serde::ser::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> serde::value::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// The `match obj.get(key)` expression deserializing one named field.
+fn field_getter(type_name: &str, accessor: &str, f: &Field) -> String {
+    let missing = if f.has_default {
+        "core::default::Default::default()".to_string()
+    } else if f.is_option {
+        "core::option::Option::None".to_string()
+    } else {
+        format!(
+            "return Err(serde::de::Error::missing_field({type_name:?}, {field:?}))",
+            field = f.name
+        )
+    };
+    format!(
+        "match {accessor}.get({field:?}) {{\n\
+         Some(__v) => serde::de::Deserialize::deserialize_value(__v)?,\n\
+         None => {missing},\n}}",
+        field = f.name
+    )
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.data {
+        Data::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{field}: {getter},\n",
+                    field = f.name,
+                    getter = field_getter(name, "__obj", f)
+                ));
+            }
+            format!(
+                "let __obj = __value.as_object().ok_or_else(|| \
+                 serde::de::Error::expected(\"object for {name}\", __value))?;\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Data::TupleStruct(1) => {
+            format!("Ok({name}(serde::de::Deserialize::deserialize_value(__value)?))")
+        }
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("serde::de::Deserialize::deserialize_value(&__arr[{k}])?"))
+                .collect();
+            format!(
+                "let __arr = __value.as_array().ok_or_else(|| \
+                 serde::de::Error::expected(\"array for {name}\", __value))?;\n\
+                 if __arr.len() != {n} {{\n\
+                 return Err(serde::de::Error::expected(\"{n}-element array for {name}\", __value));\n}}\n\
+                 Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Data::UnitStruct => format!("Ok({name})"),
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let tag = apply_rename(c.rename_all.as_deref(), &v.name);
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("{tag:?} => Ok({name}::{v}),\n", v = v.name))
+                    }
+                    VariantKind::Newtype => tagged_arms.push_str(&format!(
+                        "{tag:?} => Ok({name}::{v}(\
+                         serde::de::Deserialize::deserialize_value(__v)?)),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!("serde::de::Deserialize::deserialize_value(&__arr[{k}])?")
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{tag:?} => {{\n\
+                             let __arr = __v.as_array().ok_or_else(|| \
+                             serde::de::Error::expected(\"array for variant {v}\", __v))?;\n\
+                             if __arr.len() != {n} {{\n\
+                             return Err(serde::de::Error::expected(\
+                             \"{n}-element array for variant {v}\", __v));\n}}\n\
+                             Ok({name}::{v}({items}))\n}}\n",
+                            v = v.name,
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{field}: {getter},\n",
+                                field = f.name,
+                                getter = field_getter(name, "__inner", f)
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "{tag:?} => {{\n\
+                             let __inner = __v.as_object().ok_or_else(|| \
+                             serde::de::Error::expected(\"object for variant {v}\", __v))?;\n\
+                             Ok({name}::{v} {{\n{inits}}})\n}}\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let Some(__s) = __value.as_str() {{\n\
+                 return match __s {{\n\
+                 {unit_arms}\
+                 __other => Err(serde::de::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n}};\n}}\n\
+                 if let Some(__obj) = __value.as_object() {{\n\
+                 if let Some((__k, __v)) = __obj.iter().next() {{\n\
+                 return match __k.as_str() {{\n\
+                 {tagged_arms}\
+                 __other => Err(serde::de::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n}};\n}}\n}}\n\
+                 Err(serde::de::Error::expected(\"enum {name}\", __value))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl serde::de::Deserialize for {name} {{\n\
+         fn deserialize_value(__value: &serde::value::Value) \
+         -> Result<Self, serde::de::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
