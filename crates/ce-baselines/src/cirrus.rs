@@ -1,4 +1,4 @@
-//! The Cirrus baseline [4].
+//! The Cirrus baseline \[4\].
 //!
 //! Cirrus runs serverless ML with an EC2 VM parameter server as the
 //! intermediate store, so its profile is always VM-PS-pinned. Allocation

@@ -1,4 +1,4 @@
-//! The LambdaML baseline [14].
+//! The LambdaML baseline \[14\].
 //!
 //! LambdaML allocates statically: one allocation chosen before the job
 //! starts. For hyperparameter tuning that is the optimal uniform plan

@@ -3,19 +3,19 @@
 //! The comparison systems of §IV-A, re-implemented from their papers'
 //! descriptions at the level of detail the evaluation exercises:
 //!
-//! * [`lambda_ml`] — **LambdaML** [14]: state-of-the-art serverless ML on
+//! * [`lambda_ml`] — **LambdaML** \[14\]: state-of-the-art serverless ML on
 //!   AWS Lambda. *Static* resource allocation chosen up front — the
 //!   optimal single allocation applied uniformly (for tuning, every stage
 //!   gets the same per-trial allocation) — and *offline sampling-based*
 //!   epoch prediction for training (which is what makes it violate
 //!   constraints in §IV-C).
-//! * [`siren`] — **Siren** [9]: deep-RL allocation, S3 storage only. For
+//! * [`siren`] — **Siren** \[9\]: deep-RL allocation, S3 storage only. For
 //!   training we implement a real tabular Q-learning policy trained
 //!   in-simulator that re-decides the allocation *every epoch* (restart
 //!   churn is Siren's signature overhead); for tuning we implement the
 //!   front-loading behaviour the paper attributes to Siren's policy —
 //!   early stages with many live trials receive the most resources.
-//! * [`cirrus`] — **Cirrus** [4]: end-to-end serverless ML with an EC2
+//! * [`cirrus`] — **Cirrus** \[4\]: end-to-end serverless ML with an EC2
 //!   VM parameter server (VM-PS pinned). Static allocation; the
 //!   evaluation's "modified Cirrus" variant adds the same online
 //!   prediction CE-scaling uses, but keeps VM-PS and eager (non-delayed)

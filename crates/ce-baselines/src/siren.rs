@@ -1,4 +1,4 @@
-//! The Siren baseline [9].
+//! The Siren baseline \[9\].
 //!
 //! Siren drives allocation with reinforcement learning over S3-backed
 //! training. We implement its two behavioural signatures the evaluation

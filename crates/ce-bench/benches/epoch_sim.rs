@@ -19,7 +19,11 @@ fn bench_epoch() {
     ] {
         group.bench(name, || {
             let mut platform = FaasPlatform::new(env.clone(), 7);
-            black_box(platform.run_epoch(black_box(&w), black_box(&alloc), fidelity))
+            black_box(
+                platform
+                    .run_epoch(black_box(&w), black_box(&alloc), fidelity)
+                    .unwrap(),
+            )
         });
     }
 }

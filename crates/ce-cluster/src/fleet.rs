@@ -1,0 +1,585 @@
+//! The discrete-event fleet simulator.
+//!
+//! One shared substrate — an account-level concurrency quota and four
+//! storage services — and many tenant jobs interleaved on it in
+//! simulated time. Each job is a [`ce_workflow::TrainingExecution`]
+//! stepped one epoch at a time: the fleet reserves the wave's workers
+//! from the [`AccountQuota`] for the epoch's duration, inflates its
+//! sync time by the storage service's current load, and requeues the
+//! job when the epoch completes. Everything is deterministic per seed:
+//! the event queue breaks ties FIFO, policies break ties on job id, and
+//! every job's own RNG streams are derived from its spec.
+//!
+//! Cross-tenant effects modeled:
+//!
+//! * **quota queueing** — a wave waits until the shared pool can supply
+//!   it (head-of-line, so wide waves are not starved);
+//! * **cold resumes** — a queue wait longer than the platform's idle
+//!   expiry drops the job's warm pool, so its next wave cold-starts;
+//! * **storage contention** — sync time stretches by the
+//!   [`ContentionModel`] factor for the service's concurrent load,
+//!   sampled when the epoch is dispatched.
+
+use crate::arrival::{training_job, FleetSpec, JobSpec, FLEET_METHOD};
+use crate::contention::ContentionModel;
+use crate::policy::{Admission, AdmissionPolicy, ClusterView, ReadyJob};
+use crate::report::{FleetReport, JobOutcome, JobStatus};
+use ce_faas::AccountQuota;
+use ce_obs::Registry;
+use ce_sim_core::event::EventQueue;
+use ce_sim_core::time::SimTime;
+use ce_storage::StorageKind;
+use ce_workflow::TrainingExecution;
+use serde_json::json;
+
+/// Queue wait beyond which a job's warm pool has idle-expired (mirrors
+/// `ce-faas`'s 10-minute instance keep-alive).
+const IDLE_EXPIRY_S: f64 = 600.0;
+
+/// A fleet run's configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Who arrives when, wanting what.
+    pub fleet: FleetSpec,
+    /// The shared account-level concurrency limit.
+    pub quota: u32,
+    /// Per-job concurrency ceiling (reserved-concurrency style): each
+    /// job's allocation grid is capped at `min(job_cap, quota)`. Equal
+    /// to `quota` by default, which lets one wide job monopolize the
+    /// account.
+    pub job_cap: u32,
+    /// Cross-tenant storage contention.
+    pub contention: ContentionModel,
+}
+
+impl ClusterSpec {
+    /// A cluster over `fleet` with the given shared quota and default
+    /// contention.
+    pub fn new(fleet: FleetSpec, quota: u32) -> Self {
+        ClusterSpec {
+            fleet,
+            quota,
+            job_cap: quota,
+            contention: ContentionModel::aws_default(),
+        }
+    }
+
+    /// Caps every job's waves below the account quota so tenants
+    /// actually run concurrently instead of time-slicing the account.
+    pub fn with_job_cap(mut self, cap: u32) -> Self {
+        self.job_cap = cap;
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FleetEvent {
+    Arrival { job: usize },
+    EpochDone { job: usize },
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    queued_since: f64,
+    queue_delay_s: f64,
+    cold_resumes: u32,
+    in_flight_workers: u32,
+    in_flight_kind: Option<StorageKind>,
+    epochs: u32,
+}
+
+fn kind_index(kind: StorageKind) -> usize {
+    match kind {
+        StorageKind::S3 => 0,
+        StorageKind::DynamoDb => 1,
+        StorageKind::ElastiCache => 2,
+        StorageKind::VmPs => 3,
+    }
+}
+
+/// The multi-tenant cluster simulation.
+pub struct ClusterSim {
+    spec: ClusterSpec,
+    policy: Box<dyn AdmissionPolicy>,
+    obs: Registry,
+    // --- run state ---
+    jobs: Vec<JobSpec>,
+    execs: Vec<Option<TrainingExecution>>,
+    slots: Vec<Slot>,
+    outcomes: Vec<Option<JobOutcome>>,
+    /// Ready-queue of job indices, in the order they became ready.
+    queue: Vec<usize>,
+    quota: AccountQuota,
+    active_by_kind: [u32; 4],
+    running: usize,
+    contention_extra_s: f64,
+    util_integral: f64,
+    last_event_s: f64,
+}
+
+impl ClusterSim {
+    /// Builds a simulation; metrics go to the process-global registry
+    /// unless overridden with [`Self::with_obs`].
+    pub fn new(spec: ClusterSpec, policy: Box<dyn AdmissionPolicy>) -> Self {
+        let quota = AccountQuota::new(spec.quota);
+        ClusterSim {
+            spec,
+            policy,
+            obs: ce_obs::global().clone(),
+            jobs: Vec::new(),
+            execs: Vec::new(),
+            slots: Vec::new(),
+            outcomes: Vec::new(),
+            queue: Vec::new(),
+            quota,
+            active_by_kind: [0; 4],
+            running: 0,
+            contention_extra_s: 0.0,
+            util_integral: 0.0,
+            last_event_s: 0.0,
+        }
+    }
+
+    /// Routes fleet metrics and events into `registry`.
+    pub fn with_obs(mut self, registry: &Registry) -> Self {
+        self.obs = registry.clone();
+        self
+    }
+
+    fn view(&self, now_s: f64) -> ClusterView {
+        ClusterView {
+            now_s,
+            quota_in_use: self.quota.in_use(),
+            quota_limit: self.quota.limit(),
+            queue_len: self.queue.len(),
+            running: self.running,
+        }
+    }
+
+    /// Runs the fleet to completion and reports the frontier point.
+    pub fn run(mut self) -> FleetReport {
+        self.jobs = self.spec.fleet.generate();
+        let n = self.jobs.len();
+        self.execs = (0..n).map(|_| None).collect();
+        self.slots = vec![Slot::default(); n];
+        self.outcomes = vec![None; n];
+
+        let mut events: EventQueue<FleetEvent> = EventQueue::new();
+        for (i, job) in self.jobs.iter().enumerate() {
+            events.schedule_at(
+                SimTime::from_secs(job.arrival_s),
+                FleetEvent::Arrival { job: i },
+            );
+        }
+
+        let mut makespan_s = 0.0f64;
+        while let Some((at, event)) = events.pop() {
+            let t = at.as_secs();
+            // Time-weighted quota utilization: integrate reservations
+            // over the interval that just elapsed.
+            self.util_integral += f64::from(self.quota.in_use()) * (t - self.last_event_s);
+            self.last_event_s = t;
+            makespan_s = makespan_s.max(t);
+            match event {
+                FleetEvent::Arrival { job } => self.on_arrival(job, t),
+                FleetEvent::EpochDone { job } => self.on_epoch_done(job, t),
+            }
+            self.dispatch(t, &mut events);
+        }
+
+        self.finalize(makespan_s)
+    }
+
+    fn on_arrival(&mut self, i: usize, t: f64) {
+        let job = &self.jobs[i];
+        self.obs.counter("cluster.arrivals").inc();
+        self.obs.event(
+            t,
+            "cluster.job_arrived",
+            &[
+                ("job", json!(job.id)),
+                ("tenant", json!(job.tenant)),
+                ("workload", json!(job.workload.label())),
+                ("deadline_s", json!(job.deadline_s)),
+            ],
+        );
+        let view = self.view(t);
+        if self.policy.admit(job, &view) == Admission::Reject {
+            self.obs.counter("cluster.rejected").inc();
+            self.obs.counter("cluster.qos_violations").inc();
+            self.obs
+                .event(t, "cluster.job_rejected", &[("job", json!(job.id))]);
+            self.outcomes[i] = Some(JobOutcome {
+                id: job.id,
+                tenant: job.tenant,
+                status: JobStatus::Rejected,
+                arrival_s: job.arrival_s,
+                finish_s: t,
+                queue_delay_s: 0.0,
+                epochs: 0,
+                cost_usd: 0.0,
+                qos_violated: true,
+                budget_violated: false,
+                cold_resumes: 0,
+            });
+            return;
+        }
+        self.obs.counter("cluster.admitted").inc();
+        match TrainingExecution::start(
+            training_job(
+                job,
+                &self.spec.fleet.env,
+                self.spec.job_cap.min(self.spec.quota),
+            )
+            .with_obs(&self.obs),
+            FLEET_METHOD,
+        ) {
+            Ok(exec) => {
+                self.execs[i] = Some(exec);
+                self.slots[i].queued_since = t;
+                self.queue.push(i);
+            }
+            Err(_) => self.fail_job(i, t, 0.0),
+        }
+    }
+
+    /// Dispatches ready epochs while the policy picks one that fits.
+    /// Head-of-line: a picked wave that does not fit stalls the queue
+    /// (skipping it would starve wide allocations behind narrow ones).
+    fn dispatch(&mut self, t: f64, events: &mut EventQueue<FleetEvent>) {
+        loop {
+            if self.queue.is_empty() {
+                return;
+            }
+            let ready: Vec<ReadyJob<'_>> = self
+                .queue
+                .iter()
+                .map(|&i| ReadyJob {
+                    spec: &self.jobs[i],
+                    workers: self.execs[i].as_ref().expect("queued job runs").alloc().n,
+                    queued_since_s: self.slots[i].queued_since,
+                })
+                .collect();
+            let view = self.view(t);
+            let Some(pick) = self.policy.pick(&ready, &view) else {
+                return;
+            };
+            let workers = ready[pick].workers;
+            let i = self.queue[pick];
+            if let Err(e) = self.quota.try_acquire(workers) {
+                if e.is_structural() {
+                    // This wave can never fit the account limit: letting
+                    // it wait would deadlock the queue.
+                    self.queue.remove(pick);
+                    let cost = self.execs[i].take().map_or(0.0, |e| e.report().cost_usd);
+                    self.fail_job(i, t, cost);
+                    continue;
+                }
+                self.obs.counter("cluster.quota_stalls").inc();
+                return;
+            }
+            self.queue.remove(pick);
+
+            let slot = &mut self.slots[i];
+            let wait = t - slot.queued_since;
+            slot.queue_delay_s += wait;
+            self.obs.histogram("cluster.queue_delay_s").observe(wait);
+            let exec = self.execs[i].as_mut().expect("queued job runs");
+            if wait > IDLE_EXPIRY_S {
+                exec.cool_down();
+                slot.cold_resumes += 1;
+                self.obs.counter("cluster.cold_resumes").inc();
+            }
+
+            // The wave that executes is the allocation *before* the
+            // step (the step may switch allocations for the next one).
+            let kind = exec.alloc().storage;
+            match exec.step_epoch() {
+                Ok(step) => {
+                    self.obs.counter("cluster.epochs").inc();
+                    let ki = kind_index(kind);
+                    self.active_by_kind[ki] += 1;
+                    let factor = self
+                        .spec
+                        .contention
+                        .sync_slowdown(kind, self.active_by_kind[ki]);
+                    let extra = (factor - 1.0) * step.sync_s;
+                    exec.charge_contention(extra);
+                    self.contention_extra_s += extra;
+                    let slot = &mut self.slots[i];
+                    slot.in_flight_workers = workers;
+                    slot.in_flight_kind = Some(kind);
+                    slot.epochs = step.epoch;
+                    self.running += 1;
+                    events.schedule_at(
+                        SimTime::from_secs(t + step.wall_s + extra),
+                        FleetEvent::EpochDone { job: i },
+                    );
+                }
+                Err(_) => {
+                    // The platform itself refused the wave
+                    // ([`WorkflowError::Quota`], structural overload past
+                    // its own limit): unrecoverable here.
+                    self.quota.release(workers);
+                    let cost = self.execs[i].take().map_or(0.0, |e| e.report().cost_usd);
+                    self.fail_job(i, t, cost);
+                }
+            }
+        }
+    }
+
+    fn on_epoch_done(&mut self, i: usize, t: f64) {
+        let slot = &mut self.slots[i];
+        self.quota.release(slot.in_flight_workers);
+        let kind = slot.in_flight_kind.take().expect("epoch was in flight");
+        self.active_by_kind[kind_index(kind)] -= 1;
+        slot.in_flight_workers = 0;
+        self.running -= 1;
+
+        let done = self.execs[i].as_ref().expect("job in flight").is_done();
+        if !done {
+            self.slots[i].queued_since = t;
+            self.queue.push(i);
+            return;
+        }
+        let exec = self.execs[i].take().expect("job in flight");
+        let job = &self.jobs[i];
+        let billed_cost = exec.report().cost_usd;
+        match exec.finish_quiet() {
+            Ok(report) => {
+                let qos_violated = t - job.arrival_s > job.deadline_s;
+                self.obs.counter("cluster.completed").inc();
+                if qos_violated {
+                    self.obs.counter("cluster.qos_violations").inc();
+                }
+                if report.budget_violated {
+                    self.obs.counter("cluster.budget_violations").inc();
+                }
+                self.obs.event(
+                    t,
+                    "cluster.job_done",
+                    &[
+                        ("job", json!(job.id)),
+                        ("epochs", json!(report.epochs)),
+                        ("cost_usd", json!(report.cost_usd)),
+                        ("qos_violated", json!(qos_violated)),
+                    ],
+                );
+                self.outcomes[i] = Some(JobOutcome {
+                    id: job.id,
+                    tenant: job.tenant,
+                    status: JobStatus::Completed,
+                    arrival_s: job.arrival_s,
+                    finish_s: t,
+                    queue_delay_s: self.slots[i].queue_delay_s,
+                    epochs: report.epochs,
+                    cost_usd: report.cost_usd,
+                    qos_violated,
+                    budget_violated: report.budget_violated,
+                    cold_resumes: self.slots[i].cold_resumes,
+                });
+            }
+            Err(_) => {
+                // Ran out of epochs without converging.
+                self.fail_job(i, t, billed_cost);
+            }
+        }
+    }
+
+    /// Marks a job failed (admission-time infeasibility, structural
+    /// quota overflow, or non-convergence). Fleet dollars still count
+    /// whatever it billed before failing.
+    fn fail_job(&mut self, i: usize, t: f64, cost_usd: f64) {
+        let job = &self.jobs[i];
+        let slot = &self.slots[i];
+        self.obs.counter("cluster.failed").inc();
+        self.obs.counter("cluster.qos_violations").inc();
+        self.obs
+            .event(t, "cluster.job_failed", &[("job", json!(job.id))]);
+        self.outcomes[i] = Some(JobOutcome {
+            id: job.id,
+            tenant: job.tenant,
+            status: JobStatus::Failed,
+            arrival_s: job.arrival_s,
+            finish_s: t,
+            queue_delay_s: slot.queue_delay_s,
+            epochs: slot.epochs,
+            cost_usd,
+            qos_violated: true,
+            budget_violated: false,
+            cold_resumes: slot.cold_resumes,
+        });
+    }
+
+    fn finalize(mut self, makespan_s: f64) -> FleetReport {
+        let jobs: Vec<JobOutcome> = self
+            .outcomes
+            .drain(..)
+            .map(|o| o.expect("every job reaches a terminal state"))
+            .collect();
+        let fleet_dollars: f64 = jobs.iter().map(|j| j.cost_usd).sum();
+        let quota_utilization = if makespan_s > 0.0 && self.quota.limit() > 0 {
+            self.util_integral / (makespan_s * f64::from(self.quota.limit()))
+        } else {
+            0.0
+        };
+        self.obs.gauge("cluster.makespan_s").set(makespan_s);
+        self.obs.gauge("cluster.fleet_dollars").set(fleet_dollars);
+        self.obs
+            .gauge("cluster.quota_peak")
+            .set(f64::from(self.quota.peak()));
+        self.obs
+            .gauge("cluster.quota_utilization")
+            .set(quota_utilization);
+        self.obs
+            .gauge("cluster.contention_extra_s")
+            .set(self.contention_extra_s);
+        FleetReport {
+            policy: self.policy.name().to_string(),
+            jobs,
+            makespan_s,
+            fleet_dollars,
+            quota_utilization,
+            quota_peak: self.quota.peak(),
+            contention_extra_s: self.contention_extra_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{DeadlineEdf, Fifo, RejectOnOverload};
+
+    fn small_fleet(seed: u64) -> FleetSpec {
+        FleetSpec::poisson(12, 8.0, seed)
+    }
+
+    #[test]
+    fn fleet_runs_to_completion_and_accounts_every_job() {
+        let registry = Registry::new();
+        let spec = ClusterSpec::new(small_fleet(5), 60);
+        let report = ClusterSim::new(spec, Box::new(Fifo))
+            .with_obs(&registry)
+            .run();
+        assert_eq!(report.jobs.len(), 12);
+        assert_eq!(registry.counter_value("cluster.arrivals"), 12);
+        let terminal = report.count(JobStatus::Completed)
+            + report.count(JobStatus::Rejected)
+            + report.count(JobStatus::Failed);
+        assert_eq!(terminal, 12);
+        assert!(report.count(JobStatus::Completed) > 0);
+        assert!(report.fleet_dollars > 0.0);
+        assert!(report.makespan_s > 0.0);
+        assert!(report.quota_peak > 0);
+        assert!(report.quota_utilization > 0.0 && report.quota_utilization <= 1.0);
+    }
+
+    #[test]
+    fn same_seed_same_bytes() {
+        let run = || {
+            let registry = Registry::new();
+            let spec = ClusterSpec::new(small_fleet(11), 40);
+            let report = ClusterSim::new(spec, Box::new(DeadlineEdf))
+                .with_obs(&registry)
+                .run();
+            (registry.export_jsonl(), report)
+        };
+        let (a_jsonl, a_report) = run();
+        let (b_jsonl, b_report) = run();
+        assert_eq!(a_jsonl, b_jsonl, "fleet JSONL must be byte-identical");
+        assert_eq!(a_report, b_report);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            let registry = Registry::new();
+            ClusterSim::new(ClusterSpec::new(small_fleet(seed), 40), Box::new(Fifo))
+                .with_obs(&registry)
+                .run()
+        };
+        assert_ne!(run(1).fleet_dollars, run(2).fleet_dollars);
+    }
+
+    #[test]
+    fn tight_quota_queues_jobs() {
+        let run = |quota| {
+            let registry = Registry::new();
+            let report = ClusterSim::new(
+                ClusterSpec::new(FleetSpec::poisson(10, 30.0, 13), quota),
+                Box::new(Fifo),
+            )
+            .with_obs(&registry)
+            .run();
+            (report, registry)
+        };
+        let (tight, tight_reg) = run(12);
+        let (roomy, _) = run(600);
+        assert!(
+            tight.mean_queue_delay_s() > roomy.mean_queue_delay_s(),
+            "tight {} vs roomy {}",
+            tight.mean_queue_delay_s(),
+            roomy.mean_queue_delay_s()
+        );
+        assert!(tight_reg.counter_value("cluster.quota_stalls") > 0);
+    }
+
+    #[test]
+    fn job_cap_lets_tenants_run_concurrently() {
+        // Capping per-job waves below the quota turns time-slicing into
+        // genuine concurrency: peak reservations exceed any single wave.
+        let registry = Registry::new();
+        let spec = ClusterSpec::new(FleetSpec::poisson(12, 30.0, 5), 60).with_job_cap(8);
+        let report = ClusterSim::new(spec, Box::new(Fifo))
+            .with_obs(&registry)
+            .run();
+        assert_eq!(report.count(JobStatus::Completed), report.jobs.len());
+        assert!(
+            report.quota_peak > 8,
+            "peak {} should exceed one capped wave",
+            report.quota_peak
+        );
+    }
+
+    #[test]
+    fn reject_policy_sheds_load_under_pressure() {
+        let registry = Registry::new();
+        let spec = ClusterSpec::new(FleetSpec::poisson(20, 60.0, 17), 15);
+        let report = ClusterSim::new(spec, Box::new(RejectOnOverload { max_queue: 3 }))
+            .with_obs(&registry)
+            .run();
+        assert!(report.count(JobStatus::Rejected) > 0);
+        assert_eq!(
+            registry.counter_value("cluster.rejected") as usize,
+            report.count(JobStatus::Rejected)
+        );
+    }
+
+    #[test]
+    fn structurally_oversized_quota_fails_typed_not_panicking() {
+        // A zero quota no wave can ever fit: every admitted job fails
+        // through the typed path, nothing panics.
+        let registry = Registry::new();
+        let spec = ClusterSpec::new(small_fleet(23), 0);
+        let report = ClusterSim::new(spec, Box::new(Fifo))
+            .with_obs(&registry)
+            .run();
+        assert_eq!(report.count(JobStatus::Failed), report.jobs.len());
+        assert!(registry.counter_value("cluster.failed") > 0);
+    }
+
+    #[test]
+    fn single_slot_quota_serializes_but_completes() {
+        // Quota 1 caps every job's allocation grid to single-function
+        // waves: the fleet fully serializes yet still finishes cleanly.
+        let registry = Registry::new();
+        let spec = ClusterSpec::new(small_fleet(29), 1);
+        let report = ClusterSim::new(spec, Box::new(Fifo))
+            .with_obs(&registry)
+            .run();
+        assert_eq!(report.count(JobStatus::Failed), 0);
+        assert_eq!(report.count(JobStatus::Completed), report.jobs.len());
+        assert_eq!(report.quota_peak, 1);
+    }
+}

@@ -1,0 +1,286 @@
+//! Admission control and fleet-scheduling policies.
+//!
+//! Two decisions, both pluggable: *admission* (does an arriving job get
+//! in at all?) and *dispatch* (when quota frees up, whose epoch runs
+//! next?). Dispatch is head-of-line: the policy picks one ready job; if
+//! its wave does not fit the free quota the cluster waits for capacity
+//! rather than skipping ahead (skipping would starve wide allocations
+//! forever). Policies therefore differentiate mostly by *ordering* —
+//! EDF runs urgent jobs first, cost-greedy runs narrow waves first,
+//! reject-on-overload sheds load instead of queueing it.
+
+use crate::arrival::JobSpec;
+
+/// What the admission controller sees when deciding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterView {
+    /// Current simulation time (seconds).
+    pub now_s: f64,
+    /// Functions currently reserved from the shared quota.
+    pub quota_in_use: u32,
+    /// The account-level concurrency limit.
+    pub quota_limit: u32,
+    /// Jobs waiting for their next epoch's quota.
+    pub queue_len: usize,
+    /// Jobs with an epoch in flight right now.
+    pub running: usize,
+}
+
+/// A job waiting for its next epoch to be dispatched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadyJob<'a> {
+    /// The job's contract.
+    pub spec: &'a JobSpec,
+    /// Workers its next wave will reserve from the quota.
+    pub workers: u32,
+    /// When it entered the queue (this wait, not cumulative).
+    pub queued_since_s: f64,
+}
+
+/// Admission verdict for an arriving job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Let the job in; it competes for quota.
+    Admit,
+    /// Turn the job away at the door (counted as a QoS loss).
+    Reject,
+}
+
+/// A pluggable admission + dispatch policy.
+pub trait AdmissionPolicy {
+    /// Short name used in reports and metric labels.
+    fn name(&self) -> &'static str;
+
+    /// Decides whether an arriving job gets in. The default admits
+    /// everything.
+    fn admit(&self, job: &JobSpec, view: &ClusterView) -> Admission {
+        let _ = (job, view);
+        Admission::Admit
+    }
+
+    /// Picks which ready job's epoch to dispatch next. `ready` is in
+    /// arrival order; returns an index into it, or `None` to idle.
+    fn pick(&self, ready: &[ReadyJob<'_>], view: &ClusterView) -> Option<usize>;
+}
+
+/// First-come-first-served: dispatch the job that has waited longest.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fifo;
+
+impl AdmissionPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn pick(&self, ready: &[ReadyJob<'_>], _view: &ClusterView) -> Option<usize> {
+        // Ready is kept in arrival order; longest-waiting epoch first.
+        position_min_by(ready, |j| (j.queued_since_s, j.spec.id))
+    }
+}
+
+/// Earliest-deadline-first: dispatch the job whose absolute QoS
+/// deadline (arrival + contract) is nearest.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadlineEdf;
+
+impl AdmissionPolicy for DeadlineEdf {
+    fn name(&self) -> &'static str {
+        "edf"
+    }
+
+    fn pick(&self, ready: &[ReadyJob<'_>], _view: &ClusterView) -> Option<usize> {
+        position_min_by(ready, |j| (j.spec.arrival_s + j.spec.deadline_s, j.spec.id))
+    }
+}
+
+/// Cost-greedy: dispatch the narrowest wave first. Small waves maximize
+/// jobs-in-flight per unit quota and leave the least capacity stranded
+/// behind the head of the line.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostGreedy;
+
+impl AdmissionPolicy for CostGreedy {
+    fn name(&self) -> &'static str {
+        "cost-greedy"
+    }
+
+    fn pick(&self, ready: &[ReadyJob<'_>], _view: &ClusterView) -> Option<usize> {
+        position_min_by(ready, |j| (f64::from(j.workers), j.spec.id))
+    }
+}
+
+/// FIFO dispatch plus load shedding: arrivals are rejected outright
+/// once the queue is `max_queue` deep — trading rejected jobs for
+/// meeting the deadlines of the jobs it does admit.
+#[derive(Debug, Clone, Copy)]
+pub struct RejectOnOverload {
+    /// Queue depth at which arrivals start bouncing.
+    pub max_queue: usize,
+}
+
+impl Default for RejectOnOverload {
+    fn default() -> Self {
+        RejectOnOverload { max_queue: 8 }
+    }
+}
+
+impl AdmissionPolicy for RejectOnOverload {
+    fn name(&self) -> &'static str {
+        "reject-on-overload"
+    }
+
+    fn admit(&self, _job: &JobSpec, view: &ClusterView) -> Admission {
+        if view.queue_len >= self.max_queue {
+            Admission::Reject
+        } else {
+            Admission::Admit
+        }
+    }
+
+    fn pick(&self, ready: &[ReadyJob<'_>], view: &ClusterView) -> Option<usize> {
+        Fifo.pick(ready, view)
+    }
+}
+
+/// Every built-in policy, for sweeps.
+pub fn all_policies() -> Vec<Box<dyn AdmissionPolicy>> {
+    vec![
+        Box::new(Fifo),
+        Box::new(DeadlineEdf),
+        Box::new(CostGreedy),
+        Box::new(RejectOnOverload::default()),
+    ]
+}
+
+/// Builds a policy by name (CLI surface).
+pub fn policy_by_name(name: &str) -> Option<Box<dyn AdmissionPolicy>> {
+    match name {
+        "fifo" => Some(Box::new(Fifo)),
+        "edf" => Some(Box::new(DeadlineEdf)),
+        "cost-greedy" => Some(Box::new(CostGreedy)),
+        "reject-on-overload" => Some(Box::new(RejectOnOverload::default())),
+        _ => None,
+    }
+}
+
+/// Index of the minimum by a totally ordered key; ties break on the
+/// earlier index, so dispatch is deterministic.
+fn position_min_by<K: PartialOrd>(
+    ready: &[ReadyJob<'_>],
+    key: impl Fn(&ReadyJob<'_>) -> K,
+) -> Option<usize> {
+    let mut best: Option<(usize, K)> = None;
+    for (i, j) in ready.iter().enumerate() {
+        let k = key(j);
+        let better = match &best {
+            None => true,
+            Some((_, bk)) => k < *bk,
+        };
+        if better {
+            best = Some((i, k));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_models::Workload;
+
+    fn spec(id: u64, arrival_s: f64, deadline_s: f64) -> JobSpec {
+        JobSpec {
+            id,
+            tenant: 0,
+            arrival_s,
+            workload: Workload::lr_higgs(),
+            budget_usd: 1.0,
+            deadline_s,
+            seed: id,
+        }
+    }
+
+    fn view(queue_len: usize) -> ClusterView {
+        ClusterView {
+            now_s: 0.0,
+            quota_in_use: 0,
+            quota_limit: 100,
+            queue_len,
+            running: 0,
+        }
+    }
+
+    #[test]
+    fn fifo_picks_longest_waiting() {
+        let a = spec(0, 0.0, 100.0);
+        let b = spec(1, 5.0, 100.0);
+        let ready = [
+            ReadyJob {
+                spec: &b,
+                workers: 10,
+                queued_since_s: 5.0,
+            },
+            ReadyJob {
+                spec: &a,
+                workers: 10,
+                queued_since_s: 2.0,
+            },
+        ];
+        assert_eq!(Fifo.pick(&ready, &view(2)), Some(1));
+    }
+
+    #[test]
+    fn edf_picks_nearest_absolute_deadline() {
+        let a = spec(0, 0.0, 500.0);
+        let b = spec(1, 100.0, 50.0); // due at 150, ahead of a's 500
+        let ready = [
+            ReadyJob {
+                spec: &a,
+                workers: 10,
+                queued_since_s: 0.0,
+            },
+            ReadyJob {
+                spec: &b,
+                workers: 10,
+                queued_since_s: 0.0,
+            },
+        ];
+        assert_eq!(DeadlineEdf.pick(&ready, &view(2)), Some(1));
+    }
+
+    #[test]
+    fn cost_greedy_picks_narrowest_wave() {
+        let a = spec(0, 0.0, 100.0);
+        let b = spec(1, 0.0, 100.0);
+        let ready = [
+            ReadyJob {
+                spec: &a,
+                workers: 40,
+                queued_since_s: 0.0,
+            },
+            ReadyJob {
+                spec: &b,
+                workers: 5,
+                queued_since_s: 0.0,
+            },
+        ];
+        assert_eq!(CostGreedy.pick(&ready, &view(2)), Some(1));
+    }
+
+    #[test]
+    fn reject_on_overload_bounces_at_depth() {
+        let p = RejectOnOverload { max_queue: 3 };
+        let j = spec(9, 0.0, 100.0);
+        assert_eq!(p.admit(&j, &view(2)), Admission::Admit);
+        assert_eq!(p.admit(&j, &view(3)), Admission::Reject);
+    }
+
+    #[test]
+    fn policy_registry_round_trips_names() {
+        for p in all_policies() {
+            let again = policy_by_name(p.name()).expect("known name");
+            assert_eq!(again.name(), p.name());
+        }
+        assert!(policy_by_name("nope").is_none());
+    }
+}

@@ -117,15 +117,21 @@ fn cold_start_overhead(config: &PlatformConfig, cold: u32, rng: &mut SimRng) -> 
 /// (cold start) and redoes a uniform fraction of its epoch work. Retries
 /// run concurrently, so the BSP barrier stalls for the *slowest* retry,
 /// not their sum.
+///
+/// Fault sampling draws from its own forked stream (`derive` is
+/// order-independent and leaves the parent untouched), so toggling
+/// failure injection never shifts the jitter streams of an otherwise
+/// identical run — clean and faulty runs stay comparable draw-for-draw.
 fn failure_overhead(
     config: &PlatformConfig,
     n: u32,
     per_worker_epoch_s: f64,
-    rng: &mut SimRng,
+    rng: &SimRng,
 ) -> (u32, f64) {
     if config.failure_rate <= 0.0 {
         return (0, 0.0);
     }
+    let mut rng = rng.derive("faults");
     let mut failures = 0;
     let mut stall_s = 0.0f64;
     for _ in 0..n {
@@ -474,6 +480,43 @@ mod tests {
         // With 50 workers at 20 % failure probability, failures must
         // occur across 10 epochs.
         assert!(total_failures > 20, "only {total_failures} failures");
+    }
+
+    #[test]
+    fn failure_toggle_preserves_jitter_streams() {
+        // Fault sampling lives on its own forked stream: switching
+        // injection on must leave every other draw (load/compute/sync
+        // jitter) untouched, so the faulty run is the clean run plus a
+        // stall — not a different trajectory.
+        let env = env();
+        let w = Workload::lr_higgs();
+        let alloc = Allocation::new(50, 1769, StorageKind::S3);
+        let faulty_config = PlatformConfig {
+            failure_rate: 0.2,
+            ..PlatformConfig::default()
+        };
+        for fidelity in [ExecutionFidelity::Fast, ExecutionFidelity::Event] {
+            for seed in 0..5 {
+                let mut rng = SimRng::new(seed);
+                let clean = simulate_epoch(
+                    &env,
+                    &PlatformConfig::default(),
+                    &w,
+                    &alloc,
+                    0,
+                    fidelity,
+                    &mut rng,
+                );
+                let mut rng = SimRng::new(seed);
+                let faulty =
+                    simulate_epoch(&env, &faulty_config, &w, &alloc, 0, fidelity, &mut rng);
+                assert_eq!(clean.time, faulty.time, "{fidelity:?} seed {seed}");
+                assert!(
+                    (faulty.wall_s - (clean.wall_s + faulty.failure_s)).abs() < 1e-12,
+                    "{fidelity:?} seed {seed}: faulty wall must be clean wall + stall"
+                );
+            }
+        }
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //!   including the paper's *delayed restart* overlap optimization (Fig 8).
 //! * [`function`] — instance lifecycle: warm pools, idle expiry,
 //!   execution-limit accounting.
+//! * [`quota`] — the shared account-level concurrency pool
+//!   ([`quota::AccountQuota`]) and the typed overload signal
+//!   ([`quota::QuotaExceeded`]) multi-tenant schedulers react to.
 //!
 //! ```
 //! use ce_faas::{ExecutionFidelity, FaasPlatform};
@@ -37,10 +40,10 @@
 //! let mut platform = FaasPlatform::new(Environment::aws_default(), 42);
 //! let w = Workload::lr_higgs();
 //! let theta = Allocation::new(10, 1769, StorageKind::S3);
-//! let first = platform.run_epoch(&w, &theta, ExecutionFidelity::Fast);
+//! let first = platform.run_epoch(&w, &theta, ExecutionFidelity::Fast).unwrap();
 //! assert_eq!(first.cold_starts, 10);
 //! // The wave stays warm: the next epoch reuses every instance.
-//! let second = platform.run_epoch(&w, &theta, ExecutionFidelity::Fast);
+//! let second = platform.run_epoch(&w, &theta, ExecutionFidelity::Fast).unwrap();
 //! assert_eq!(second.cold_starts, 0);
 //! assert_eq!(platform.pool_stats().warm_hits, 10);
 //! ```
@@ -49,6 +52,7 @@ pub mod billing;
 pub mod epoch;
 pub mod function;
 pub mod platform;
+pub mod quota;
 pub mod restart;
 pub mod stage;
 
@@ -56,4 +60,5 @@ pub use billing::BillingLedger;
 pub use epoch::{ExecutionFidelity, MeasuredEpoch};
 pub use function::{FunctionId, InstancePool, PoolStats};
 pub use platform::{FaasPlatform, PlatformConfig};
+pub use quota::{AccountQuota, QuotaExceeded};
 pub use restart::RestartPlan;

@@ -3,6 +3,7 @@
 use crate::billing::BillingLedger;
 use crate::epoch::{self, ExecutionFidelity, MeasuredEpoch};
 use crate::function::{InstancePool, PoolStats};
+use crate::quota::{AccountQuota, QuotaExceeded};
 use ce_models::{Allocation, Environment, Workload};
 use ce_obs::Registry;
 use ce_sim_core::rng::SimRng;
@@ -66,6 +67,10 @@ pub struct FaasPlatform {
     /// adds), so aggregation across forked trial platforms is
     /// order-insensitive.
     obs: Registry,
+    /// Optional account-level concurrency pool shared with other
+    /// platforms (multi-tenant operation). `None` leaves only the
+    /// per-platform `config.max_concurrency` check.
+    shared_quota: Option<AccountQuota>,
 }
 
 impl FaasPlatform {
@@ -85,6 +90,7 @@ impl FaasPlatform {
             now: SimTime::ZERO,
             epochs_run: 0,
             obs: Registry::new(),
+            shared_quota: None,
         }
     }
 
@@ -92,6 +98,19 @@ impl FaasPlatform {
     pub fn with_registry(mut self, registry: &Registry) -> Self {
         self.obs = registry.clone();
         self
+    }
+
+    /// Draws this platform's concurrency from a shared account-level
+    /// pool: every epoch reserves `alloc.n` functions from `quota` for
+    /// its duration, so concurrent tenants contend for one limit.
+    pub fn with_shared_quota(mut self, quota: &AccountQuota) -> Self {
+        self.shared_quota = Some(quota.clone());
+        self
+    }
+
+    /// The shared account quota, when one is attached.
+    pub fn shared_quota(&self) -> Option<&AccountQuota> {
+        self.shared_quota.as_ref()
     }
 
     /// The registry the platform's metrics live in.
@@ -144,20 +163,35 @@ impl FaasPlatform {
     /// Runs one BSP training epoch of `w` under `alloc`, consuming warm
     /// instances where available and billing everything to the ledger.
     ///
-    /// # Panics
-    /// Panics if `alloc.n` exceeds the concurrency quota.
+    /// # Errors
+    /// Returns [`QuotaExceeded`] — a recoverable admission signal, never
+    /// a panic — when `alloc.n` exceeds the platform concurrency limit,
+    /// or when an attached shared [`AccountQuota`] cannot supply
+    /// `alloc.n` functions right now. A rejected epoch runs nothing and
+    /// bills nothing; the breach is counted under
+    /// `faas.limit_breaches` / `faas.quota_rejections`.
     pub fn run_epoch(
         &mut self,
         w: &Workload,
         alloc: &Allocation,
         fidelity: ExecutionFidelity,
-    ) -> MeasuredEpoch {
-        assert!(
-            alloc.n <= self.config.max_concurrency,
-            "allocation of {} functions exceeds the concurrency quota of {}",
-            alloc.n,
-            self.config.max_concurrency
-        );
+    ) -> Result<MeasuredEpoch, QuotaExceeded> {
+        if alloc.n > self.config.max_concurrency {
+            self.obs.counter("faas.limit_breaches").inc();
+            self.obs.counter("faas.quota_rejections").inc();
+            return Err(QuotaExceeded {
+                requested: alloc.n,
+                in_use: 0,
+                limit: self.config.max_concurrency,
+            });
+        }
+        if let Some(quota) = &self.shared_quota {
+            if let Err(e) = quota.try_acquire(alloc.n) {
+                self.obs.counter("faas.limit_breaches").inc();
+                self.obs.counter("faas.quota_rejections").inc();
+                return Err(e);
+            }
+        }
         let breaches_before = self.pool.stats().limit_breaches;
         let (ids, cold) = self.pool.acquire(alloc.n, alloc.memory_mb, self.now);
 
@@ -216,7 +250,10 @@ impl FaasPlatform {
                 .histogram("faas.retry_stall_s")
                 .observe(measured.failure_s);
         }
-        measured
+        if let Some(quota) = &self.shared_quota {
+            quota.release(alloc.n);
+        }
+        Ok(measured)
     }
 
     /// Derives an independent platform for a parallel trial: same
@@ -234,6 +271,9 @@ impl FaasPlatform {
             // Forked trials share the sink: their counter adds commute,
             // so the aggregate is deterministic regardless of trial order.
             obs: self.obs.clone(),
+            // The account quota is account-wide: forks contend with the
+            // parent and each other.
+            shared_quota: self.shared_quota.clone(),
         }
     }
 }
@@ -255,7 +295,9 @@ mod tests {
     fn epoch_bills_ledger() {
         let mut p = platform();
         let w = Workload::lr_higgs();
-        let m = p.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast);
+        let m = p
+            .run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast)
+            .unwrap();
         let l = p.ledger();
         assert_eq!(l.invocations, 10);
         assert!(l.gb_seconds > 0.0);
@@ -267,9 +309,13 @@ mod tests {
     fn cold_then_warm_waves() {
         let mut p = platform();
         let w = Workload::lr_higgs();
-        let first = p.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast);
+        let first = p
+            .run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast)
+            .unwrap();
         assert_eq!(first.cold_starts, 10);
-        let second = p.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast);
+        let second = p
+            .run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast)
+            .unwrap();
         assert_eq!(second.cold_starts, 0);
         assert!(first.cold_start_s > 1.0, "cold wave pays the cold start");
         assert_eq!(second.cold_start_s, 0.0, "warm wave pays none");
@@ -280,7 +326,9 @@ mod tests {
         let mut p = platform();
         let w = Workload::lr_higgs();
         p.prewarm(10, 1769);
-        let m = p.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast);
+        let m = p
+            .run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast)
+            .unwrap();
         assert_eq!(m.cold_starts, 0);
     }
 
@@ -288,9 +336,12 @@ mod tests {
     fn cool_down_forgets_warm_pool() {
         let mut p = platform();
         let w = Workload::lr_higgs();
-        p.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast);
+        p.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast)
+            .unwrap();
         p.cool_down();
-        let m = p.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast);
+        let m = p
+            .run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast)
+            .unwrap();
         assert_eq!(m.cold_starts, 10);
     }
 
@@ -298,19 +349,53 @@ mod tests {
     fn growing_the_wave_cold_starts_only_new_instances() {
         let mut p = platform();
         let w = Workload::lr_higgs();
-        p.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast);
+        p.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast)
+            .unwrap();
         let bigger = Allocation::new(16, 1769, StorageKind::S3);
-        let m = p.run_epoch(&w, &bigger, ExecutionFidelity::Fast);
+        let m = p.run_epoch(&w, &bigger, ExecutionFidelity::Fast).unwrap();
         assert_eq!(m.cold_starts, 6);
     }
 
     #[test]
-    #[should_panic(expected = "concurrency quota")]
-    fn concurrency_quota_enforced() {
+    fn concurrency_quota_is_a_typed_error() {
         let mut p = platform();
         let w = Workload::lr_higgs();
         let huge = Allocation::new(5000, 1769, StorageKind::S3);
-        p.run_epoch(&w, &huge, ExecutionFidelity::Fast);
+        let err = p.run_epoch(&w, &huge, ExecutionFidelity::Fast).unwrap_err();
+        assert!(err.is_structural(), "5000 > 3000 can never fit");
+        assert_eq!(err.limit, 3000);
+        assert_eq!(p.registry().counter("faas.limit_breaches").get(), 1);
+        assert_eq!(p.registry().counter("faas.quota_rejections").get(), 1);
+        assert_eq!(p.ledger().invocations, 0, "a rejected epoch bills nothing");
+    }
+
+    #[test]
+    fn shared_quota_contention_rejects_and_recovers() {
+        let quota = AccountQuota::new(8);
+        let mut p = platform().with_shared_quota(&quota);
+        let w = Workload::lr_higgs();
+        // 10 > 8: the account pool cannot supply the wave.
+        let err = p
+            .run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast)
+            .unwrap_err();
+        assert!(err.is_structural());
+        assert_eq!(quota.rejections(), 1);
+        assert_eq!(quota.in_use(), 0, "a failed acquire leaks nothing");
+        // Another tenant holding part of the pool blocks an otherwise
+        // feasible wave; releasing it unblocks.
+        let quota = AccountQuota::new(12);
+        let mut p = platform().with_shared_quota(&quota);
+        quota.try_acquire(5).unwrap();
+        assert!(p
+            .run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast)
+            .is_err());
+        quota.release(5);
+        let m = p
+            .run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast)
+            .unwrap();
+        assert!(m.wall_s > 0.0);
+        assert_eq!(quota.in_use(), 0, "epoch returned its reservation");
+        assert_eq!(quota.peak(), 10);
     }
 
     #[test]
@@ -319,7 +404,11 @@ mod tests {
             let mut p = FaasPlatform::new(Environment::aws_default(), 7);
             let w = Workload::lr_higgs();
             (0..3)
-                .map(|_| p.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast).wall_s)
+                .map(|_| {
+                    p.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast)
+                        .unwrap()
+                        .wall_s
+                })
                 .collect::<Vec<f64>>()
         };
         assert_eq!(run(), run());
@@ -334,11 +423,16 @@ mod tests {
         let mut b = p.fork("trial", 1);
         let wa1 = a1
             .run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast)
+            .unwrap()
             .wall_s;
         let wa2 = a2
             .run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast)
+            .unwrap()
             .wall_s;
-        let wb = b.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast).wall_s;
+        let wb = b
+            .run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast)
+            .unwrap()
+            .wall_s;
         assert_eq!(wa1, wa2);
         assert_ne!(wa1, wb);
         assert_eq!(p.ledger().total_dollars(), 0.0, "fork must not bill parent");

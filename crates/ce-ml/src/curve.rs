@@ -1,7 +1,7 @@
 //! Stochastic loss-convergence curves.
 //!
 //! SGD loss trajectories are well described by an inverse-power family
-//! (the same family Optimus [16] and SLAQ [17] fit online):
+//! (the same family Optimus \[16\] and SLAQ \[17\] fit online):
 //!
 //! ```text
 //! σ(e) = floor + (initial − floor) / (1 + rate · e)^power

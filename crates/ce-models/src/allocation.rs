@@ -82,6 +82,18 @@ impl AllocationSpace {
         self
     }
 
+    /// Drops function counts above `limit` — the grid a job sees when an
+    /// account-level concurrency quota caps its waves. Always keeps at
+    /// least the narrowest count so the space stays non-empty.
+    pub fn with_max_concurrency(mut self, limit: u32) -> Self {
+        let narrowest = self.function_counts.first().copied();
+        self.function_counts.retain(|&n| n <= limit);
+        if self.function_counts.is_empty() {
+            self.function_counts.extend(narrowest);
+        }
+        self
+    }
+
     /// Enumerates every allocation in the space that is *feasible* for a
     /// job needing at least `min_memory_mb` per function and a model blob
     /// of `model_mb` (DynamoDB's item limit filters large models, and the
@@ -123,6 +135,16 @@ mod tests {
     fn display_format() {
         let a = Allocation::new(10, 1769, StorageKind::S3);
         assert_eq!(a.to_string(), "10fn × 1769MB / S3");
+    }
+
+    #[test]
+    fn max_concurrency_caps_function_counts() {
+        let space = AllocationSpace::aws_default().with_max_concurrency(60);
+        assert!(space.function_counts.iter().all(|&n| n <= 60));
+        assert!(space.function_counts.contains(&50));
+        // A quota below every count keeps the narrowest option.
+        let tiny = AllocationSpace::aws_default().with_max_concurrency(0);
+        assert_eq!(tiny.function_counts, vec![1]);
     }
 
     #[test]

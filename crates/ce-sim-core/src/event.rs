@@ -1,6 +1,6 @@
 //! Time-ordered event queue.
 //!
-//! The platform simulator ([`ce-faas`]) advances simulated time by popping
+//! The platform simulator (`ce-faas`) advances simulated time by popping
 //! events in `(time, sequence)` order. Sequence numbers break ties in FIFO
 //! order, which keeps simultaneous completions deterministic.
 

@@ -28,7 +28,7 @@ pub mod trace;
 pub use bohb_runner::{BohbJob, BohbReport};
 pub use metrics::{TrainingReport, TuningReport};
 pub use pipeline::{PipelineJob, PipelineReport};
-pub use runner::{TrainingJob, TuningJob};
+pub use runner::{EpochStep, TrainingExecution, TrainingJob, TuningJob};
 pub use scenario::{Scenario, ScenarioOutcome};
 pub use trace::{Trace, TraceEvent, TraceKind};
 
@@ -100,6 +100,15 @@ pub enum WorkflowError {
         /// Epochs run before giving up.
         epochs: u32,
     },
+    /// The platform refused an epoch's concurrency request. Recoverable:
+    /// a fleet scheduler retries the epoch once quota frees up.
+    Quota(ce_faas::QuotaExceeded),
+}
+
+impl From<ce_faas::QuotaExceeded> for WorkflowError {
+    fn from(e: ce_faas::QuotaExceeded) -> Self {
+        WorkflowError::Quota(e)
+    }
 }
 
 impl std::fmt::Display for WorkflowError {
@@ -112,6 +121,7 @@ impl std::fmt::Display for WorkflowError {
                     "training did not reach the target loss in {epochs} epochs"
                 )
             }
+            WorkflowError::Quota(e) => write!(f, "{e}"),
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::metrics::{StageMetrics, TrainingReport, TuningReport};
 use crate::{Constraint, Method, WorkflowError, EVAL_COST_S, FIT_COST_S};
+use ce_baselines::siren::SirenPolicy;
 use ce_baselines::{CirrusScheduler, FixedScheduler, LambdaMlScheduler, SirenScheduler};
 use ce_faas::restart::plan_restart;
 use ce_faas::{ExecutionFidelity, FaasPlatform, MeasuredEpoch};
@@ -509,221 +510,17 @@ impl TrainingJob {
     /// Runs the job under `method`. `Method::Fixed` is not a training
     /// method (the paper compares CE, Siren, and modified Cirrus;
     /// LambdaML is supported to demonstrate its constraint violations).
+    ///
+    /// Equivalent to stepping a [`TrainingExecution`] to completion: the
+    /// job runs alone, so every epoch follows the previous one
+    /// back-to-back. Fleet schedulers drive the execution directly to
+    /// interleave many jobs in simulated time.
     pub fn run(&self, method: Method) -> Result<TrainingReport, WorkflowError> {
-        assert!(method != Method::Fixed, "Fixed is a tuning-only method");
-        let profile = self.profile_for(method);
-        if profile.points().is_empty() {
-            return Err(WorkflowError::Infeasible("empty profile".into()));
+        let mut exec = TrainingExecution::start(self.clone(), method)?;
+        while !exec.is_done() {
+            exec.step_epoch()?;
         }
-        let objective = training_objective(self.constraint);
-        let curve = curve_for(&self.workload);
-        let rng = SimRng::new(self.seed).derive("training");
-        let mut platform = FaasPlatform::with_config(self.env.clone(), self.platform, self.seed)
-            .with_registry(&self.obs);
-        let mut run = LossCurve::sample_optimal(&curve, rng.derive("run"));
-
-        // Offline estimate (used by every method for its initial sizing).
-        let mut offline_rng = rng.derive("offline");
-        let offline_estimate = OfflinePredictor::new(curve)
-            .predict(self.target_loss, &mut offline_rng)
-            .map(|p| p.total_epochs)
-            .or_else(|| curve.mean_epochs_to(self.target_loss))
-            .ok_or_else(|| WorkflowError::Infeasible("target below loss floor".into()))?
-            .max(1.0);
-        let mean_estimate = curve
-            .mean_epochs_to(self.target_loss)
-            .unwrap_or(offline_estimate);
-
-        // Method-specific controllers.
-        let mut ce_sched = match method {
-            Method::CeScaling => Some(AdaptiveScheduler::new(
-                &profile,
-                objective,
-                self.target_loss,
-                curve.initial,
-                SchedulerConfig {
-                    delta: self.delta,
-                    delayed_restart: self.delayed_restart,
-                    use_pareto: self.use_pareto,
-                    ..SchedulerConfig::default()
-                },
-            )),
-            Method::Cirrus => Some(CirrusScheduler::new().online_training_scheduler(
-                &profile,
-                objective,
-                self.target_loss,
-                curve.initial,
-            )),
-            _ => None,
-        };
-        if let Some(s) = ce_sched.as_mut() {
-            s.bind_registry(&self.obs);
-        }
-        let siren_policy = (method == Method::Siren).then(|| {
-            SirenScheduler::new().train_policy(&profile, objective, mean_estimate, self.seed)
-        });
-
-        // Initial allocation.
-        let mut alloc: Allocation = match method {
-            Method::CeScaling | Method::Cirrus => ce_sched
-                .as_mut()
-                .expect("scheduler present")
-                .initial_allocation(offline_estimate),
-            Method::Siren => siren_policy.as_ref().expect("policy present").decide(0.0),
-            Method::LambdaMl => {
-                let (a, _est) = LambdaMlScheduler::new()
-                    .training_allocation(
-                        &profile,
-                        objective,
-                        &curve,
-                        self.target_loss,
-                        &mut rng.derive("lambdaml"),
-                    )
-                    .ok_or_else(|| WorkflowError::Infeasible("no allocation".into()))?;
-                a
-            }
-            Method::Fixed => unreachable!(),
-        };
-
-        let mut report = TrainingReport {
-            jct_s: 0.0,
-            cost_usd: 0.0,
-            epochs: 0,
-            restarts: 0,
-            comm_s: 0.0,
-            storage_cost_usd: 0.0,
-            sched_overhead_s: 0.0,
-            final_loss: curve.initial,
-            budget_violated: false,
-            qos_violated: false,
-            allocations: vec![alloc],
-            trace: None,
-        };
-        // Always captured; feeds the sink, only reported on request.
-        let mut trace = crate::trace::Trace::new();
-        trace.push(
-            0.0,
-            crate::trace::TraceKind::Planned {
-                evaluations: 0,
-                initial: alloc,
-            },
-        );
-
-        let mut restart_exposed_s = 0.0;
-        for _ in 0..self.max_epochs {
-            let measured: MeasuredEpoch =
-                platform.run_epoch(&self.workload, &alloc, ExecutionFidelity::Fast);
-            let loss = run.next_epoch();
-            report.epochs += 1;
-            report.jct_s += measured.wall_s;
-            report.cost_usd += measured.cost.total();
-            report.comm_s += measured.time.sync_s;
-            report.storage_cost_usd += measured.cost.storage();
-            report.final_loss = loss;
-            trace.push(
-                report.jct_s,
-                crate::trace::TraceKind::Epoch {
-                    epoch: report.epochs,
-                    loss,
-                    wall_s: measured.wall_s,
-                    cost_usd: measured.cost.total(),
-                },
-            );
-            if loss <= self.target_loss {
-                break;
-            }
-
-            // Per-epoch scheduling decision.
-            let next = match method {
-                Method::CeScaling | Method::Cirrus => {
-                    let sched = ce_sched.as_mut().expect("scheduler present");
-                    report.sched_overhead_s += FIT_COST_S;
-                    let before = sched.stats().evaluations;
-                    let decision = sched.on_epoch_end(loss, measured.cost.total(), measured.wall_s);
-                    let evals = sched.stats().evaluations - before;
-                    report.sched_overhead_s += evals as f64 * EVAL_COST_S;
-                    match decision {
-                        Decision::Keep => None,
-                        Decision::Switch { to } => Some(to),
-                    }
-                }
-                Method::Siren => {
-                    // Siren re-decides every epoch from its policy.
-                    report.sched_overhead_s += FIT_COST_S;
-                    let progress =
-                        f64::from(report.epochs) / mean_estimate.max(f64::from(report.epochs));
-                    let next = siren_policy
-                        .as_ref()
-                        .expect("policy present")
-                        .decide(progress);
-                    (next != alloc).then_some(next)
-                }
-                Method::LambdaMl => None,
-                Method::Fixed => unreachable!(),
-            };
-
-            if let Some(to) = next {
-                let delayed = match method {
-                    Method::CeScaling => self.delayed_restart,
-                    // Modified Cirrus and Siren restart eagerly.
-                    _ => false,
-                };
-                let restart =
-                    plan_restart(&self.env, &self.workload, &to, measured.wall_s, delayed);
-                restart_exposed_s += restart.exposed_overhead_s;
-                // The new wave is billed while it warms up/overlaps.
-                report.cost_usd +=
-                    self.env
-                        .pricing
-                        .compute_cost(to.n, to.memory_mb, restart.prepare_s);
-                platform.prewarm(to.n, to.memory_mb);
-                report.restarts += 1;
-                trace.push(
-                    report.jct_s + restart.exposed_overhead_s,
-                    crate::trace::TraceKind::Adjustment {
-                        from: alloc,
-                        to,
-                        exposed_s: restart.exposed_overhead_s,
-                    },
-                );
-                report.allocations.push(to);
-                alloc = to;
-            }
-        }
-        // Scheduling overhead (fits, selections, exposed restart time) is
-        // part of JCT — the paper includes it in every reported JCT.
-        report.sched_overhead_s += restart_exposed_s;
-        report.jct_s += report.sched_overhead_s;
-
-        if report.final_loss > self.target_loss {
-            return Err(WorkflowError::DidNotConverge {
-                epochs: report.epochs,
-            });
-        }
-        match self.constraint {
-            Constraint::Budget(b) => report.budget_violated = report.cost_usd > b,
-            Constraint::Deadline(t) => report.qos_violated = report.jct_s > t,
-        }
-        trace.push(
-            report.jct_s,
-            crate::trace::TraceKind::Done {
-                loss: report.final_loss,
-            },
-        );
-        trace.replay_into(&self.obs);
-        self.obs
-            .counter("training.epochs")
-            .add(u64::from(report.epochs));
-        self.obs
-            .counter("training.restarts")
-            .add(u64::from(report.restarts));
-        self.obs.gauge("training.jct_s").add(report.jct_s);
-        self.obs.gauge("training.cost_usd").add(report.cost_usd);
-        self.obs
-            .gauge("training.sched_overhead_s")
-            .add(report.sched_overhead_s);
-        report.trace = self.capture_trace.then_some(trace);
-        Ok(report)
+        exec.finish()
     }
 
     /// Runs `epochs` epochs under a *fixed* allocation at the requested
@@ -754,14 +551,430 @@ impl TrainingJob {
         // Pre-warm: validation compares steady-state epochs against the
         // analytical model, which has no cold-start term.
         platform.prewarm(alloc.n, alloc.memory_mb);
-        for _ in 0..epochs {
-            let m = platform.run_epoch(&self.workload, &alloc, fidelity);
+        for done in 0..epochs {
+            // A rejected wave (allocation over the concurrency limit)
+            // truncates the measurement instead of panicking.
+            let Ok(m) = platform.run_epoch(&self.workload, &alloc, fidelity) else {
+                report.epochs = done;
+                break;
+            };
             report.jct_s += m.wall_s;
             report.cost_usd += m.cost.total();
             report.comm_s += m.time.sync_s;
             report.storage_cost_usd += m.cost.storage();
         }
         report
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stepwise training execution
+// ---------------------------------------------------------------------
+
+/// One epoch's outcome, as seen by whoever is stepping the execution.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochStep {
+    /// 1-based index of the epoch that just ran.
+    pub epoch: u32,
+    /// Loss after this epoch.
+    pub loss: f64,
+    /// Wall-clock seconds this epoch occupied the platform.
+    pub wall_s: f64,
+    /// Seconds of the wall spent synchronizing through storage.
+    pub sync_s: f64,
+    /// Functions that cold-started in this wave.
+    pub cold_starts: u32,
+    /// Dollars this epoch billed (excluding any restart pre-warm, which
+    /// lands in the report's running total).
+    pub cost_usd: f64,
+    /// Workers this epoch's wave occupied (the current allocation's `n`;
+    /// what a fleet scheduler reserves from the shared quota).
+    pub workers: u32,
+    /// Whether this epoch reached the target loss.
+    pub converged: bool,
+}
+
+/// A training job in flight: the epoch loop of [`TrainingJob::run`],
+/// exposed one epoch at a time so a fleet scheduler can interleave many
+/// jobs in simulated time, inject contention between their epochs, and
+/// decide when each gets quota.
+///
+/// Stepping an execution to completion and calling [`Self::finish`]
+/// produces exactly the report [`TrainingJob::run`] would: all RNG
+/// streams are derived per-epoch, so splitting the loop does not shift
+/// them.
+pub struct TrainingExecution {
+    job: TrainingJob,
+    method: Method,
+    platform: FaasPlatform,
+    run: LossCurve,
+    mean_estimate: f64,
+    ce_sched: Option<AdaptiveScheduler>,
+    siren_policy: Option<SirenPolicy>,
+    alloc: Allocation,
+    report: TrainingReport,
+    trace: crate::trace::Trace,
+    restart_exposed_s: f64,
+    converged: bool,
+}
+
+impl TrainingExecution {
+    /// Plans the job (profiling, offline estimate, method controller,
+    /// initial allocation) without running any epoch.
+    ///
+    /// # Errors
+    /// [`WorkflowError::Infeasible`] when the method has no allocation or
+    /// the target loss is unreachable.
+    ///
+    /// # Panics
+    /// Panics when `method` is [`Method::Fixed`] (a tuning-only method).
+    pub fn start(job: TrainingJob, method: Method) -> Result<TrainingExecution, WorkflowError> {
+        assert!(method != Method::Fixed, "Fixed is a tuning-only method");
+        let profile = job.profile_for(method);
+        if profile.points().is_empty() {
+            return Err(WorkflowError::Infeasible("empty profile".into()));
+        }
+        let objective = training_objective(job.constraint);
+        let curve = curve_for(&job.workload);
+        let rng = SimRng::new(job.seed).derive("training");
+        let platform = FaasPlatform::with_config(job.env.clone(), job.platform, job.seed)
+            .with_registry(&job.obs);
+        let run = LossCurve::sample_optimal(&curve, rng.derive("run"));
+
+        // Offline estimate (used by every method for its initial sizing).
+        let mut offline_rng = rng.derive("offline");
+        let offline_estimate = OfflinePredictor::new(curve)
+            .predict(job.target_loss, &mut offline_rng)
+            .map(|p| p.total_epochs)
+            .or_else(|| curve.mean_epochs_to(job.target_loss))
+            .ok_or_else(|| WorkflowError::Infeasible("target below loss floor".into()))?
+            .max(1.0);
+        let mean_estimate = curve
+            .mean_epochs_to(job.target_loss)
+            .unwrap_or(offline_estimate);
+
+        // Method-specific controllers.
+        let mut ce_sched = match method {
+            Method::CeScaling => Some(AdaptiveScheduler::new(
+                &profile,
+                objective,
+                job.target_loss,
+                curve.initial,
+                SchedulerConfig {
+                    delta: job.delta,
+                    delayed_restart: job.delayed_restart,
+                    use_pareto: job.use_pareto,
+                    ..SchedulerConfig::default()
+                },
+            )),
+            Method::Cirrus => Some(CirrusScheduler::new().online_training_scheduler(
+                &profile,
+                objective,
+                job.target_loss,
+                curve.initial,
+            )),
+            _ => None,
+        };
+        if let Some(s) = ce_sched.as_mut() {
+            s.bind_registry(&job.obs);
+        }
+        let siren_policy = (method == Method::Siren).then(|| {
+            SirenScheduler::new().train_policy(&profile, objective, mean_estimate, job.seed)
+        });
+
+        // Initial allocation.
+        let alloc: Allocation = match method {
+            Method::CeScaling | Method::Cirrus => ce_sched
+                .as_mut()
+                .expect("scheduler present")
+                .initial_allocation(offline_estimate),
+            Method::Siren => siren_policy.as_ref().expect("policy present").decide(0.0),
+            Method::LambdaMl => {
+                let (a, _est) = LambdaMlScheduler::new()
+                    .training_allocation(
+                        &profile,
+                        objective,
+                        &curve,
+                        job.target_loss,
+                        &mut rng.derive("lambdaml"),
+                    )
+                    .ok_or_else(|| WorkflowError::Infeasible("no allocation".into()))?;
+                a
+            }
+            Method::Fixed => unreachable!(),
+        };
+
+        let report = TrainingReport {
+            jct_s: 0.0,
+            cost_usd: 0.0,
+            epochs: 0,
+            restarts: 0,
+            comm_s: 0.0,
+            storage_cost_usd: 0.0,
+            sched_overhead_s: 0.0,
+            final_loss: curve.initial,
+            budget_violated: false,
+            qos_violated: false,
+            allocations: vec![alloc],
+            trace: None,
+        };
+        // Always captured; feeds the sink, only reported on request.
+        let mut trace = crate::trace::Trace::new();
+        trace.push(
+            0.0,
+            crate::trace::TraceKind::Planned {
+                evaluations: 0,
+                initial: alloc,
+            },
+        );
+
+        Ok(TrainingExecution {
+            job,
+            method,
+            platform,
+            run,
+            mean_estimate,
+            ce_sched,
+            siren_policy,
+            alloc,
+            report,
+            trace,
+            restart_exposed_s: 0.0,
+            converged: false,
+        })
+    }
+
+    /// Runs one epoch: simulate the wave, advance the loss curve, and —
+    /// unless the epoch converged — let the method's controller adjust
+    /// the allocation.
+    ///
+    /// # Errors
+    /// [`WorkflowError::Quota`] when the platform (or an attached shared
+    /// quota) refuses the wave. The epoch did not run; the caller may
+    /// retry once capacity frees up.
+    ///
+    /// # Panics
+    /// Panics when called after the execution is done (converged or at
+    /// the epoch cap).
+    pub fn step_epoch(&mut self) -> Result<EpochStep, WorkflowError> {
+        assert!(!self.is_done(), "stepping a finished execution");
+        let measured: MeasuredEpoch =
+            self.platform
+                .run_epoch(&self.job.workload, &self.alloc, ExecutionFidelity::Fast)?;
+        let workers = self.alloc.n;
+        let loss = self.run.next_epoch();
+        let report = &mut self.report;
+        report.epochs += 1;
+        report.jct_s += measured.wall_s;
+        report.cost_usd += measured.cost.total();
+        report.comm_s += measured.time.sync_s;
+        report.storage_cost_usd += measured.cost.storage();
+        report.final_loss = loss;
+        self.trace.push(
+            report.jct_s,
+            crate::trace::TraceKind::Epoch {
+                epoch: report.epochs,
+                loss,
+                wall_s: measured.wall_s,
+                cost_usd: measured.cost.total(),
+            },
+        );
+        let step = EpochStep {
+            epoch: report.epochs,
+            loss,
+            wall_s: measured.wall_s,
+            sync_s: measured.time.sync_s,
+            cold_starts: measured.cold_starts,
+            cost_usd: measured.cost.total(),
+            workers,
+            converged: loss <= self.job.target_loss,
+        };
+        if step.converged {
+            self.converged = true;
+            return Ok(step);
+        }
+
+        // Per-epoch scheduling decision.
+        let next = match self.method {
+            Method::CeScaling | Method::Cirrus => {
+                let sched = self.ce_sched.as_mut().expect("scheduler present");
+                report.sched_overhead_s += FIT_COST_S;
+                let before = sched.stats().evaluations;
+                let decision = sched.on_epoch_end(loss, measured.cost.total(), measured.wall_s);
+                let evals = sched.stats().evaluations - before;
+                report.sched_overhead_s += evals as f64 * EVAL_COST_S;
+                match decision {
+                    Decision::Keep => None,
+                    Decision::Switch { to } => Some(to),
+                }
+            }
+            Method::Siren => {
+                // Siren re-decides every epoch from its policy.
+                report.sched_overhead_s += FIT_COST_S;
+                let progress =
+                    f64::from(report.epochs) / self.mean_estimate.max(f64::from(report.epochs));
+                let next = self
+                    .siren_policy
+                    .as_ref()
+                    .expect("policy present")
+                    .decide(progress);
+                (next != self.alloc).then_some(next)
+            }
+            Method::LambdaMl => None,
+            Method::Fixed => unreachable!(),
+        };
+
+        if let Some(to) = next {
+            let delayed = match self.method {
+                Method::CeScaling => self.job.delayed_restart,
+                // Modified Cirrus and Siren restart eagerly.
+                _ => false,
+            };
+            let restart = plan_restart(
+                &self.job.env,
+                &self.job.workload,
+                &to,
+                measured.wall_s,
+                delayed,
+            );
+            self.restart_exposed_s += restart.exposed_overhead_s;
+            // The new wave is billed while it warms up/overlaps.
+            report.cost_usd +=
+                self.job
+                    .env
+                    .pricing
+                    .compute_cost(to.n, to.memory_mb, restart.prepare_s);
+            self.platform.prewarm(to.n, to.memory_mb);
+            report.restarts += 1;
+            self.trace.push(
+                report.jct_s + restart.exposed_overhead_s,
+                crate::trace::TraceKind::Adjustment {
+                    from: self.alloc,
+                    to,
+                    exposed_s: restart.exposed_overhead_s,
+                },
+            );
+            report.allocations.push(to);
+            self.alloc = to;
+        }
+        Ok(step)
+    }
+
+    /// Charges time another tenant's load added to this job's epoch
+    /// (storage contention inflating sync, or queueing at the quota).
+    /// The stall extends JCT and communication time and — because
+    /// serverless bills wall time, barrier waits included — compute cost.
+    pub fn charge_contention(&mut self, extra_s: f64) {
+        if extra_s <= 0.0 {
+            return;
+        }
+        self.report.jct_s += extra_s;
+        self.report.comm_s += extra_s;
+        self.report.cost_usd +=
+            self.job
+                .env
+                .pricing
+                .compute_cost(self.alloc.n, self.alloc.memory_mb, extra_s);
+    }
+
+    /// Drops the job's warm instances (a queue wait long enough for the
+    /// platform's idle expiry to fire; the next wave cold-starts).
+    pub fn cool_down(&mut self) {
+        self.platform.cool_down();
+    }
+
+    /// Whether the execution has converged or exhausted its epoch cap.
+    pub fn is_done(&self) -> bool {
+        self.converged || self.report.epochs >= self.job.max_epochs
+    }
+
+    /// Whether the target loss has been reached.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Epochs run so far.
+    pub fn epochs(&self) -> u32 {
+        self.report.epochs
+    }
+
+    /// The allocation the *next* epoch will run under.
+    pub fn alloc(&self) -> Allocation {
+        self.alloc
+    }
+
+    /// The method driving allocation decisions.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// The running report (totals so far; finalized by [`Self::finish`]).
+    pub fn report(&self) -> &TrainingReport {
+        &self.report
+    }
+
+    /// Finalizes the run: folds scheduling overhead into JCT, checks
+    /// convergence and the constraint, replays the timeline into the
+    /// job's observability sink, and emits the `training.*` summary.
+    ///
+    /// # Errors
+    /// [`WorkflowError::DidNotConverge`] when the target loss was not
+    /// reached.
+    pub fn finish(self) -> Result<TrainingReport, WorkflowError> {
+        self.finish_impl(true)
+    }
+
+    /// [`Self::finish`] without replaying the per-epoch timeline into
+    /// the sink. Fleet schedulers use this: job-local event times are
+    /// job-relative, which would interleave meaninglessly with the
+    /// fleet's own simulated clock. The commutative `training.*`
+    /// counters are still emitted.
+    pub fn finish_quiet(self) -> Result<TrainingReport, WorkflowError> {
+        self.finish_impl(false)
+    }
+
+    fn finish_impl(mut self, replay: bool) -> Result<TrainingReport, WorkflowError> {
+        let report = &mut self.report;
+        // Scheduling overhead (fits, selections, exposed restart time) is
+        // part of JCT — the paper includes it in every reported JCT.
+        report.sched_overhead_s += self.restart_exposed_s;
+        report.jct_s += report.sched_overhead_s;
+
+        if report.final_loss > self.job.target_loss {
+            return Err(WorkflowError::DidNotConverge {
+                epochs: report.epochs,
+            });
+        }
+        match self.job.constraint {
+            Constraint::Budget(b) => report.budget_violated = report.cost_usd > b,
+            Constraint::Deadline(t) => report.qos_violated = report.jct_s > t,
+        }
+        self.trace.push(
+            report.jct_s,
+            crate::trace::TraceKind::Done {
+                loss: report.final_loss,
+            },
+        );
+        if replay {
+            self.trace.replay_into(&self.job.obs);
+        }
+        self.job
+            .obs
+            .counter("training.epochs")
+            .add(u64::from(report.epochs));
+        self.job
+            .obs
+            .counter("training.restarts")
+            .add(u64::from(report.restarts));
+        self.job.obs.gauge("training.jct_s").add(report.jct_s);
+        self.job.obs.gauge("training.cost_usd").add(report.cost_usd);
+        self.job
+            .obs
+            .gauge("training.sched_overhead_s")
+            .add(report.sched_overhead_s);
+        let mut report = self.report;
+        report.trace = self.job.capture_trace.then_some(self.trace);
+        Ok(report)
     }
 }
 
@@ -989,6 +1202,49 @@ mod tests {
                 .sum::<u32>()
         };
         assert!(restarts(0.01) >= restarts(0.2));
+    }
+
+    #[test]
+    fn stepped_execution_matches_run_exactly() {
+        // The fleet path (start/step_epoch/finish) must be the same
+        // computation as run(), draw for draw.
+        let mut job = training_job(Workload::mobilenet_cifar10(), Constraint::Budget(1.0));
+        job.constraint = Constraint::Budget(training_budget(&job));
+        for method in [Method::CeScaling, Method::Siren, Method::Cirrus] {
+            let whole = job.run(method).unwrap();
+            let mut exec = TrainingExecution::start(job.clone(), method).unwrap();
+            let mut steps = 0;
+            while !exec.is_done() {
+                let step = exec.step_epoch().unwrap();
+                assert_eq!(step.epoch, exec.epochs());
+                steps += 1;
+            }
+            let stepped = exec.finish().unwrap();
+            assert_eq!(steps, stepped.epochs);
+            assert_eq!(whole.jct_s, stepped.jct_s, "{}", method.label());
+            assert_eq!(whole.cost_usd, stepped.cost_usd);
+            assert_eq!(whole.final_loss, stepped.final_loss);
+            assert_eq!(whole.restarts, stepped.restarts);
+            assert_eq!(whole.allocations, stepped.allocations);
+            assert_eq!(whole.sched_overhead_s, stepped.sched_overhead_s);
+        }
+    }
+
+    #[test]
+    fn contention_charge_extends_jct_and_cost() {
+        let mut job = training_job(Workload::mobilenet_cifar10(), Constraint::Budget(1.0));
+        job.constraint = Constraint::Budget(training_budget(&job));
+        let mut exec = TrainingExecution::start(job, Method::CeScaling).unwrap();
+        exec.step_epoch().unwrap();
+        let (jct, cost, comm) = {
+            let r = exec.report();
+            (r.jct_s, r.cost_usd, r.comm_s)
+        };
+        exec.charge_contention(30.0);
+        let r = exec.report();
+        assert_eq!(r.jct_s, jct + 30.0);
+        assert_eq!(r.comm_s, comm + 30.0);
+        assert!(r.cost_usd > cost, "billed wall time includes the stall");
     }
 
     #[test]

@@ -41,8 +41,9 @@ fn main() {
     let mut platform = FaasPlatform::new(env.clone(), 42);
     let mut run = LossCurve::sample_optimal(&params, SimRng::new(42));
     for epoch in 1..=200 {
-        let measured =
-            platform.run_epoch(&workload, &alloc, ce_scaling::faas::ExecutionFidelity::Fast);
+        let measured = platform
+            .run_epoch(&workload, &alloc, ce_scaling::faas::ExecutionFidelity::Fast)
+            .expect("allocation within the concurrency limit");
         let loss = run.next_epoch();
         if loss <= target {
             println!(

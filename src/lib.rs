@@ -22,6 +22,8 @@
 //!   and the adaptive resource scheduler (Algorithm 2).
 //! * [`baselines`] — LambdaML, Siren, Cirrus, and Fixed baselines.
 //! * [`workflow`] — end-to-end workflow orchestration and metrics.
+//! * [`cluster`] — multi-tenant fleet simulator: job arrivals, admission
+//!   control, and shared-quota contention over one substrate.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +46,7 @@
 //! println!("chosen allocation: {}", theta.alloc);
 //! ```
 pub use ce_baselines as baselines;
+pub use ce_cluster as cluster;
 pub use ce_faas as faas;
 pub use ce_ml as ml;
 pub use ce_models as models;
@@ -61,7 +64,9 @@ pub mod prelude {
         cirrus::CirrusScheduler, fixed::FixedScheduler, lambda_ml::LambdaMlScheduler,
         siren::SirenScheduler,
     };
+    pub use ce_cluster::{ClusterSim, ClusterSpec, FleetReport, FleetSpec};
     pub use ce_faas::platform::{FaasPlatform, PlatformConfig};
+    pub use ce_faas::quota::{AccountQuota, QuotaExceeded};
     pub use ce_ml::{
         curve::LossCurve,
         dataset::DatasetSpec,

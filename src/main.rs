@@ -6,6 +6,7 @@
 //! ce-scaling plan-tuning  --model lr --dataset higgs --trials 1024 --budget 300
 //! ce-scaling train        --model mobilenet --dataset cifar10 --budget 30 --method ce
 //! ce-scaling storage      --model lr --dataset higgs -n 10
+//! ce-scaling cluster      --jobs 40 --rate 12 --policy edf --quota 60
 //! ```
 
 use ce_scaling::faas::PlatformConfig;
@@ -24,12 +25,13 @@ fn main() {
         // run-config takes a file path, not flag options.
         "run-config" => cmd_run_config(&args[1..]),
         "help" | "--help" | "-h" => usage_and_exit(None),
-        "profile" | "plan-tuning" | "train" | "storage" => {
+        "profile" | "plan-tuning" | "train" | "storage" | "cluster" => {
             let opts = Opts::parse(&args[1..]);
             match command.as_str() {
                 "profile" => cmd_profile(&opts),
                 "plan-tuning" => cmd_plan_tuning(&opts),
                 "train" => cmd_train(&opts),
+                "cluster" => cmd_cluster(&opts),
                 _ => cmd_storage(&opts),
             }
             if let Some(path) = &opts.metrics {
@@ -87,6 +89,7 @@ fn usage_and_exit(unknown: Option<&str>) -> ! {
            plan-tuning  plan an SHA bracket with Algorithm 1\n  \
            train        simulate a training job under a scheduling method\n  \
            storage      compare external storage services for a workload\n  \
+           cluster      simulate a multi-tenant fleet sharing one account quota\n  \
            run-config   run a declarative JSON scenario (see workflow::scenario)\n\n\
          options:\n  \
            --model lr|svm|mobilenet|resnet50|bert     (default lr)\n  \
@@ -98,6 +101,11 @@ fn usage_and_exit(unknown: Option<&str>) -> ! {
            --seed N          RNG seed (default 42)\n  \
            -n N              functions for `storage` (default 10)\n  \
            --failure-rate P  inject worker failures (train)\n  \
+           --jobs N          fleet size for `cluster` (default 40)\n  \
+           --rate R          Poisson arrival rate, jobs/min (default 12)\n  \
+           --policy P        fifo|edf|cost-greedy|reject-on-overload (default fifo)\n  \
+           --quota N         account concurrency quota (default 60)\n  \
+           --job-cap N       per-job concurrency ceiling (default: the quota)\n  \
            --metrics PATH    dump the ce-obs metrics/event stream as JSONL\n"
     );
     std::process::exit(2);
@@ -114,6 +122,11 @@ struct Opts {
     seed: Option<u64>,
     n: Option<u32>,
     failure_rate: Option<f64>,
+    jobs: Option<usize>,
+    rate: Option<f64>,
+    policy: Option<String>,
+    quota: Option<u32>,
+    job_cap: Option<u32>,
     metrics: Option<String>,
 }
 
@@ -140,6 +153,11 @@ impl Opts {
                 "--seed" => opts.seed = Some(parse_or_exit(&value(), flag)),
                 "-n" => opts.n = Some(parse_or_exit(&value(), flag)),
                 "--failure-rate" => opts.failure_rate = Some(parse_or_exit(&value(), flag)),
+                "--jobs" => opts.jobs = Some(parse_or_exit(&value(), flag)),
+                "--rate" => opts.rate = Some(parse_or_exit(&value(), flag)),
+                "--policy" => opts.policy = Some(value()),
+                "--quota" => opts.quota = Some(parse_or_exit(&value(), flag)),
+                "--job-cap" => opts.job_cap = Some(parse_or_exit(&value(), flag)),
                 "--metrics" => opts.metrics = Some(value()),
                 other => {
                     eprintln!("unknown option: {other}");
@@ -324,6 +342,48 @@ fn cmd_train(opts: &Opts) {
             std::process::exit(1);
         }
     }
+}
+
+fn cmd_cluster(opts: &Opts) {
+    use ce_scaling::cluster::{policy_by_name, ClusterSim, ClusterSpec, FleetSpec, JobStatus};
+    let jobs = opts.jobs.unwrap_or(40);
+    let rate = opts.rate.unwrap_or(12.0);
+    let quota = opts.quota.unwrap_or(60);
+    let policy_name = opts.policy.as_deref().unwrap_or("fifo");
+    let Some(policy) = policy_by_name(policy_name) else {
+        eprintln!("unknown policy: {policy_name} (fifo|edf|cost-greedy|reject-on-overload)");
+        std::process::exit(2);
+    };
+    let fleet = FleetSpec::poisson(jobs, rate, opts.seed.unwrap_or(42));
+    let mut spec = ClusterSpec::new(fleet, quota);
+    if let Some(cap) = opts.job_cap {
+        spec = spec.with_job_cap(cap);
+    }
+    let report = ClusterSim::new(spec, policy).run();
+    println!(
+        "{} jobs at {rate}/min over a {quota}-function quota, policy {}:\n",
+        report.jobs.len(),
+        report.policy
+    );
+    println!("  completed      {}", report.count(JobStatus::Completed));
+    println!("  rejected       {}", report.count(JobStatus::Rejected));
+    println!("  failed         {}", report.count(JobStatus::Failed));
+    println!(
+        "  QoS violations {:.1}%",
+        report.qos_violation_rate() * 100.0
+    );
+    println!("  fleet cost     ${:.2}", report.fleet_dollars);
+    println!("  makespan       {:.0}s", report.makespan_s);
+    println!("  mean queueing  {:.1}s", report.mean_queue_delay_s());
+    println!(
+        "  quota use      {:.1}% mean, {} peak of {quota}",
+        report.quota_utilization * 100.0,
+        report.quota_peak
+    );
+    println!(
+        "  contention     {:.1}s of stretched sync",
+        report.contention_extra_s
+    );
 }
 
 fn cmd_storage(opts: &Opts) {

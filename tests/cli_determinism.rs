@@ -1,0 +1,74 @@
+//! The CLI's `--metrics` JSONL stream must be byte-identical across runs
+//! with the same seed: determinism is the repo's contract for every
+//! reproduction claim, and the metrics dump is where drift would show.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Runs the `ce-scaling` binary with `args` plus `--metrics <tmp>`, and
+/// returns the metrics file's bytes. Panics (with stderr) on failure.
+fn metrics_bytes(args: &[&str], tag: &str) -> Vec<u8> {
+    let mut path = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    path.push(format!("metrics_{tag}.jsonl"));
+    let out = Command::new(env!("CARGO_BIN_EXE_ce-scaling"))
+        .args(args)
+        .arg("--metrics")
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "ce-scaling {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let bytes = std::fs::read(&path).expect("metrics file written");
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+#[test]
+fn train_metrics_are_byte_identical_per_seed() {
+    let args = [
+        "train",
+        "--model",
+        "lr",
+        "--dataset",
+        "higgs",
+        "--budget",
+        "20",
+        "--seed",
+        "7",
+    ];
+    let a = metrics_bytes(&args, "train_a");
+    let b = metrics_bytes(&args, "train_b");
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same seed must produce byte-identical JSONL");
+
+    let other = metrics_bytes(
+        &[
+            "train",
+            "--model",
+            "lr",
+            "--dataset",
+            "higgs",
+            "--budget",
+            "20",
+            "--seed",
+            "8",
+        ],
+        "train_c",
+    );
+    assert_ne!(a, other, "a different seed must change the stream");
+}
+
+#[test]
+fn cluster_metrics_are_byte_identical_per_seed() {
+    let args = [
+        "cluster", "--jobs", "12", "--rate", "30", "--policy", "edf", "--quota", "40", "--seed",
+        "11",
+    ];
+    let a = metrics_bytes(&args, "cluster_a");
+    let b = metrics_bytes(&args, "cluster_b");
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same seed must produce byte-identical fleet JSONL");
+}

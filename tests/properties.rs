@@ -360,7 +360,7 @@ fn failure_injection_monotone() {
                 },
                 seed,
             );
-            p.run_epoch(&w, &alloc, ExecutionFidelity::Fast)
+            p.run_epoch(&w, &alloc, ExecutionFidelity::Fast).unwrap()
         };
         let clean = run(0.0);
         let faulty = run(rate);
