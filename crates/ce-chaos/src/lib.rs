@@ -1,0 +1,57 @@
+//! # ce-chaos — deterministic fault injection
+//!
+//! A typed fault taxonomy and seed-derived **fault schedules** for the
+//! serverless training simulator. The design goal is that a chaotic run and
+//! its clean twin stay *draw-for-draw comparable*: every fault decision is
+//! drawn on a forked `"faults"` RNG stream (see [`ce_sim_core::SimRng`]), so
+//! enabling or disabling a schedule never shifts the compute/network jitter
+//! draws of surviving workers, and a zero-fault schedule reproduces the clean
+//! run bit-for-bit.
+//!
+//! ## Fault taxonomy
+//!
+//! | fault | meaning |
+//! |---|---|
+//! | [`FaultKind::WorkerCrash`] | per-epoch probability that the wave loses a worker mid-epoch |
+//! | [`FaultKind::WaveKill`] | one-shot correlated kill of a fraction of the wave |
+//! | [`FaultKind::StorageOutage`] | a storage service refuses requests for a window |
+//! | [`FaultKind::StorageDegrade`] | latency x factor, bandwidth / factor for a service |
+//! | [`FaultKind::ThrottleStorm`] | per-attempt probability the invocation wave is throttled |
+//! | [`FaultKind::ColdStartSpike`] | cold-start mean multiplied by a factor |
+//!
+//! ## Schedule spec grammar
+//!
+//! A schedule is a `;`-separated list of clauses. A clause is either a
+//! **scripted window** (`<fault>@<start>..<end>`, seconds; `end` may be
+//! `inf`) or a **Poisson burst** (`<fault>~<per-hour>/hx<duration-s>`), whose
+//! arrival times are materialised deterministically from the seed at
+//! [`FaultSchedule::compile`] time:
+//!
+//! ```text
+//! crash:0.2@0..inf                 # 20% per-epoch fatal worker loss, forever
+//! wave:0.5@300..360                # kill half the wave once in [300,360)
+//! outage:s3@600..1800              # S3 refuses requests for 20 minutes
+//! degrade:elasticache:x4@0..900    # cache latency x4, bandwidth /4
+//! throttle:0.3@0..inf              # 30% of invocation waves throttled
+//! coldspike:x5@0..120              # cold starts 5x slower for 2 minutes
+//! throttle:0.8~2/hx60              # throttle storms arriving at 2/hour, 60 s each
+//! ```
+//!
+//! ```
+//! use ce_chaos::FaultSchedule;
+//! use ce_sim_core::SimRng;
+//!
+//! let schedule = FaultSchedule::parse("crash:0.2@0..inf;outage:s3@600..1800").unwrap();
+//! let compiled = schedule.compile(&SimRng::new(7).derive("faults"));
+//! let active = compiled.active_at(700.0);
+//! assert_eq!(active.crash_rate, 0.2);
+//! assert!(active.outage_until(ce_storage::StorageKind::S3).is_some());
+//! ```
+
+pub mod fault;
+pub mod parse;
+pub mod schedule;
+
+pub use fault::{BurstSpec, FaultKind, FaultWindow};
+pub use parse::ChaosSpecError;
+pub use schedule::{ActiveFaults, CompiledSchedule, FaultSchedule};

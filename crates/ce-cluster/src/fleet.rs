@@ -24,12 +24,14 @@ use crate::arrival::{training_job, FleetSpec, JobSpec, FLEET_METHOD};
 use crate::contention::ContentionModel;
 use crate::policy::{Admission, AdmissionPolicy, ClusterView, ReadyJob};
 use crate::report::{FleetReport, JobOutcome, JobStatus};
+use ce_chaos::{CompiledSchedule, FaultSchedule};
 use ce_faas::AccountQuota;
 use ce_obs::Registry;
 use ce_sim_core::event::EventQueue;
+use ce_sim_core::rng::SimRng;
 use ce_sim_core::time::SimTime;
 use ce_storage::StorageKind;
-use ce_workflow::TrainingExecution;
+use ce_workflow::{RecoveryPolicy, TrainingExecution};
 use serde_json::json;
 
 /// Queue wait beyond which a job's warm pool has idle-expired (mirrors
@@ -50,6 +52,16 @@ pub struct ClusterSpec {
     pub job_cap: u32,
     /// Cross-tenant storage contention.
     pub contention: ContentionModel,
+    /// Fleet-wide fault schedule, interpreted on the *fleet* clock: a
+    /// dispatch that lands in a storage-outage window stalls until the
+    /// window lifts, a crash window kills the dispatched wave, a degrade
+    /// window stretches its sync. (Throttle/cold-spike faults are
+    /// per-platform behaviours; inject those via a job's own schedule.)
+    pub chaos: Option<FaultSchedule>,
+    /// Recovery policy every fleet job runs under.
+    pub recovery: RecoveryPolicy,
+    /// Checkpoint interval for checkpointing recovery policies.
+    pub checkpoint_every: Option<u32>,
 }
 
 impl ClusterSpec {
@@ -61,6 +73,9 @@ impl ClusterSpec {
             quota,
             job_cap: quota,
             contention: ContentionModel::aws_default(),
+            chaos: None,
+            recovery: RecoveryPolicy::Retry,
+            checkpoint_every: None,
         }
     }
 
@@ -70,12 +85,49 @@ impl ClusterSpec {
         self.job_cap = cap;
         self
     }
+
+    /// Injects a fleet-wide fault schedule (fleet-clock time).
+    pub fn with_chaos(mut self, schedule: FaultSchedule) -> Self {
+        self.chaos = Some(schedule);
+        self
+    }
+
+    /// Sets the recovery policy every fleet job runs under.
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
+
+    /// Sets the checkpoint interval for checkpointing policies.
+    pub fn with_checkpoint_every(mut self, epochs: u32) -> Self {
+        self.checkpoint_every = Some(epochs);
+        self
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
 enum FleetEvent {
-    Arrival { job: usize },
-    EpochDone { job: usize },
+    Arrival {
+        job: usize,
+    },
+    EpochDone {
+        job: usize,
+    },
+    /// A chaos-stalled job is ready to queue again.
+    Resume {
+        job: usize,
+    },
+}
+
+/// The fleet's compiled fault timeline plus its dedicated RNG stream.
+/// Crash draws key a monotone attempt counter on a `"fleet-chaos"`
+/// stream derived from the fleet seed, so adding or removing jobs never
+/// shifts any job's own draws.
+#[derive(Debug)]
+struct FleetChaos {
+    schedule: CompiledSchedule,
+    rng: SimRng,
+    attempts: u64,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -115,6 +167,7 @@ pub struct ClusterSim {
     contention_extra_s: f64,
     util_integral: f64,
     last_event_s: f64,
+    chaos: Option<FleetChaos>,
 }
 
 impl ClusterSim {
@@ -122,6 +175,14 @@ impl ClusterSim {
     /// unless overridden with [`Self::with_obs`].
     pub fn new(spec: ClusterSpec, policy: Box<dyn AdmissionPolicy>) -> Self {
         let quota = AccountQuota::new(spec.quota);
+        let chaos = spec.chaos.as_ref().map(|schedule| {
+            let rng = SimRng::new(spec.fleet.seed).derive("fleet-chaos");
+            FleetChaos {
+                schedule: schedule.compile(&rng),
+                rng,
+                attempts: 0,
+            }
+        });
         ClusterSim {
             spec,
             policy,
@@ -137,6 +198,7 @@ impl ClusterSim {
             contention_extra_s: 0.0,
             util_integral: 0.0,
             last_event_s: 0.0,
+            chaos,
         }
     }
 
@@ -183,6 +245,7 @@ impl ClusterSim {
             match event {
                 FleetEvent::Arrival { job } => self.on_arrival(job, t),
                 FleetEvent::EpochDone { job } => self.on_epoch_done(job, t),
+                FleetEvent::Resume { job } => self.on_resume(job),
             }
             self.dispatch(t, &mut events);
         }
@@ -225,15 +288,17 @@ impl ClusterSim {
             return;
         }
         self.obs.counter("cluster.admitted").inc();
-        match TrainingExecution::start(
-            training_job(
-                job,
-                &self.spec.fleet.env,
-                self.spec.job_cap.min(self.spec.quota),
-            )
-            .with_obs(&self.obs),
-            FLEET_METHOD,
-        ) {
+        let mut tj = training_job(
+            job,
+            &self.spec.fleet.env,
+            self.spec.job_cap.min(self.spec.quota),
+        )
+        .with_obs(&self.obs)
+        .with_recovery(self.spec.recovery);
+        if let Some(k) = self.spec.checkpoint_every {
+            tj = tj.with_checkpoint_every(k);
+        }
+        match TrainingExecution::start(tj, FLEET_METHOD) {
             Ok(exec) => {
                 self.execs[i] = Some(exec);
                 self.slots[i].queued_since = t;
@@ -266,6 +331,9 @@ impl ClusterSim {
             };
             let workers = ready[pick].workers;
             let i = self.queue[pick];
+            if self.chaos_intercepts(pick, t, events) {
+                continue;
+            }
             if let Err(e) = self.quota.try_acquire(workers) {
                 if e.is_structural() {
                     // This wave can never fit the account limit: letting
@@ -303,7 +371,16 @@ impl ClusterSim {
                         .spec
                         .contention
                         .sync_slowdown(kind, self.active_by_kind[ki]);
-                    let extra = (factor - 1.0) * step.sync_s;
+                    // A degrade window stretches this epoch's sync on top
+                    // of whatever the other tenants already cost it.
+                    let degrade = self
+                        .chaos
+                        .as_ref()
+                        .map_or(1.0, |c| c.schedule.active_at(t).degrade_factor(kind));
+                    if degrade > 1.0 {
+                        self.obs.counter("cluster.chaos_degraded_epochs").inc();
+                    }
+                    let extra = (factor - 1.0 + (degrade - 1.0)) * step.sync_s;
                     exec.charge_contention(extra);
                     self.contention_extra_s += extra;
                     let slot = &mut self.slots[i];
@@ -325,6 +402,90 @@ impl ClusterSim {
                     self.fail_job(i, t, cost);
                 }
             }
+        }
+    }
+
+    /// Checks the fleet's fault timeline before dispatching the picked
+    /// job. Returns `true` when chaos intercepted the dispatch: the job
+    /// left the queue and a [`FleetEvent::Resume`] is scheduled for when
+    /// it can try again.
+    fn chaos_intercepts(
+        &mut self,
+        pick: usize,
+        t: f64,
+        events: &mut EventQueue<FleetEvent>,
+    ) -> bool {
+        let Some(chaos) = self.chaos.as_mut() else {
+            return false;
+        };
+        let active = chaos.schedule.active_at(t);
+        if active.is_quiet() {
+            return false;
+        }
+        let i = self.queue[pick];
+        let exec = self.execs[i].as_mut().expect("queued job runs");
+        let kind = exec.alloc().storage;
+
+        // Storage outage: the wave cannot sync, so the job waits out the
+        // window in the queue (the wait lands in its queue delay, and a
+        // long one cold-starts the next wave like any other stall).
+        if let Some(until) = active.outage_until(kind) {
+            self.queue.remove(pick);
+            self.obs.counter("cluster.chaos_stalls").inc();
+            self.obs.event(
+                t,
+                "cluster.chaos_outage_stall",
+                &[
+                    ("job", json!(self.jobs[i].id)),
+                    ("service", json!(format!("{kind:?}"))),
+                    ("until_s", json!(until)),
+                ],
+            );
+            events.schedule_at(
+                SimTime::from_secs(until.max(t)),
+                FleetEvent::Resume { job: i },
+            );
+            return true;
+        }
+
+        // Worker crash: the dispatched wave dies mid-epoch. The job
+        // absorbs it per its recovery policy (partial-epoch bill,
+        // rollback, backoff) and resumes once the stall elapses. The
+        // stall is already charged into the job's JCT, so its
+        // queue clock restarts at the resume time.
+        if active.crash_rate > 0.0 {
+            let mut draw = chaos.rng.derive_idx("attempt", chaos.attempts);
+            chaos.attempts += 1;
+            if draw.bernoulli(active.crash_rate) {
+                self.queue.remove(pick);
+                let at_fraction = draw.uniform();
+                let extra = self.execs[i]
+                    .as_mut()
+                    .expect("queued job runs")
+                    .inject_worker_loss(at_fraction);
+                self.slots[i].queued_since = t + extra;
+                self.obs.counter("cluster.chaos_stalls").inc();
+                self.obs.counter("cluster.chaos_worker_losses").inc();
+                self.obs.event(
+                    t,
+                    "cluster.chaos_worker_loss",
+                    &[
+                        ("job", json!(self.jobs[i].id)),
+                        ("at_fraction", json!(at_fraction)),
+                        ("stall_s", json!(extra)),
+                    ],
+                );
+                events.schedule_at(SimTime::from_secs(t + extra), FleetEvent::Resume { job: i });
+                return true;
+            }
+        }
+        false
+    }
+
+    /// A chaos-stalled job becomes ready again.
+    fn on_resume(&mut self, i: usize) {
+        if self.execs[i].is_some() {
+            self.queue.push(i);
         }
     }
 
@@ -567,6 +728,96 @@ mod tests {
             .run();
         assert_eq!(report.count(JobStatus::Failed), report.jobs.len());
         assert!(registry.counter_value("cluster.failed") > 0);
+    }
+
+    fn all_service_outage(start: f64, end: f64) -> FaultSchedule {
+        FaultSchedule::parse(&format!(
+            "outage:s3@{start}..{end};outage:dynamodb@{start}..{end};\
+             outage:elasticache@{start}..{end};outage:vmps@{start}..{end}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_fault_fleet_chaos_is_bit_identical_to_clean() {
+        let run = |chaos: Option<FaultSchedule>| {
+            let registry = Registry::new();
+            let mut spec = ClusterSpec::new(small_fleet(5), 60);
+            spec.chaos = chaos;
+            let report = ClusterSim::new(spec, Box::new(Fifo))
+                .with_obs(&registry)
+                .run();
+            (registry.export_jsonl(), report)
+        };
+        let (clean_jsonl, clean) = run(None);
+        let zero = FaultSchedule::parse("crash:0@0..inf;coldspike:x1@0..inf").unwrap();
+        let (chaos_jsonl, chaotic) = run(Some(zero));
+        assert_eq!(clean_jsonl, chaos_jsonl);
+        assert_eq!(clean, chaotic);
+    }
+
+    #[test]
+    fn chaotic_fleets_are_deterministic_per_seed() {
+        let run = || {
+            let registry = Registry::new();
+            let spec = ClusterSpec::new(small_fleet(11), 60)
+                .with_chaos(FaultSchedule::parse("crash:0.15@0..inf").unwrap())
+                .with_recovery(RecoveryPolicy::CheckpointResume);
+            let report = ClusterSim::new(spec, Box::new(Fifo))
+                .with_obs(&registry)
+                .run();
+            (registry.export_jsonl(), report)
+        };
+        let (a_jsonl, a) = run();
+        let (b_jsonl, b) = run();
+        assert_eq!(
+            a_jsonl, b_jsonl,
+            "chaotic fleet JSONL must be byte-identical"
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn outage_window_stalls_dispatches_and_stretches_makespan() {
+        let run = |chaos: Option<FaultSchedule>| {
+            let registry = Registry::new();
+            let mut spec = ClusterSpec::new(small_fleet(7), 60);
+            spec.chaos = chaos;
+            let report = ClusterSim::new(spec, Box::new(Fifo))
+                .with_obs(&registry)
+                .run();
+            (report, registry)
+        };
+        let (clean, _) = run(None);
+        let (stormy, reg) = run(Some(all_service_outage(0.0, 900.0)));
+        assert!(reg.counter_value("cluster.chaos_stalls") > 0);
+        assert!(
+            stormy.makespan_s > clean.makespan_s,
+            "outage {} vs clean {}",
+            stormy.makespan_s,
+            clean.makespan_s
+        );
+        // Every job still reaches a terminal state.
+        assert_eq!(stormy.jobs.len(), 12);
+    }
+
+    #[test]
+    fn fleet_crashes_roll_jobs_back_and_still_complete() {
+        let registry = Registry::new();
+        let spec = ClusterSpec::new(small_fleet(9), 60)
+            .with_chaos(FaultSchedule::parse("crash:0.2@0..inf").unwrap())
+            .with_recovery(RecoveryPolicy::CheckpointResume)
+            .with_checkpoint_every(5);
+        let report = ClusterSim::new(spec, Box::new(Fifo))
+            .with_obs(&registry)
+            .run();
+        assert!(registry.counter_value("cluster.chaos_worker_losses") > 0);
+        assert!(registry.counter_value("recovery.retries") > 0);
+        assert!(registry.counter_value("recovery.checkpoints") > 0);
+        assert!(
+            report.count(JobStatus::Completed) > 0,
+            "checkpointed jobs should survive 20% crash rates"
+        );
     }
 
     #[test]

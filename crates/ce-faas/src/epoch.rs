@@ -20,11 +20,11 @@
 //!   would cost millions of events per configuration.
 
 use crate::platform::PlatformConfig;
-use ce_models::{Allocation, CostBreakdown, Environment, TimeBreakdown, Workload};
+use ce_models::{Allocation, CostBreakdown, Environment, TimeBreakdown, UnknownStorage, Workload};
 use ce_sim_core::event::EventQueue;
 use ce_sim_core::rng::SimRng;
 use ce_sim_core::time::SimTime;
-use ce_storage::sync;
+use ce_storage::{sync, StorageSpec};
 use serde::{Deserialize, Serialize};
 
 /// How faithfully to simulate an epoch.
@@ -59,6 +59,9 @@ pub struct MeasuredEpoch {
 }
 
 /// Simulates one epoch. `cold` of the `alloc.n` workers start cold.
+///
+/// Returns [`UnknownStorage`] when the allocation names a storage service
+/// that is not in the environment's catalog.
 pub fn simulate_epoch(
     env: &Environment,
     config: &PlatformConfig,
@@ -67,7 +70,7 @@ pub fn simulate_epoch(
     cold: u32,
     fidelity: ExecutionFidelity,
     rng: &mut SimRng,
-) -> MeasuredEpoch {
+) -> Result<MeasuredEpoch, UnknownStorage> {
     match fidelity {
         ExecutionFidelity::Event => simulate_event(env, config, w, alloc, cold, rng),
         ExecutionFidelity::Fast => simulate_fast(env, config, w, alloc, cold, rng),
@@ -77,15 +80,12 @@ pub fn simulate_epoch(
 /// Cost of the epoch given its measured time (shared by both paths).
 fn bill(
     env: &Environment,
+    spec: &StorageSpec,
     w: &Workload,
     alloc: &Allocation,
     time: &TimeBreakdown,
     wall_s: f64,
 ) -> CostBreakdown {
-    let spec = env
-        .storage
-        .get(alloc.storage)
-        .expect("storage service in catalog");
     let k = w.dataset.iterations_per_epoch(alloc.n, w.batch);
     let storage = sync::epoch_bill(spec, alloc.n, w.model.model_mb, k, wall_s);
     let _ = time;
@@ -152,11 +152,10 @@ fn simulate_fast(
     alloc: &Allocation,
     cold: u32,
     rng: &mut SimRng,
-) -> MeasuredEpoch {
-    let spec = env
-        .storage
-        .get(alloc.storage)
-        .expect("storage service in catalog");
+) -> Result<MeasuredEpoch, UnknownStorage> {
+    let spec = env.storage.get(alloc.storage).ok_or(UnknownStorage {
+        storage: alloc.storage,
+    })?;
     assert!(spec.supports_model(w.model.model_mb));
     let shard_mb = w.dataset.shard_mb(alloc.n);
     let k = w.dataset.iterations_per_epoch(alloc.n, w.batch);
@@ -177,16 +176,16 @@ fn simulate_fast(
     };
     let (failures, failure_s) = failure_overhead(config, alloc.n, load_s + mean_compute, rng);
     let wall_s = cold_s + failure_s + time.total();
-    MeasuredEpoch {
+    Ok(MeasuredEpoch {
+        cost: bill(env, spec, w, alloc, &time, wall_s),
         time,
-        cost: bill(env, w, alloc, &time, wall_s),
         wall_s,
         cold_starts: cold,
         cold_start_s: cold_s,
         straggler_s: mean_compute * (straggle - 1.0),
         failures,
         failure_s,
-    }
+    })
 }
 
 /// Worker-iteration completion event.
@@ -202,11 +201,10 @@ fn simulate_event(
     alloc: &Allocation,
     cold: u32,
     rng: &mut SimRng,
-) -> MeasuredEpoch {
-    let spec = env
-        .storage
-        .get(alloc.storage)
-        .expect("storage service in catalog");
+) -> Result<MeasuredEpoch, UnknownStorage> {
+    let spec = env.storage.get(alloc.storage).ok_or(UnknownStorage {
+        storage: alloc.storage,
+    })?;
     assert!(spec.supports_model(w.model.model_mb));
     let n = alloc.n;
     let shard_mb = w.dataset.shard_mb(n);
@@ -269,16 +267,16 @@ fn simulate_event(
         compute_s,
         sync_s,
     };
-    MeasuredEpoch {
+    Ok(MeasuredEpoch {
+        cost: bill(env, spec, w, alloc, &time, wall_s),
         time,
-        cost: bill(env, w, alloc, &time, wall_s),
         wall_s,
         cold_starts: cold,
         cold_start_s: cold_s,
         straggler_s: compute_s - mean_compute_total,
         failures,
         failure_s,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -301,6 +299,22 @@ mod tests {
         let config = PlatformConfig::default();
         let mut rng = SimRng::new(seed);
         simulate_epoch(&env, &config, w, alloc, 0, fidelity, &mut rng)
+            .expect("storage service in catalog")
+    }
+
+    #[test]
+    fn unknown_storage_is_a_typed_error() {
+        let mut env = env();
+        env.storage = env.storage.only(StorageKind::VmPs);
+        let w = Workload::lr_higgs();
+        let alloc = Allocation::new(4, 1769, StorageKind::S3);
+        let config = PlatformConfig::default();
+        for fidelity in [ExecutionFidelity::Fast, ExecutionFidelity::Event] {
+            let mut rng = SimRng::new(1);
+            let err = simulate_epoch(&env, &config, &w, &alloc, 0, fidelity, &mut rng)
+                .expect_err("missing service must not panic");
+            assert_eq!(err.storage, StorageKind::S3);
+        }
     }
 
     #[test]
@@ -360,7 +374,8 @@ mod tests {
             0,
             ExecutionFidelity::Fast,
             &mut rng,
-        );
+        )
+        .unwrap();
         let mut rng = SimRng::new(5);
         let cold = simulate_epoch(
             &env,
@@ -370,7 +385,8 @@ mod tests {
             10,
             ExecutionFidelity::Fast,
             &mut rng,
-        );
+        )
+        .unwrap();
         assert_eq!(warm.cold_start_s, 0.0);
         assert!(cold.cold_start_s > 1.0);
         assert!(cold.wall_s > warm.wall_s);
@@ -458,7 +474,8 @@ mod tests {
                 0,
                 ExecutionFidelity::Fast,
                 &mut rng,
-            );
+            )
+            .unwrap();
             let mut rng = SimRng::new(seed);
             let clean = simulate_epoch(
                 &env,
@@ -468,7 +485,8 @@ mod tests {
                 0,
                 ExecutionFidelity::Fast,
                 &mut rng,
-            );
+            )
+            .unwrap();
             total_failures += faulty.failures;
             if faulty.failures > 0 {
                 assert!(faulty.failure_s > 0.0);
@@ -506,10 +524,12 @@ mod tests {
                     0,
                     fidelity,
                     &mut rng,
-                );
+                )
+                .unwrap();
                 let mut rng = SimRng::new(seed);
                 let faulty =
-                    simulate_epoch(&env, &faulty_config, &w, &alloc, 0, fidelity, &mut rng);
+                    simulate_epoch(&env, &faulty_config, &w, &alloc, 0, fidelity, &mut rng)
+                        .unwrap();
                 assert_eq!(clean.time, faulty.time, "{fidelity:?} seed {seed}");
                 assert!(
                     (faulty.wall_s - (clean.wall_s + faulty.failure_s)).abs() < 1e-12,
@@ -541,6 +561,7 @@ mod tests {
                         ExecutionFidelity::Fast,
                         &mut rng,
                     )
+                    .unwrap()
                     .failure_s
                 })
                 .sum::<f64>()

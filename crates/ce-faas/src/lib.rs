@@ -59,6 +59,6 @@ pub mod stage;
 pub use billing::BillingLedger;
 pub use epoch::{ExecutionFidelity, MeasuredEpoch};
 pub use function::{FunctionId, InstancePool, PoolStats};
-pub use platform::{FaasPlatform, PlatformConfig};
+pub use platform::{EpochError, FaasPlatform, PlatformConfig};
 pub use quota::{AccountQuota, QuotaExceeded};
 pub use restart::RestartPlan;

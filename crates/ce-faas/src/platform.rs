@@ -4,11 +4,125 @@ use crate::billing::BillingLedger;
 use crate::epoch::{self, ExecutionFidelity, MeasuredEpoch};
 use crate::function::{InstancePool, PoolStats};
 use crate::quota::{AccountQuota, QuotaExceeded};
-use ce_models::{Allocation, Environment, Workload};
+use ce_chaos::{CompiledSchedule, FaultSchedule};
+use ce_models::{Allocation, Environment, EpochTimeModel, UnknownStorage, Workload};
 use ce_obs::Registry;
 use ce_sim_core::rng::SimRng;
 use ce_sim_core::time::SimTime;
+use ce_storage::{StorageCatalog, StorageKind};
 use serde::{Deserialize, Serialize};
+use serde_json::json;
+use std::fmt;
+
+/// Why an epoch attempt produced no [`MeasuredEpoch`].
+///
+/// Quota rejections and unknown-storage lookups are *admission* errors: the
+/// wave never launched and nothing was billed. The fault variants come from
+/// an attached [`FaultSchedule`] and are *recoverable*: the caller decides
+/// whether to back off, restore a checkpoint, or re-plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EpochError {
+    /// Concurrency admission failed (platform limit or shared account
+    /// quota); see [`QuotaExceeded`].
+    Quota(QuotaExceeded),
+    /// The allocation names a storage service missing from the catalog.
+    UnknownStorage(UnknownStorage),
+    /// `lost` workers died at `at_fraction` of the epoch; the whole BSP
+    /// wave's progress for this epoch is gone. `wasted_s` of wall time and
+    /// `wasted_usd` of spend were burned and already recorded.
+    WorkerLost {
+        lost: u32,
+        at_fraction: f64,
+        wasted_s: f64,
+        wasted_usd: f64,
+    },
+    /// The invocation wave was throttled (HTTP 429) before any worker
+    /// started; `stall_s` is the platform's suggested minimum wait.
+    Throttled { stall_s: f64 },
+    /// The allocation's storage service is in an outage window until
+    /// `resumes_at_s` on the platform clock.
+    StorageUnavailable {
+        service: StorageKind,
+        resumes_at_s: f64,
+    },
+}
+
+impl EpochError {
+    /// The quota rejection, when that is what this error is.
+    pub fn as_quota(&self) -> Option<&QuotaExceeded> {
+        match self {
+            EpochError::Quota(q) => Some(q),
+            _ => None,
+        }
+    }
+
+    /// True for injected faults (worker loss, throttling, storage outage)
+    /// — conditions a recovery policy can wait out or repair, as opposed
+    /// to admission errors that need a different allocation.
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            EpochError::WorkerLost { .. }
+                | EpochError::Throttled { .. }
+                | EpochError::StorageUnavailable { .. }
+        )
+    }
+}
+
+impl fmt::Display for EpochError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EpochError::Quota(q) => q.fmt(f),
+            EpochError::UnknownStorage(e) => e.fmt(f),
+            EpochError::WorkerLost {
+                lost, at_fraction, ..
+            } => write!(
+                f,
+                "{lost} worker(s) lost at {:.0}% of the epoch",
+                at_fraction * 100.0
+            ),
+            EpochError::Throttled { stall_s } => {
+                write!(f, "invocation wave throttled (suggest {stall_s:.1}s wait)")
+            }
+            EpochError::StorageUnavailable {
+                service,
+                resumes_at_s,
+            } => write!(f, "{service} unavailable until t={resumes_at_s:.0}s"),
+        }
+    }
+}
+
+impl std::error::Error for EpochError {}
+
+impl From<QuotaExceeded> for EpochError {
+    fn from(e: QuotaExceeded) -> Self {
+        EpochError::Quota(e)
+    }
+}
+
+impl From<UnknownStorage> for EpochError {
+    fn from(e: UnknownStorage) -> Self {
+        EpochError::UnknownStorage(e)
+    }
+}
+
+/// Per-platform fault-injection state: the compiled schedule plus the
+/// dedicated RNG stream its decisions draw from. The stream is derived
+/// from the platform seed by label only, so attaching a schedule never
+/// shifts the epoch jitter streams — clean and chaotic runs stay
+/// draw-for-draw comparable.
+#[derive(Debug, Clone)]
+struct ChaosState {
+    schedule: CompiledSchedule,
+    rng: SimRng,
+    /// Monotone attempt counter keying fault draws. Counts *attempts*
+    /// (including failed ones), unlike `epochs_run`, which only counts
+    /// executed epochs — so a redone epoch re-derives the same jitter
+    /// stream it would have had in a clean run.
+    attempts: u64,
+    /// One-shot latches for wave-kill windows, by compiled window index.
+    fired_waves: Vec<bool>,
+}
 
 /// Stochastic-behaviour knobs of the simulated platform.
 ///
@@ -71,6 +185,9 @@ pub struct FaasPlatform {
     /// platforms (multi-tenant operation). `None` leaves only the
     /// per-platform `config.max_concurrency` check.
     shared_quota: Option<AccountQuota>,
+    /// Optional fault injection; `None` (the default) is the clean
+    /// platform, bit-identical to builds without chaos support.
+    chaos: Option<ChaosState>,
 }
 
 impl FaasPlatform {
@@ -91,7 +208,24 @@ impl FaasPlatform {
             epochs_run: 0,
             obs: Registry::new(),
             shared_quota: None,
+            chaos: None,
         }
+    }
+
+    /// Attaches a fault schedule, compiled on this platform's dedicated
+    /// `"faults"` stream. A zero-fault schedule (no windows, or all
+    /// severities zero) leaves every simulated number bit-identical to a
+    /// platform with no schedule at all.
+    pub fn with_chaos(mut self, schedule: &FaultSchedule) -> Self {
+        let faults_rng = self.rng.derive("faults");
+        let compiled = schedule.compile(&faults_rng);
+        self.chaos = Some(ChaosState {
+            fired_waves: vec![false; compiled.windows().len()],
+            schedule: compiled,
+            rng: faults_rng,
+            attempts: 0,
+        });
+        self
     }
 
     /// Sends platform metrics (`faas.*`) to a shared registry.
@@ -154,42 +288,183 @@ impl FaasPlatform {
         self.now
     }
 
+    /// Advances the platform clock by `dt_s` seconds without running
+    /// anything: recovery backoffs and checkpoint transfers burn real
+    /// simulated time, which moves fault windows along and lets idle warm
+    /// instances expire.
+    pub fn advance(&mut self, dt_s: f64) {
+        assert!(dt_s >= 0.0, "time cannot run backwards");
+        self.now += dt_s;
+    }
+
     /// Instance-pool counters (cold starts, warm hits, idle expiries,
     /// execution-limit breaches).
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
     }
 
+    /// Samples the attached fault schedule for one epoch attempt. Returns
+    /// a fatal error, or `(config, env)` overrides (cold-start spike,
+    /// degraded storage) for the epoch about to execute.
+    ///
+    /// All draws come from the chaos stream keyed by a monotone *attempt*
+    /// counter, never from the epoch jitter streams, and a quiet instant
+    /// draws nothing — so surviving epochs match their clean twins
+    /// draw-for-draw.
+    fn sample_chaos(
+        &mut self,
+        w: &Workload,
+        alloc: &Allocation,
+    ) -> Result<(PlatformConfig, Option<Environment>), EpochError> {
+        let mut config = self.config;
+        let mut env_override = None;
+        let Some(chaos) = self.chaos.as_mut() else {
+            return Ok((config, env_override));
+        };
+        let active = chaos.schedule.active_at(self.now.as_secs());
+        if active.is_quiet() {
+            return Ok((config, env_override));
+        }
+        let mut draw = chaos.rng.derive_idx("attempt", chaos.attempts);
+        chaos.attempts += 1;
+
+        // Throttling storm: the invoke API rejects the wave before any
+        // worker starts; nothing runs, nothing is billed.
+        if active.throttle_rate > 0.0 && draw.bernoulli(active.throttle_rate) {
+            self.obs.counter("chaos.throttles").inc();
+            return Err(EpochError::Throttled {
+                stall_s: self.config.cold_start_s,
+            });
+        }
+        // Storage outage: the wave cannot sync gradients at all.
+        if let Some(resumes_at_s) = active.outage_until(alloc.storage) {
+            self.obs.counter("chaos.storage_outages").inc();
+            return Err(EpochError::StorageUnavailable {
+                service: alloc.storage,
+                resumes_at_s,
+            });
+        }
+        // Fatal worker loss: a one-shot correlated wave kill, or the
+        // per-attempt crash draw. One lost worker wastes the whole BSP
+        // wave's epoch; the partial work is billed below.
+        let mut lost = 0u32;
+        for &(window, fraction) in active.wave_kills() {
+            if !chaos.fired_waves[window] {
+                chaos.fired_waves[window] = true;
+                let killed = (fraction * f64::from(alloc.n)).ceil() as u32;
+                lost = lost.max(killed.clamp(1, alloc.n));
+            }
+        }
+        if lost == 0 && active.crash_rate > 0.0 && draw.bernoulli(active.crash_rate) {
+            lost = 1;
+        }
+        if lost > 0 {
+            // Surface the typed catalog error rather than letting
+            // EpochTimeModel's panic fire below.
+            if self.env.storage.get(alloc.storage).is_none() {
+                return Err(EpochError::UnknownStorage(UnknownStorage {
+                    storage: alloc.storage,
+                }));
+            }
+            let at_fraction = draw.uniform();
+            let est = EpochTimeModel::new(&self.env).epoch_time(w, alloc).total();
+            let wasted_s = est * at_fraction;
+            let wasted_usd = self.env.pricing.invocation_cost(alloc.n)
+                + self
+                    .env
+                    .pricing
+                    .compute_cost(alloc.n, alloc.memory_mb, wasted_s);
+            self.ledger
+                .record_invocations(alloc.n, self.env.pricing.per_invocation);
+            self.ledger.record_compute(
+                alloc.n,
+                alloc.memory_mb,
+                wasted_s,
+                self.env.pricing.per_gb_second,
+            );
+            self.now += wasted_s;
+            self.obs.counter("chaos.worker_losses").add(u64::from(lost));
+            self.obs.gauge("chaos.wasted_s").add(wasted_s);
+            self.obs.gauge("chaos.wasted_usd").add(wasted_usd);
+            self.obs.event(
+                self.now.as_secs(),
+                "chaos.worker_lost",
+                &[
+                    ("lost", json!(lost)),
+                    ("at_fraction", json!(at_fraction)),
+                    ("wasted_s", json!(wasted_s)),
+                ],
+            );
+            return Err(EpochError::WorkerLost {
+                lost,
+                at_fraction,
+                wasted_s,
+                wasted_usd,
+            });
+        }
+        // Non-fatal modifiers: these shift means, not draws, so the epoch
+        // still consumes exactly the jitter stream of its clean twin.
+        if active.cold_start_factor > 1.0 {
+            config.cold_start_s *= active.cold_start_factor;
+            self.obs.counter("chaos.cold_spikes").inc();
+        }
+        let degrade = active.degrade_factor(alloc.storage);
+        if degrade > 1.0 {
+            let mut env = self.env.clone();
+            let services = env
+                .storage
+                .services()
+                .iter()
+                .map(|s| {
+                    if s.kind == alloc.storage {
+                        s.degraded(degrade)
+                    } else {
+                        s.clone()
+                    }
+                })
+                .collect();
+            env.storage = StorageCatalog::from_specs(services);
+            env_override = Some(env);
+            self.obs.counter("chaos.degraded_epochs").inc();
+        }
+        Ok((config, env_override))
+    }
+
     /// Runs one BSP training epoch of `w` under `alloc`, consuming warm
     /// instances where available and billing everything to the ledger.
     ///
     /// # Errors
-    /// Returns [`QuotaExceeded`] — a recoverable admission signal, never
-    /// a panic — when `alloc.n` exceeds the platform concurrency limit,
-    /// or when an attached shared [`AccountQuota`] cannot supply
+    /// Returns [`EpochError::Quota`] — a recoverable admission signal,
+    /// never a panic — when `alloc.n` exceeds the platform concurrency
+    /// limit, or when an attached shared [`AccountQuota`] cannot supply
     /// `alloc.n` functions right now. A rejected epoch runs nothing and
     /// bills nothing; the breach is counted under
     /// `faas.limit_breaches` / `faas.quota_rejections`.
+    /// [`EpochError::UnknownStorage`] reports an allocation whose storage
+    /// service is missing from the catalog. The remaining variants are
+    /// injected faults from an attached [`FaultSchedule`]; worker losses
+    /// bill their wasted partial work before returning.
     pub fn run_epoch(
         &mut self,
         w: &Workload,
         alloc: &Allocation,
         fidelity: ExecutionFidelity,
-    ) -> Result<MeasuredEpoch, QuotaExceeded> {
+    ) -> Result<MeasuredEpoch, EpochError> {
         if alloc.n > self.config.max_concurrency {
             self.obs.counter("faas.limit_breaches").inc();
             self.obs.counter("faas.quota_rejections").inc();
-            return Err(QuotaExceeded {
+            return Err(EpochError::Quota(QuotaExceeded {
                 requested: alloc.n,
                 in_use: 0,
                 limit: self.config.max_concurrency,
-            });
+            }));
         }
+        let (config, env_override) = self.sample_chaos(w, alloc)?;
         if let Some(quota) = &self.shared_quota {
             if let Err(e) = quota.try_acquire(alloc.n) {
                 self.obs.counter("faas.limit_breaches").inc();
                 self.obs.counter("faas.quota_rejections").inc();
-                return Err(e);
+                return Err(e.into());
             }
         }
         let breaches_before = self.pool.stats().limit_breaches;
@@ -197,15 +472,26 @@ impl FaasPlatform {
 
         let mut epoch_rng = self.rng.derive_idx("epoch", self.epochs_run);
         self.epochs_run += 1;
-        let measured = epoch::simulate_epoch(
-            &self.env,
-            &self.config,
+        let measured = match epoch::simulate_epoch(
+            env_override.as_ref().unwrap_or(&self.env),
+            &config,
             w,
             alloc,
             cold,
             fidelity,
             &mut epoch_rng,
-        );
+        ) {
+            Ok(m) => m,
+            Err(e) => {
+                // Unknown storage: the wave never launched. Return the
+                // instances and the account reservation untouched.
+                self.pool.release(&ids, 0.0, self.now);
+                if let Some(quota) = &self.shared_quota {
+                    quota.release(alloc.n);
+                }
+                return Err(e.into());
+            }
+        };
         self.now += measured.wall_s;
         self.pool.release(&ids, measured.wall_s, self.now);
 
@@ -274,6 +560,9 @@ impl FaasPlatform {
             // The account quota is account-wide: forks contend with the
             // parent and each other.
             shared_quota: self.shared_quota.clone(),
+            // Forks run offline trials (profiling, tuning brackets); fault
+            // schedules target the online training platform only.
+            chaos: None,
         }
     }
 }
@@ -362,8 +651,9 @@ mod tests {
         let w = Workload::lr_higgs();
         let huge = Allocation::new(5000, 1769, StorageKind::S3);
         let err = p.run_epoch(&w, &huge, ExecutionFidelity::Fast).unwrap_err();
-        assert!(err.is_structural(), "5000 > 3000 can never fit");
-        assert_eq!(err.limit, 3000);
+        let quota = err.as_quota().expect("a quota error");
+        assert!(quota.is_structural(), "5000 > 3000 can never fit");
+        assert_eq!(quota.limit, 3000);
         assert_eq!(p.registry().counter("faas.limit_breaches").get(), 1);
         assert_eq!(p.registry().counter("faas.quota_rejections").get(), 1);
         assert_eq!(p.ledger().invocations, 0, "a rejected epoch bills nothing");
@@ -378,7 +668,7 @@ mod tests {
         let err = p
             .run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast)
             .unwrap_err();
-        assert!(err.is_structural());
+        assert!(err.as_quota().expect("a quota error").is_structural());
         assert_eq!(quota.rejections(), 1);
         assert_eq!(quota.in_use(), 0, "a failed acquire leaks nothing");
         // Another tenant holding part of the pool blocks an otherwise
@@ -436,5 +726,192 @@ mod tests {
         assert_eq!(wa1, wa2);
         assert_ne!(wa1, wb);
         assert_eq!(p.ledger().total_dollars(), 0.0, "fork must not bill parent");
+    }
+
+    #[test]
+    fn zero_fault_schedule_is_bit_identical_to_no_schedule() {
+        let run = |schedule: Option<FaultSchedule>| {
+            let registry = Registry::new();
+            let mut p = FaasPlatform::new(Environment::aws_default(), 7).with_registry(&registry);
+            if let Some(s) = schedule {
+                p = p.with_chaos(&s);
+            }
+            let w = Workload::lr_higgs();
+            let walls: Vec<f64> = (0..5)
+                .map(|_| {
+                    p.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast)
+                        .unwrap()
+                        .wall_s
+                })
+                .collect();
+            (walls, registry.export_jsonl())
+        };
+        let clean = run(None);
+        let zero = run(Some(
+            FaultSchedule::parse("crash:0@0..inf;coldspike:x1@0..inf").unwrap(),
+        ));
+        assert_eq!(clean.0, zero.0, "zero-fault walls must match clean");
+        assert_eq!(clean.1, zero.1, "zero-fault JSONL must be byte-identical");
+    }
+
+    #[test]
+    fn chaos_leaves_surviving_epoch_draws_unchanged() {
+        // The schedule-level extension of
+        // `epoch::tests::failure_toggle_preserves_jitter_streams`: with a
+        // crash schedule attached, the i-th *executed* epoch must consume
+        // exactly the jitter draws of the clean run's i-th epoch — fault
+        // decisions live on their own stream keyed by attempt, and redone
+        // epochs re-derive the same epoch stream index.
+        let w = Workload::lr_higgs();
+        let run = |schedule: Option<FaultSchedule>| {
+            let mut p = FaasPlatform::new(Environment::aws_default(), 11);
+            if let Some(s) = schedule {
+                p = p.with_chaos(&s);
+            }
+            let mut epochs = Vec::new();
+            let mut faults = 0;
+            while epochs.len() < 8 {
+                // Pre-warm so pool state (cold counts) cannot diverge
+                // between the clean and chaotic histories.
+                p.prewarm(10, 1769);
+                match p.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast) {
+                    Ok(m) => epochs.push(m),
+                    Err(e) => {
+                        assert!(e.is_fault());
+                        faults += 1;
+                        assert!(faults < 1000, "chaos must not starve the job");
+                    }
+                }
+            }
+            (epochs, faults)
+        };
+        let (clean, zero_faults) = run(None);
+        assert_eq!(zero_faults, 0);
+        let (chaotic, faults) = run(Some(FaultSchedule::parse("crash:0.4@0..inf").unwrap()));
+        assert!(faults > 0, "40% per-attempt crashes must fire in 8 epochs");
+        for (i, (c, f)) in clean.iter().zip(&chaotic).enumerate() {
+            assert_eq!(c.time, f.time, "epoch {i}: jitter draws must survive");
+            assert_eq!(c.wall_s, f.wall_s, "epoch {i}");
+        }
+    }
+
+    #[test]
+    fn throttle_storm_rejects_waves_without_billing() {
+        let mut p = FaasPlatform::new(Environment::aws_default(), 3)
+            .with_chaos(&FaultSchedule::parse("throttle:1@0..inf").unwrap());
+        let w = Workload::lr_higgs();
+        let err = p
+            .run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast)
+            .unwrap_err();
+        assert!(matches!(err, EpochError::Throttled { stall_s } if stall_s > 0.0));
+        assert_eq!(p.ledger().invocations, 0, "a throttled wave bills nothing");
+        assert_eq!(p.registry().counter("chaos.throttles").get(), 1);
+    }
+
+    #[test]
+    fn storage_outage_names_service_and_end_time() {
+        let mut p = FaasPlatform::new(Environment::aws_default(), 3)
+            .with_chaos(&FaultSchedule::parse("outage:s3@0..500").unwrap());
+        let w = Workload::lr_higgs();
+        let err = p
+            .run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EpochError::StorageUnavailable {
+                service: StorageKind::S3,
+                resumes_at_s: 500.0
+            }
+        );
+        // A different service rides out the outage untouched.
+        let vmps = Allocation::new(10, 1769, StorageKind::VmPs);
+        assert!(p.run_epoch(&w, &vmps, ExecutionFidelity::Fast).is_ok());
+        // Past the window the service is back.
+        p.advance(600.0);
+        assert!(p
+            .run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast)
+            .is_ok());
+    }
+
+    #[test]
+    fn worker_loss_bills_partial_epoch_and_advances_clock() {
+        let mut p = FaasPlatform::new(Environment::aws_default(), 5)
+            .with_chaos(&FaultSchedule::parse("crash:1@0..inf").unwrap());
+        let w = Workload::lr_higgs();
+        let err = p
+            .run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast)
+            .unwrap_err();
+        let EpochError::WorkerLost {
+            lost,
+            at_fraction,
+            wasted_s,
+            wasted_usd,
+        } = err
+        else {
+            panic!("expected WorkerLost, got {err:?}");
+        };
+        assert_eq!(lost, 1);
+        assert!((0.0..1.0).contains(&at_fraction));
+        assert!((p.now().as_secs() - wasted_s).abs() < 1e-12);
+        assert!(wasted_usd > 0.0);
+        assert_eq!(p.ledger().invocations, 10, "partial work is billed");
+        assert_eq!(p.registry().counter("chaos.worker_losses").get(), 1);
+        assert_eq!(p.registry().event_count(), 1, "fault emits an event");
+    }
+
+    #[test]
+    fn wave_kill_fires_exactly_once_per_window() {
+        let mut p = FaasPlatform::new(Environment::aws_default(), 5)
+            .with_chaos(&FaultSchedule::parse("wave:0.5@0..1e9").unwrap());
+        let w = Workload::lr_higgs();
+        let err = p
+            .run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast)
+            .unwrap_err();
+        assert!(
+            matches!(err, EpochError::WorkerLost { lost: 5, .. }),
+            "half of 10 workers: {err:?}"
+        );
+        // The window is still open but the latch has fired: later epochs run.
+        for _ in 0..3 {
+            assert!(p
+                .run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast)
+                .is_ok());
+        }
+    }
+
+    #[test]
+    fn cold_spike_slows_cold_waves_only() {
+        let wall_of_first_epoch = |spec: &str| {
+            let mut p = FaasPlatform::new(Environment::aws_default(), 13)
+                .with_chaos(&FaultSchedule::parse(spec).unwrap());
+            let w = Workload::lr_higgs();
+            p.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast)
+                .unwrap()
+        };
+        let clean = wall_of_first_epoch("coldspike:x1@0..inf");
+        let spiked = wall_of_first_epoch("coldspike:x5@0..inf");
+        assert!((spiked.cold_start_s - 5.0 * clean.cold_start_s).abs() < 1e-9);
+        assert!(spiked.wall_s > clean.wall_s);
+        assert_eq!(spiked.time, clean.time, "only the cold-start mean moves");
+    }
+
+    #[test]
+    fn degraded_storage_slows_sync_during_window() {
+        let first_epoch = |spec: Option<&str>| {
+            let mut p = FaasPlatform::new(Environment::aws_default(), 17);
+            if let Some(s) = spec {
+                p = p.with_chaos(&FaultSchedule::parse(s).unwrap());
+            }
+            let w = Workload::lr_higgs();
+            p.run_epoch(&w, &lr_alloc(), ExecutionFidelity::Fast)
+                .unwrap()
+        };
+        let clean = first_epoch(None);
+        let degraded = first_epoch(Some("degrade:s3:x4@0..inf"));
+        assert!(degraded.time.sync_s > clean.time.sync_s);
+        assert_eq!(
+            degraded.time.compute_s, clean.time.compute_s,
+            "compute is untouched by a storage brownout"
+        );
     }
 }

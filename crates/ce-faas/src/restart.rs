@@ -11,7 +11,7 @@
 //! of the new wave's preparation that does not fit inside epoch `k`
 //! remains exposed.
 
-use ce_models::{Allocation, Environment, EpochTimeModel, Workload};
+use ce_models::{Allocation, Environment, EpochTimeModel, UnknownStorage, Workload};
 use serde::{Deserialize, Serialize};
 
 /// Timing of one resource adjustment.
@@ -34,22 +34,29 @@ pub struct RestartPlan {
 /// With `delayed = false` (the WO-dr ablation of Fig. 21b) the whole
 /// preparation is exposed; with `delayed = true` only the overhang beyond
 /// the running epoch is.
+///
+/// Returns [`UnknownStorage`] when `next` names a storage service that is
+/// not in the environment's catalog.
 pub fn plan_restart(
     env: &Environment,
     w: &Workload,
     next: &Allocation,
     current_epoch_s: f64,
     delayed: bool,
-) -> RestartPlan {
-    let time_model = EpochTimeModel::new(env);
-    let next_load = time_model.epoch_time(w, next).load_s;
+) -> Result<RestartPlan, UnknownStorage> {
+    // Validate the catalog lookup before EpochTimeModel, whose contract
+    // still panics on a missing service.
     let model_pull = env
         .storage
         .get(next.storage)
-        .expect("storage service in catalog")
+        .ok_or(UnknownStorage {
+            storage: next.storage,
+        })?
         .transfer_time(w.model.model_mb);
+    let time_model = EpochTimeModel::new(env);
+    let next_load = time_model.epoch_time(w, next).load_s;
     let prepare_s = env.cold_start_s + next_load + model_pull;
-    if delayed {
+    Ok(if delayed {
         let launch = prepare_s.min(current_epoch_s);
         RestartPlan {
             prepare_s,
@@ -62,7 +69,7 @@ pub fn plan_restart(
             launch_before_end_s: 0.0,
             exposed_overhead_s: prepare_s,
         }
-    }
+    })
 }
 
 #[cfg(test)]
@@ -81,7 +88,7 @@ mod tests {
     #[test]
     fn delayed_restart_hides_preparation_in_long_epochs() {
         let (env, w, next) = setup();
-        let plan = plan_restart(&env, &w, &next, 1000.0, true);
+        let plan = plan_restart(&env, &w, &next, 1000.0, true).unwrap();
         assert!(plan.prepare_s < 1000.0);
         assert_eq!(plan.exposed_overhead_s, 0.0);
         assert!((plan.launch_before_end_s - plan.prepare_s).abs() < 1e-12);
@@ -90,7 +97,7 @@ mod tests {
     #[test]
     fn delayed_restart_exposes_only_overhang_in_short_epochs() {
         let (env, w, next) = setup();
-        let plan = plan_restart(&env, &w, &next, 1.0, true);
+        let plan = plan_restart(&env, &w, &next, 1.0, true).unwrap();
         assert!(plan.prepare_s > 1.0);
         assert!((plan.exposed_overhead_s - (plan.prepare_s - 1.0)).abs() < 1e-12);
         assert_eq!(plan.launch_before_end_s, 1.0);
@@ -99,7 +106,7 @@ mod tests {
     #[test]
     fn eager_restart_exposes_everything() {
         let (env, w, next) = setup();
-        let plan = plan_restart(&env, &w, &next, 1000.0, false);
+        let plan = plan_restart(&env, &w, &next, 1000.0, false).unwrap();
         assert_eq!(plan.exposed_overhead_s, plan.prepare_s);
         assert_eq!(plan.launch_before_end_s, 0.0);
     }
@@ -107,7 +114,7 @@ mod tests {
     #[test]
     fn preparation_includes_cold_start_load_and_pull() {
         let (env, w, next) = setup();
-        let plan = plan_restart(&env, &w, &next, 100.0, true);
+        let plan = plan_restart(&env, &w, &next, 100.0, true).unwrap();
         // Must at least cover the cold start.
         assert!(plan.prepare_s > env.cold_start_s);
     }
@@ -116,10 +123,19 @@ mod tests {
     fn delayed_never_slower_than_eager() {
         let (env, w, next) = setup();
         for epoch_s in [0.5, 5.0, 50.0, 500.0] {
-            let delayed = plan_restart(&env, &w, &next, epoch_s, true);
-            let eager = plan_restart(&env, &w, &next, epoch_s, false);
+            let delayed = plan_restart(&env, &w, &next, epoch_s, true).unwrap();
+            let eager = plan_restart(&env, &w, &next, epoch_s, false).unwrap();
             assert!(delayed.exposed_overhead_s <= eager.exposed_overhead_s + 1e-12);
         }
+    }
+
+    #[test]
+    fn unknown_storage_is_a_typed_error() {
+        let (mut env, w, next) = setup();
+        env.storage = env.storage.only(StorageKind::VmPs);
+        let err =
+            plan_restart(&env, &w, &next, 10.0, true).expect_err("missing service must not panic");
+        assert_eq!(err.storage, StorageKind::S3);
     }
 
     #[test]
@@ -129,8 +145,8 @@ mod tests {
         let bert = Workload::bert_imdb();
         let next_lr = Allocation::new(20, 1769, StorageKind::S3);
         let next_bert = Allocation::new(20, 1769, StorageKind::S3);
-        let a = plan_restart(&env, &lr, &next_lr, 10.0, false);
-        let b = plan_restart(&env, &bert, &next_bert, 10.0, false);
+        let a = plan_restart(&env, &lr, &next_lr, 10.0, false).unwrap();
+        let b = plan_restart(&env, &bert, &next_bert, 10.0, false).unwrap();
         assert!(b.prepare_s > a.prepare_s);
     }
 }

@@ -1,95 +1,179 @@
-//! Extension experiment: training under worker failures.
+//! Extension experiment: recovery policies under worker failures.
 //!
 //! Serverless workers are preemptible in practice (spot capacity,
 //! runtime crashes, throttling); the paper's evaluation assumes failure-
-//! free runs. This extension injects per-worker-epoch failures and
-//! measures how CE-scaling's JCT and cost degrade as the failure rate
-//! grows — the BSP barrier stalls for the slowest retry, so the overhead
-//! scales with the failure probability and the epoch length.
+//! free runs. This extension injects deterministic crash chaos via
+//! `ce-chaos` and sweeps the failure rate against the three recovery
+//! policies in `ce-workflow`:
+//!
+//! * **retry** — roll back to epoch 0 and rerun (the naive baseline);
+//! * **checkpoint** — snapshot to durable storage every k epochs, pay
+//!   the transfer time and request dollars, resume from the snapshot;
+//! * **replan** — resume from the snapshot and feed the fault damage
+//!   into the adaptive scheduler as cost/time pressure.
+//!
+//! At high failure rates checkpointing buys strictly lower JCT than
+//! naive retry, at the price of visible `recovery.*` storage dollars —
+//! the classic fault-tolerance trade the paper leaves unexplored.
 
 use crate::context;
 use crate::report::{secs, usd, Table};
-use ce_faas::PlatformConfig;
+use ce_chaos::FaultSchedule;
 use ce_models::{Environment, Workload};
-use ce_workflow::{Constraint, Method, TrainingJob};
+use ce_obs::Registry;
+use ce_workflow::{Constraint, Method, RecoveryPolicy, TrainingExecution, TrainingJob};
 use serde_json::{json, Value};
 
-/// Runs the failure-rate sweep.
+/// Snapshot cadence for the checkpointing policies.
+const CHECKPOINT_EVERY: u32 = 5;
+
+/// Runs one job to convergence (or the epoch cap) under a crash rate and
+/// recovery policy, returning `(jct_s, cost_usd, checkpoint_usd, epochs)`.
+fn run_cell(w: &Workload, budget: f64, seed: u64, rate: f64, policy: RecoveryPolicy) -> Value {
+    let obs = Registry::new();
+    let mut job = TrainingJob::new(w.clone(), Constraint::Budget(budget))
+        .with_seed(seed)
+        .with_recovery(policy)
+        .with_obs(&obs);
+    if rate > 0.0 {
+        let spec = format!("crash:{rate}@0..inf");
+        job = job.with_chaos(FaultSchedule::parse(&spec).expect("valid spec"));
+    }
+    if policy.uses_checkpoints() {
+        job = job.with_checkpoint_every(CHECKPOINT_EVERY);
+    }
+    let mut exec = match TrainingExecution::start(job, Method::CeScaling) {
+        Ok(e) => e,
+        Err(e) => return json!({ "error": e.to_string() }),
+    };
+    while !exec.is_done() {
+        if let Err(e) = exec.step_epoch() {
+            return json!({ "error": e.to_string() });
+        }
+    }
+    let r = exec.report();
+    json!({
+        "jct_s": r.jct_s,
+        "cost_usd": r.cost_usd,
+        "storage_usd": r.storage_cost_usd,
+        "checkpoint_usd": obs.gauge_value("recovery.checkpoint_usd"),
+        "checkpoints": obs.counter_value("recovery.checkpoints"),
+        "retries": obs.counter_value("recovery.retries"),
+        "lost_epochs": obs.counter_value("recovery.lost_epochs"),
+        "epochs": r.epochs,
+    })
+}
+
+/// Runs the failure-rate × recovery-policy sweep.
 pub fn run(quick: bool) -> Value {
     let env = Environment::aws_default();
     let w = Workload::mobilenet_cifar10();
-    let budget = context::training_budget(&env, &w) * 1.5;
+    // A loose budget: chaotic retry runs burn multiples of the clean
+    // cost, and we want the JCT comparison, not budget-feasibility.
+    let budget = context::training_budget(&env, &w) * 8.0;
     let seeds = context::seeds(quick);
-    let rates = [0.0, 0.01, 0.05, 0.1, 0.2];
+    let rates = [0.0, 0.05, 0.1, 0.2];
 
     let mut cells = Vec::new();
     println!(
-        "Extension — CE-scaling training under worker failures ({}, budget {})\n",
+        "Extension — recovery policies under worker crashes ({}, budget {}, checkpoint every {} epochs)\n",
         w.label(),
-        usd(budget)
+        usd(budget),
+        CHECKPOINT_EVERY
     );
-    let mut table = Table::new(["failure rate", "JCT", "cost", "epochs", "runs"]);
+    let mut table = Table::new([
+        "crash rate",
+        "policy",
+        "JCT",
+        "cost",
+        "ckpt $",
+        "epochs lost",
+        "runs",
+    ]);
     for &rate in &rates {
-        let mut jct = 0.0;
-        let mut cost = 0.0;
-        let mut epochs = 0.0;
-        let mut runs = 0u32;
-        for &seed in &seeds {
-            let job = TrainingJob::new(w.clone(), Constraint::Budget(budget))
-                .with_seed(seed)
-                .with_platform_config(PlatformConfig {
-                    failure_rate: rate,
-                    ..PlatformConfig::default()
-                });
-            if let Ok(r) = job.run(Method::CeScaling) {
-                jct += r.jct_s;
-                cost += r.cost_usd;
-                epochs += f64::from(r.epochs);
+        for &policy in &RecoveryPolicy::ALL {
+            let mut jct = 0.0;
+            let mut cost = 0.0;
+            let mut ckpt_usd = 0.0;
+            let mut lost = 0.0;
+            let mut runs = 0u32;
+            for &seed in &seeds {
+                let cell = run_cell(&w, budget, seed, rate, policy);
+                if cell.get("error").is_some() {
+                    continue;
+                }
+                jct += cell["jct_s"].as_f64().unwrap();
+                cost += cell["cost_usd"].as_f64().unwrap();
+                ckpt_usd += cell["checkpoint_usd"].as_f64().unwrap();
+                lost += cell["lost_epochs"].as_u64().unwrap() as f64;
                 runs += 1;
             }
+            let n = f64::from(runs.max(1));
+            table.row([
+                format!("{:.0}%", rate * 100.0),
+                policy.label().to_string(),
+                secs(jct / n),
+                usd(cost / n),
+                format!("{:.4}", ckpt_usd / n),
+                format!("{:.1}", lost / n),
+                runs.to_string(),
+            ]);
+            cells.push(json!({
+                "failure_rate": rate,
+                "policy": policy.label(),
+                "jct_s": jct / n,
+                "cost_usd": cost / n,
+                "checkpoint_usd": ckpt_usd / n,
+                "lost_epochs": lost / n,
+                "runs": runs,
+            }));
         }
-        let n = f64::from(runs.max(1));
-        table.row([
-            format!("{:.0}%", rate * 100.0),
-            secs(jct / n),
-            usd(cost / n),
-            format!("{:.1}", epochs / n),
-            runs.to_string(),
-        ]);
-        cells.push(json!({
-            "failure_rate": rate,
-            "jct_s": jct / n,
-            "cost_usd": cost / n,
-            "epochs": epochs / n,
-            "runs": runs,
-        }));
     }
     table.print();
     println!(
-        "\nFailures stall the barrier for the slowest retry; the adaptive\n\
-         scheduler absorbs the extra spend by drifting toward cheaper\n\
-         allocations when the budget tightens."
+        "\nNaive retry rolls chaotic runs back to epoch 0, so its JCT blows\n\
+         up with the crash rate; checkpoint-resume bounds the loss to the\n\
+         snapshot cadence and wins on JCT while paying visible storage\n\
+         dollars for the snapshots."
     );
     json!({ "ext_failures": cells })
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
+    fn mean(cells: &[Value], rate: f64, policy: &str, key: &str) -> f64 {
+        cells
+            .iter()
+            .find(|c| c["failure_rate"] == rate && c["policy"] == policy)
+            .and_then(|c| c[key].as_f64())
+            .unwrap()
+    }
+
     #[test]
-    fn failures_cost_wall_time_but_jobs_still_finish() {
+    fn checkpointing_beats_naive_retry_at_high_crash_rates() {
         let v = super::run(true);
         let cells = v["ext_failures"].as_array().unwrap();
-        let jct = |rate: f64| {
-            cells
-                .iter()
-                .find(|c| c["failure_rate"] == rate)
-                .and_then(|c| c["jct_s"].as_f64())
-                .unwrap()
-        };
-        assert!(jct(0.2) > jct(0.0), "20% failures must cost wall time");
-        // Every rate completed at least one run.
+        // Every cell completed all its runs.
         for c in cells {
-            assert!(c["runs"].as_u64().unwrap() >= 1);
+            assert!(c["runs"].as_u64().unwrap() >= 2, "cell lost runs: {c}");
         }
+        // Crashes cost wall time regardless of policy.
+        assert!(mean(cells, 0.2, "retry", "jct_s") > mean(cells, 0.0, "retry", "jct_s"));
+        // At a 20% crash rate checkpoint-resume strictly beats naive
+        // retry on mean JCT...
+        assert!(
+            mean(cells, 0.2, "checkpoint", "jct_s") < mean(cells, 0.2, "retry", "jct_s"),
+            "checkpoint-resume must beat naive retry on JCT at 20% crashes"
+        );
+        // ...while paying for snapshots retry never takes.
+        assert!(mean(cells, 0.2, "checkpoint", "checkpoint_usd") > 0.0);
+        assert_eq!(mean(cells, 0.2, "retry", "checkpoint_usd"), 0.0);
+        // Checkpointing bounds the rollback loss below naive retry's.
+        assert!(
+            mean(cells, 0.2, "checkpoint", "lost_epochs")
+                < mean(cells, 0.2, "retry", "lost_epochs")
+        );
     }
 }

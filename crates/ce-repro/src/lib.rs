@@ -150,7 +150,7 @@ pub fn registry() -> Vec<Experiment> {
         },
         Experiment {
             id: "ext-failures",
-            title: "Extension: training under worker failures",
+            title: "Extension: recovery policies under worker crashes",
             run: ext_failures::run,
         },
     ]

@@ -183,6 +183,19 @@ impl StorageSpec {
         self.aggregate_capacity_mbps = Some(capacity_mbps);
         self
     }
+
+    /// Returns this spec under a brownout: per-request latency multiplied
+    /// and bandwidth (plus any aggregate capacity) divided by `factor`.
+    /// A factor of 1.0 returns the spec unchanged, so applying a
+    /// zero-severity degradation window is exactly the healthy service.
+    pub fn degraded(&self, factor: f64) -> Self {
+        assert!(factor >= 1.0, "degradation factor must be >= 1");
+        let mut spec = self.clone();
+        spec.latency_s *= factor;
+        spec.bandwidth_mbps /= factor;
+        spec.aggregate_capacity_mbps = spec.aggregate_capacity_mbps.map(|c| c / factor);
+        spec
+    }
 }
 
 #[cfg(test)]
@@ -265,6 +278,30 @@ mod tests {
         };
         assert!((spec.transfer_time(10.0) - 0.15).abs() < 1e-12);
         assert!((spec.transfer_time(0.0) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degraded_scales_latency_up_and_bandwidth_down() {
+        let spec = StorageSpec {
+            kind: StorageKind::ElastiCache,
+            scaling: ScalingMode::Manual,
+            bandwidth_mbps: 100.0,
+            latency_s: 0.002,
+            pricing: PricingModel::PerRuntime {
+                dollars_per_hour: 0.1,
+            },
+            max_object_mb: None,
+            aggregates_locally: false,
+            aggregate_capacity_mbps: Some(1000.0),
+        };
+        let slow = spec.degraded(4.0);
+        assert!((slow.latency_s - 0.008).abs() < 1e-12);
+        assert!((slow.bandwidth_mbps - 25.0).abs() < 1e-12);
+        assert_eq!(slow.aggregate_capacity_mbps, Some(250.0));
+        // A factor of 1 is exactly the healthy service.
+        assert_eq!(spec.degraded(1.0), spec);
+        // Transfer time strictly worsens.
+        assert!(slow.transfer_time(12.0) > spec.transfer_time(12.0));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 pub mod bohb_runner;
 pub mod metrics;
 pub mod pipeline;
+pub mod recovery;
 pub mod runner;
 pub mod scenario;
 pub mod trace;
@@ -28,6 +29,7 @@ pub mod trace;
 pub use bohb_runner::{BohbJob, BohbReport};
 pub use metrics::{TrainingReport, TuningReport};
 pub use pipeline::{PipelineJob, PipelineReport};
+pub use recovery::RecoveryPolicy;
 pub use runner::{EpochStep, TrainingExecution, TrainingJob, TuningJob};
 pub use scenario::{Scenario, ScenarioOutcome};
 pub use trace::{Trace, TraceEvent, TraceKind};
@@ -103,6 +105,14 @@ pub enum WorkflowError {
     /// The platform refused an epoch's concurrency request. Recoverable:
     /// a fleet scheduler retries the epoch once quota frees up.
     Quota(ce_faas::QuotaExceeded),
+    /// The job's recovery policy gave up after too many consecutive
+    /// failed attempts (see [`recovery::MAX_RECOVERY_ATTEMPTS`]).
+    Unrecoverable {
+        /// Consecutive recovery attempts before giving up.
+        attempts: u32,
+        /// The last fault, rendered.
+        what: String,
+    },
 }
 
 impl From<ce_faas::QuotaExceeded> for WorkflowError {
@@ -122,6 +132,9 @@ impl std::fmt::Display for WorkflowError {
                 )
             }
             WorkflowError::Quota(e) => write!(f, "{e}"),
+            WorkflowError::Unrecoverable { attempts, what } => {
+                write!(f, "gave up after {attempts} recovery attempts: {what}")
+            }
         }
     }
 }

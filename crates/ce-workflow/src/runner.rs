@@ -1,14 +1,19 @@
 //! Job runners: execute tuning brackets and training jobs end-to-end.
 
 use crate::metrics::{StageMetrics, TrainingReport, TuningReport};
+use crate::recovery::{
+    backoff_s, RecoveryPolicy, BACKOFF_BASE_S, BACKOFF_CAP_S, DEFAULT_CHECKPOINT_EVERY,
+    MAX_RECOVERY_ATTEMPTS,
+};
 use crate::{Constraint, Method, WorkflowError, EVAL_COST_S, FIT_COST_S};
 use ce_baselines::siren::SirenPolicy;
 use ce_baselines::{CirrusScheduler, FixedScheduler, LambdaMlScheduler, SirenScheduler};
+use ce_chaos::FaultSchedule;
 use ce_faas::restart::plan_restart;
-use ce_faas::{ExecutionFidelity, FaasPlatform, MeasuredEpoch};
+use ce_faas::{EpochError, ExecutionFidelity, FaasPlatform, MeasuredEpoch};
 use ce_ml::curve::{table4_target, CurveParams, LossCurve};
 use ce_ml::HyperSpace;
-use ce_models::{Allocation, AllocationSpace, Environment, Workload};
+use ce_models::{Allocation, AllocationSpace, Environment, EpochTimeModel, Workload};
 use ce_obs::Registry;
 use ce_pareto::{ParetoProfiler, Profile};
 use ce_sim_core::rng::SimRng;
@@ -424,6 +429,15 @@ pub struct TrainingJob {
     /// Metrics/event sink. Defaults to the process-global registry;
     /// override with [`Self::with_obs`] for per-experiment isolation.
     pub obs: Registry,
+    /// Deterministic fault schedule injected into the platform
+    /// (see [`ce_chaos`]). `None` runs clean.
+    pub chaos: Option<FaultSchedule>,
+    /// What the job does when the platform loses its workers.
+    pub recovery: RecoveryPolicy,
+    /// Snapshot interval (epochs) for checkpointing policies; `None`
+    /// resolves to [`DEFAULT_CHECKPOINT_EVERY`] when the policy
+    /// checkpoints, and to no checkpoints otherwise.
+    pub checkpoint_every: Option<u32>,
 }
 
 impl TrainingJob {
@@ -444,7 +458,29 @@ impl TrainingJob {
             platform: ce_faas::PlatformConfig::default(),
             capture_trace: false,
             obs: ce_obs::global().clone(),
+            chaos: None,
+            recovery: RecoveryPolicy::Retry,
+            checkpoint_every: None,
         }
+    }
+
+    /// Injects a deterministic fault schedule into the platform.
+    pub fn with_chaos(mut self, schedule: FaultSchedule) -> Self {
+        self.chaos = Some(schedule);
+        self
+    }
+
+    /// Selects the recovery policy for platform faults.
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
+
+    /// Overrides the checkpoint interval (epochs between snapshots).
+    pub fn with_checkpoint_every(mut self, epochs: u32) -> Self {
+        assert!(epochs > 0, "checkpoint interval must be positive");
+        self.checkpoint_every = Some(epochs);
+        self
     }
 
     /// Captures a full execution timeline into the report.
@@ -616,6 +652,14 @@ pub struct TrainingExecution {
     trace: crate::trace::Trace,
     restart_exposed_s: f64,
     converged: bool,
+    /// Resolved snapshot interval; `None` disables checkpointing.
+    checkpoint_every: Option<u32>,
+    /// Latest durable snapshot: (progress epoch, loss-curve state).
+    checkpoint: Option<(u32, LossCurve)>,
+    /// Epoch-0 state, for restart-from-scratch recovery.
+    genesis: LossCurve,
+    /// Consecutive failed recovery attempts (reset on a successful epoch).
+    fault_attempts: u32,
 }
 
 impl TrainingExecution {
@@ -637,8 +681,11 @@ impl TrainingExecution {
         let objective = training_objective(job.constraint);
         let curve = curve_for(&job.workload);
         let rng = SimRng::new(job.seed).derive("training");
-        let platform = FaasPlatform::with_config(job.env.clone(), job.platform, job.seed)
+        let mut platform = FaasPlatform::with_config(job.env.clone(), job.platform, job.seed)
             .with_registry(&job.obs);
+        if let Some(schedule) = &job.chaos {
+            platform = platform.with_chaos(schedule);
+        }
         let run = LossCurve::sample_optimal(&curve, rng.derive("run"));
 
         // Offline estimate (used by every method for its initial sizing).
@@ -728,6 +775,13 @@ impl TrainingExecution {
             },
         );
 
+        // Only checkpointing policies snapshot; Retry ignores the
+        // interval (it always restarts from scratch).
+        let checkpoint_every = job
+            .recovery
+            .uses_checkpoints()
+            .then(|| job.checkpoint_every.unwrap_or(DEFAULT_CHECKPOINT_EVERY));
+        let genesis = run.clone();
         Ok(TrainingExecution {
             job,
             method,
@@ -741,6 +795,10 @@ impl TrainingExecution {
             trace,
             restart_exposed_s: 0.0,
             converged: false,
+            checkpoint_every,
+            checkpoint: None,
+            genesis,
+            fault_attempts: 0,
         })
     }
 
@@ -748,19 +806,36 @@ impl TrainingExecution {
     /// unless the epoch converged — let the method's controller adjust
     /// the allocation.
     ///
+    /// Platform faults (worker loss, throttling, storage outages — see
+    /// [`ce_chaos`]) are absorbed here according to the job's
+    /// [`RecoveryPolicy`]: the execution stalls, rolls back, and retries
+    /// until an epoch actually runs.
+    ///
     /// # Errors
     /// [`WorkflowError::Quota`] when the platform (or an attached shared
     /// quota) refuses the wave. The epoch did not run; the caller may
-    /// retry once capacity frees up.
+    /// retry once capacity frees up. [`WorkflowError::Unrecoverable`]
+    /// when faults exhaust the recovery-attempt cap.
     ///
     /// # Panics
     /// Panics when called after the execution is done (converged or at
     /// the epoch cap).
     pub fn step_epoch(&mut self) -> Result<EpochStep, WorkflowError> {
         assert!(!self.is_done(), "stepping a finished execution");
-        let measured: MeasuredEpoch =
-            self.platform
-                .run_epoch(&self.job.workload, &self.alloc, ExecutionFidelity::Fast)?;
+        let measured: MeasuredEpoch = loop {
+            match self
+                .platform
+                .run_epoch(&self.job.workload, &self.alloc, ExecutionFidelity::Fast)
+            {
+                Ok(m) => break m,
+                Err(EpochError::Quota(q)) => return Err(WorkflowError::Quota(q)),
+                Err(EpochError::UnknownStorage(e)) => {
+                    return Err(WorkflowError::Infeasible(e.to_string()))
+                }
+                Err(fault) => self.recover(&fault)?,
+            }
+        };
+        self.fault_attempts = 0;
         let workers = self.alloc.n;
         let loss = self.run.next_epoch();
         let report = &mut self.report;
@@ -793,6 +868,8 @@ impl TrainingExecution {
             self.converged = true;
             return Ok(step);
         }
+        self.maybe_checkpoint();
+        let report = &mut self.report;
 
         // Per-epoch scheduling decision.
         let next = match self.method {
@@ -836,7 +913,8 @@ impl TrainingExecution {
                 &to,
                 measured.wall_s,
                 delayed,
-            );
+            )
+            .map_err(|e| WorkflowError::Infeasible(e.to_string()))?;
             self.restart_exposed_s += restart.exposed_overhead_s;
             // The new wave is billed while it warms up/overlaps.
             report.cost_usd +=
@@ -858,6 +936,213 @@ impl TrainingExecution {
             self.alloc = to;
         }
         Ok(step)
+    }
+
+    /// The storage service snapshots persist to: the durable object
+    /// store (S3) when the catalog has it — a snapshot must survive the
+    /// wave that wrote it — otherwise the allocation's own service.
+    fn durable_spec(&self) -> Option<&ce_storage::StorageSpec> {
+        self.job
+            .env
+            .storage
+            .get(StorageKind::S3)
+            .or_else(|| self.job.env.storage.get(self.alloc.storage))
+    }
+
+    /// Snapshots the model to durable storage when the checkpoint
+    /// interval comes due, paying the Table-I transfer time and request
+    /// cost. The snapshot captures the loss-curve state so a later
+    /// rollback replays the exact same training trajectory.
+    fn maybe_checkpoint(&mut self) {
+        let Some(k) = self.checkpoint_every else {
+            return;
+        };
+        let progress = self.run.epochs_run();
+        if progress == 0 || !progress.is_multiple_of(k) {
+            return;
+        }
+        let Some(spec) = self.durable_spec() else {
+            return;
+        };
+        let model_mb = self.job.workload.model.model_mb;
+        let time_s = spec.transfer_time(model_mb);
+        let put_usd = spec.pricing.put_cost(model_mb);
+        let cost_usd = put_usd
+            + self
+                .job
+                .env
+                .pricing
+                .compute_cost(self.alloc.n, self.alloc.memory_mb, time_s);
+        self.checkpoint = Some((progress, self.run.clone()));
+        let report = &mut self.report;
+        report.jct_s += time_s;
+        report.cost_usd += cost_usd;
+        report.storage_cost_usd += put_usd;
+        self.platform.advance(time_s);
+        let obs = &self.job.obs;
+        obs.counter("recovery.checkpoints").add(1);
+        obs.gauge("recovery.checkpoint_s").add(time_s);
+        obs.gauge("recovery.checkpoint_usd").add(cost_usd);
+        self.trace.push(
+            report.jct_s,
+            crate::trace::TraceKind::Checkpoint {
+                epoch: progress,
+                time_s,
+                cost_usd,
+            },
+        );
+    }
+
+    /// Absorbs one platform fault according to the job's recovery policy:
+    /// charge whatever the fault wasted, roll back to the last durable
+    /// snapshot (worker losses), stall for the deterministic backoff (or
+    /// until the outage lifts), and optionally feed the damage into the
+    /// scheduler so it can re-plan.
+    fn recover(&mut self, fault: &EpochError) -> Result<(), WorkflowError> {
+        self.fault_attempts += 1;
+        if self.fault_attempts > MAX_RECOVERY_ATTEMPTS {
+            return Err(WorkflowError::Unrecoverable {
+                attempts: self.fault_attempts,
+                what: fault.to_string(),
+            });
+        }
+        let backoff = backoff_s(BACKOFF_BASE_S, self.fault_attempts, BACKOFF_CAP_S);
+        let mut stall = backoff;
+        let mut lost_epochs = 0;
+        let mut damage_s = 0.0;
+        let mut damage_usd = 0.0;
+        match *fault {
+            EpochError::Throttled { stall_s } => stall = stall.max(stall_s),
+            EpochError::StorageUnavailable { resumes_at_s, .. } => {
+                stall = stall.max(resumes_at_s - self.platform.now().as_secs());
+            }
+            EpochError::WorkerLost {
+                wasted_s,
+                wasted_usd,
+                ..
+            } => {
+                let (lost, extra_s, extra_usd) = self.apply_worker_loss(wasted_s, wasted_usd);
+                lost_epochs = lost;
+                damage_s = wasted_s + extra_s;
+                damage_usd = wasted_usd + extra_usd;
+            }
+            EpochError::Quota(_) | EpochError::UnknownStorage(_) => {
+                unreachable!("fatal errors are handled by the step loop")
+            }
+        }
+        if self.job.recovery == RecoveryPolicy::Replan {
+            if let Some(sched) = self.ce_sched.as_mut() {
+                // Report the fault to the scheduler as observed drift:
+                // the wasted spend and the stall land on the epoch the
+                // failure interrupted.
+                let loss = self.report.final_loss;
+                let decision = sched.on_epoch_end(loss, damage_usd, damage_s + stall);
+                self.job.obs.counter("recovery.replans").add(1);
+                if let Decision::Switch { to } = decision {
+                    // The switch rides the stall: the pool is already
+                    // cold, so no extra restart overhead is exposed.
+                    self.report.allocations.push(to);
+                    self.report.restarts += 1;
+                    self.alloc = to;
+                }
+            }
+        }
+        let report = &mut self.report;
+        report.jct_s += stall;
+        self.platform.advance(stall);
+        let obs = &self.job.obs;
+        obs.counter("recovery.retries").add(1);
+        if lost_epochs > 0 {
+            obs.counter("recovery.lost_epochs")
+                .add(u64::from(lost_epochs));
+        }
+        obs.gauge("recovery.backoff_s").add(stall);
+        self.trace.push(
+            report.jct_s,
+            crate::trace::TraceKind::Fault {
+                what: fault.to_string(),
+                stall_s: stall,
+                lost_epochs,
+            },
+        );
+        Ok(())
+    }
+
+    /// Charges a worker loss and rolls training back to the last durable
+    /// snapshot (the latest checkpoint for checkpointing policies, epoch
+    /// zero for [`RecoveryPolicy::Retry`]). Returns `(lost epochs,
+    /// extra stall seconds, extra dollars)` beyond what the platform
+    /// already billed for the interrupted wave.
+    fn apply_worker_loss(&mut self, wasted_s: f64, wasted_usd: f64) -> (u32, f64, f64) {
+        let progress = self.run.epochs_run();
+        let (resume_epoch, restore_s, restore_usd) = match (self.job.recovery, &self.checkpoint) {
+            (RecoveryPolicy::Retry, _) | (_, None) => {
+                self.run = self.genesis.clone();
+                (0, 0.0, 0.0)
+            }
+            (_, Some((at, snapshot))) => {
+                let at = *at;
+                self.run = snapshot.clone();
+                // Resuming pulls the snapshot back from durable storage.
+                let (s, usd) = match self.durable_spec() {
+                    Some(spec) => {
+                        let model_mb = self.job.workload.model.model_mb;
+                        (
+                            spec.transfer_time(model_mb),
+                            spec.pricing.get_cost(model_mb),
+                        )
+                    }
+                    None => (0.0, 0.0),
+                };
+                self.job.obs.counter("recovery.restores").add(1);
+                (at, s, usd)
+            }
+        };
+        let lost_epochs = progress.saturating_sub(resume_epoch);
+        let report = &mut self.report;
+        report.jct_s += wasted_s + restore_s;
+        report.cost_usd += wasted_usd + restore_usd;
+        report.storage_cost_usd += restore_usd;
+        report.final_loss = self
+            .run
+            .last_loss()
+            .unwrap_or(self.run.family_params().initial);
+        self.platform.advance(restore_s);
+        // The wave is gone: the next epoch cold-starts.
+        self.platform.cool_down();
+        (lost_epochs, restore_s, restore_usd)
+    }
+
+    /// Fleet-level worker loss: a chaos schedule running on the *fleet*
+    /// clock killed this job's wave at `at_fraction` of an epoch. The
+    /// job pays the partial epoch (estimated from the analytical time
+    /// model), rolls back per its recovery policy, and backs off once.
+    /// Returns the total extra seconds the job stalls — what a fleet
+    /// scheduler delays the job's next dispatch by.
+    pub fn inject_worker_loss(&mut self, at_fraction: f64) -> f64 {
+        let at_fraction = at_fraction.clamp(0.0, 1.0);
+        let est = EpochTimeModel::new(&self.job.env)
+            .epoch_time(&self.job.workload, &self.alloc)
+            .total();
+        let wasted_s = est * at_fraction;
+        let wasted_usd = self.job.env.pricing.invocation_cost(self.alloc.n)
+            + self
+                .job
+                .env
+                .pricing
+                .compute_cost(self.alloc.n, self.alloc.memory_mb, wasted_s);
+        let (lost_epochs, restore_s, _) = self.apply_worker_loss(wasted_s, wasted_usd);
+        let stall = backoff_s(BACKOFF_BASE_S, 1, BACKOFF_CAP_S);
+        self.report.jct_s += stall;
+        self.platform.advance(stall);
+        let obs = &self.job.obs;
+        obs.counter("recovery.retries").add(1);
+        if lost_epochs > 0 {
+            obs.counter("recovery.lost_epochs")
+                .add(u64::from(lost_epochs));
+        }
+        obs.gauge("recovery.backoff_s").add(stall);
+        wasted_s + restore_s + stall
     }
 
     /// Charges time another tenant's load added to this job's epoch
@@ -1277,5 +1562,205 @@ mod tests {
                 method.label()
             );
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Fault injection + recovery
+    // -----------------------------------------------------------------
+
+    fn chaos(spec: &str) -> FaultSchedule {
+        FaultSchedule::parse(spec).unwrap()
+    }
+
+    /// Steps an execution to the end, tolerating (and counting on)
+    /// cap-truncation: returns the report even when the job never
+    /// converged — what the failure experiments measure.
+    fn run_to_cap(job: TrainingJob) -> TrainingReport {
+        let mut exec = TrainingExecution::start(job, Method::CeScaling).unwrap();
+        while !exec.is_done() {
+            if exec.step_epoch().is_err() {
+                break;
+            }
+        }
+        exec.report().clone()
+    }
+
+    #[test]
+    fn zero_fault_chaos_reproduces_clean_run_bit_for_bit() {
+        let mut job = training_job(Workload::mobilenet_cifar10(), Constraint::Budget(1.0));
+        job.constraint = Constraint::Budget(training_budget(&job));
+        let clean = job.run(Method::CeScaling).unwrap();
+        let chaotic = job
+            .clone()
+            .with_chaos(chaos("crash:0@0..inf;coldspike:x1@0..inf"))
+            .run(Method::CeScaling)
+            .unwrap();
+        assert_eq!(clean.jct_s, chaotic.jct_s);
+        assert_eq!(clean.cost_usd, chaotic.cost_usd);
+        assert_eq!(clean.final_loss, chaotic.final_loss);
+        assert_eq!(clean.allocations, chaotic.allocations);
+    }
+
+    #[test]
+    fn chaotic_runs_are_deterministic() {
+        let mut job = training_job(Workload::mobilenet_cifar10(), Constraint::Budget(1.0));
+        job.constraint = Constraint::Budget(training_budget(&job) * 4.0);
+        let job = job
+            .with_chaos(chaos("crash:0.1@0..inf"))
+            .with_recovery(RecoveryPolicy::CheckpointResume);
+        let a = run_to_cap(job.clone());
+        let b = run_to_cap(job);
+        assert_eq!(a.jct_s, b.jct_s);
+        assert_eq!(a.cost_usd, b.cost_usd);
+        assert_eq!(a.epochs, b.epochs);
+        assert_eq!(a.final_loss, b.final_loss);
+    }
+
+    #[test]
+    fn checkpoints_cost_time_and_storage_dollars() {
+        let mut job = training_job(Workload::mobilenet_cifar10(), Constraint::Budget(1.0));
+        job.constraint = Constraint::Budget(training_budget(&job));
+        let clean = job.run(Method::CeScaling).unwrap();
+        let reg = Registry::new();
+        let ckpt = job
+            .clone()
+            .with_obs(&reg)
+            .with_recovery(RecoveryPolicy::CheckpointResume)
+            .with_checkpoint_every(5)
+            .run(Method::CeScaling)
+            .unwrap();
+        // No faults fired, so checkpointing is pure overhead.
+        assert!(reg.counter_value("recovery.checkpoints") > 0);
+        assert!(ckpt.jct_s > clean.jct_s);
+        assert!(ckpt.storage_cost_usd > clean.storage_cost_usd);
+        assert_eq!(ckpt.epochs, clean.epochs, "snapshots must not shift draws");
+        assert_eq!(ckpt.final_loss, clean.final_loss);
+    }
+
+    #[test]
+    fn checkpoint_resume_beats_retry_at_high_failure_rates() {
+        let base = training_job(Workload::mobilenet_cifar10(), Constraint::Budget(1.0));
+        let budget = training_budget(&base) * 8.0;
+        let mean = |policy: RecoveryPolicy| {
+            let mut jct = 0.0;
+            let mut ckpt_usd = 0.0;
+            for seed in 0..3u64 {
+                let reg = Registry::new();
+                let job =
+                    TrainingJob::new(Workload::mobilenet_cifar10(), Constraint::Budget(budget))
+                        .with_seed(seed)
+                        .with_obs(&reg)
+                        .with_chaos(chaos("crash:0.2@0..inf"))
+                        .with_recovery(policy)
+                        .with_checkpoint_every(5);
+                let r = run_to_cap(job);
+                jct += r.jct_s;
+                ckpt_usd += reg.gauge_value("recovery.checkpoint_usd");
+            }
+            (jct / 3.0, ckpt_usd / 3.0)
+        };
+        let (retry_jct, retry_ckpt_usd) = mean(RecoveryPolicy::Retry);
+        let (ckpt_jct, ckpt_usd) = mean(RecoveryPolicy::CheckpointResume);
+        assert!(
+            ckpt_jct < retry_jct,
+            "checkpoint {ckpt_jct:.0}s vs retry {retry_jct:.0}s"
+        );
+        assert_eq!(retry_ckpt_usd, 0.0, "retry never snapshots");
+        assert!(
+            ckpt_usd > 0.0,
+            "durability spends extra dollars on snapshots"
+        );
+    }
+
+    #[test]
+    fn recovery_counters_account_for_faults() {
+        let reg = Registry::new();
+        let mut job = training_job(Workload::mobilenet_cifar10(), Constraint::Budget(1.0));
+        job.constraint = Constraint::Budget(training_budget(&job) * 8.0);
+        let job = job
+            .with_obs(&reg)
+            .with_chaos(chaos("crash:0.2@0..inf"))
+            .with_recovery(RecoveryPolicy::CheckpointResume);
+        let _ = run_to_cap(job);
+        assert!(reg.counter_value("recovery.retries") > 0);
+        assert!(reg.counter_value("recovery.checkpoints") > 0);
+        assert!(reg.counter_value("recovery.restores") > 0);
+        assert!(reg.counter_value("chaos.worker_losses") > 0);
+    }
+
+    #[test]
+    fn permanent_crashes_are_unrecoverable() {
+        let mut job = training_job(Workload::lr_higgs(), Constraint::Budget(100.0));
+        job.constraint = Constraint::Budget(1e9);
+        let job = job.with_chaos(chaos("crash:1@0..inf"));
+        let mut exec = TrainingExecution::start(job, Method::CeScaling).unwrap();
+        let err = exec.step_epoch().expect_err("every attempt crashes");
+        match err {
+            WorkflowError::Unrecoverable { attempts, .. } => {
+                assert_eq!(attempts, crate::recovery::MAX_RECOVERY_ATTEMPTS + 1);
+            }
+            other => panic!("expected Unrecoverable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn storage_outage_stalls_until_the_window_lifts() {
+        let reg = Registry::new();
+        let mut job = training_job(Workload::mobilenet_cifar10(), Constraint::Budget(1.0));
+        job.constraint = Constraint::Budget(training_budget(&job) * 2.0);
+        let clean = job.run(Method::CeScaling).unwrap();
+        // The outage covers every service the schedulers may pick.
+        let spec =
+            "outage:s3@0..500;outage:elasticache@0..500;outage:vmps@0..500;outage:dynamodb@0..500";
+        let r = job
+            .clone()
+            .with_obs(&reg)
+            .with_chaos(chaos(spec))
+            .run(Method::CeScaling)
+            .unwrap();
+        assert!(
+            r.jct_s >= clean.jct_s + 500.0,
+            "outage {} vs clean {}",
+            r.jct_s,
+            clean.jct_s
+        );
+        assert!(reg.counter_value("chaos.storage_outages") > 0);
+        assert!(reg.counter_value("recovery.retries") > 0);
+    }
+
+    #[test]
+    fn replan_feeds_faults_into_the_scheduler() {
+        let mut job = training_job(Workload::mobilenet_cifar10(), Constraint::Budget(1.0));
+        job.constraint = Constraint::Budget(training_budget(&job) * 8.0);
+        let reg = Registry::new();
+        let job = job
+            .with_obs(&reg)
+            .with_chaos(chaos("crash:0.2@0..inf"))
+            .with_recovery(RecoveryPolicy::Replan);
+        let _ = run_to_cap(job);
+        assert!(reg.counter_value("recovery.replans") > 0);
+    }
+
+    #[test]
+    fn fleet_injected_worker_loss_rolls_back_and_stalls() {
+        let mut job = training_job(Workload::mobilenet_cifar10(), Constraint::Budget(1.0));
+        job.constraint = Constraint::Budget(training_budget(&job));
+        let job = job
+            .with_recovery(RecoveryPolicy::CheckpointResume)
+            .with_checkpoint_every(3);
+        let mut exec = TrainingExecution::start(job, Method::CeScaling).unwrap();
+        for _ in 0..4 {
+            exec.step_epoch().unwrap();
+        }
+        let before = exec.report().clone();
+        let extra = exec.inject_worker_loss(0.5);
+        assert!(extra > 0.0);
+        let after = exec.report();
+        assert!(after.jct_s > before.jct_s);
+        assert!(after.cost_usd > before.cost_usd);
+        // Rolled back to the epoch-3 checkpoint: one progress epoch lost,
+        // and the next step replays epoch 4's loss exactly.
+        let replay = exec.step_epoch().unwrap();
+        assert_eq!(replay.loss, before.final_loss);
     }
 }

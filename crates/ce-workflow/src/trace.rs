@@ -62,6 +62,24 @@ pub enum TraceKind {
         /// Final loss (training) or winner loss (tuning).
         loss: f64,
     },
+    /// The model was snapshotted to storage (checkpointing recovery).
+    Checkpoint {
+        /// Progress epoch the snapshot captures.
+        epoch: u32,
+        /// Seconds the snapshot transfer took.
+        time_s: f64,
+        /// Dollars the snapshot billed (storage puts + wave wall time).
+        cost_usd: f64,
+    },
+    /// A platform fault interrupted the job.
+    Fault {
+        /// The fault, rendered.
+        what: String,
+        /// Seconds the job stalled recovering.
+        stall_s: f64,
+        /// Progress epochs destroyed (rolled back past the snapshot).
+        lost_epochs: u32,
+    },
 }
 
 /// A job timeline.
@@ -172,6 +190,32 @@ impl Trace {
                 TraceKind::Done { loss } => {
                     registry.event(e.at_s, "done", &[("loss", json!(*loss))]);
                 }
+                TraceKind::Checkpoint {
+                    epoch,
+                    time_s,
+                    cost_usd,
+                } => registry.event(
+                    e.at_s,
+                    "checkpoint",
+                    &[
+                        ("epoch", json!(*epoch)),
+                        ("time_s", json!(*time_s)),
+                        ("cost_usd", json!(*cost_usd)),
+                    ],
+                ),
+                TraceKind::Fault {
+                    what,
+                    stall_s,
+                    lost_epochs,
+                } => registry.event(
+                    e.at_s,
+                    "fault",
+                    &[
+                        ("what", json!(what)),
+                        ("stall_s", json!(*stall_s)),
+                        ("lost_epochs", json!(*lost_epochs)),
+                    ],
+                ),
             }
         }
     }

@@ -24,6 +24,8 @@
 //! * [`workflow`] — end-to-end workflow orchestration and metrics.
 //! * [`cluster`] — multi-tenant fleet simulator: job arrivals, admission
 //!   control, and shared-quota contention over one substrate.
+//! * [`chaos`] — deterministic fault injection: typed fault taxonomy and
+//!   seed-derived schedules for crash/outage/throttle/degrade chaos.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +48,7 @@
 //! println!("chosen allocation: {}", theta.alloc);
 //! ```
 pub use ce_baselines as baselines;
+pub use ce_chaos as chaos;
 pub use ce_cluster as cluster;
 pub use ce_faas as faas;
 pub use ce_ml as ml;
@@ -64,8 +67,9 @@ pub mod prelude {
         cirrus::CirrusScheduler, fixed::FixedScheduler, lambda_ml::LambdaMlScheduler,
         siren::SirenScheduler,
     };
+    pub use ce_chaos::{FaultKind, FaultSchedule, FaultWindow};
     pub use ce_cluster::{ClusterSim, ClusterSpec, FleetReport, FleetSpec};
-    pub use ce_faas::platform::{FaasPlatform, PlatformConfig};
+    pub use ce_faas::platform::{EpochError, FaasPlatform, PlatformConfig};
     pub use ce_faas::quota::{AccountQuota, QuotaExceeded};
     pub use ce_ml::{
         curve::LossCurve,
@@ -87,6 +91,7 @@ pub mod prelude {
     };
     pub use ce_workflow::{
         metrics::{TrainingReport, TuningReport},
+        recovery::RecoveryPolicy,
         runner::{TrainingJob, TuningJob},
         Constraint,
     };

@@ -9,12 +9,13 @@
 //! ce-scaling cluster      --jobs 40 --rate 12 --policy edf --quota 60
 //! ```
 
+use ce_scaling::chaos::FaultSchedule;
 use ce_scaling::faas::PlatformConfig;
 use ce_scaling::models::{Allocation, CostModel, Environment, Workload};
 use ce_scaling::pareto::ParetoProfiler;
 use ce_scaling::storage::StorageKind;
 use ce_scaling::tuning::{PartitionPlan, ShaSpec};
-use ce_scaling::workflow::{Constraint, Method, TrainingJob, TuningJob};
+use ce_scaling::workflow::{Constraint, Method, RecoveryPolicy, TrainingJob, TuningJob};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -106,6 +107,10 @@ fn usage_and_exit(unknown: Option<&str>) -> ! {
            --policy P        fifo|edf|cost-greedy|reject-on-overload (default fifo)\n  \
            --quota N         account concurrency quota (default 60)\n  \
            --job-cap N       per-job concurrency ceiling (default: the quota)\n  \
+           --chaos SPEC      fault schedule, e.g. 'crash:0.1@0..inf;outage:s3@600..1800'\n  \
+                             (train: platform faults; cluster: fleet-clock faults)\n  \
+           --checkpoint-every K  snapshot the model to durable storage every K epochs\n  \
+           --recovery P      retry|checkpoint|replan recovery policy (default retry)\n  \
            --metrics PATH    dump the ce-obs metrics/event stream as JSONL\n"
     );
     std::process::exit(2);
@@ -128,6 +133,9 @@ struct Opts {
     quota: Option<u32>,
     job_cap: Option<u32>,
     metrics: Option<String>,
+    chaos: Option<String>,
+    checkpoint_every: Option<u32>,
+    recovery: Option<String>,
 }
 
 impl Opts {
@@ -159,6 +167,9 @@ impl Opts {
                 "--quota" => opts.quota = Some(parse_or_exit(&value(), flag)),
                 "--job-cap" => opts.job_cap = Some(parse_or_exit(&value(), flag)),
                 "--metrics" => opts.metrics = Some(value()),
+                "--chaos" => opts.chaos = Some(value()),
+                "--checkpoint-every" => opts.checkpoint_every = Some(parse_or_exit(&value(), flag)),
+                "--recovery" => opts.recovery = Some(value()),
                 other => {
                     eprintln!("unknown option: {other}");
                     std::process::exit(2);
@@ -198,6 +209,24 @@ impl Opts {
                 std::process::exit(2);
             }
         }
+    }
+
+    fn chaos(&self) -> Option<FaultSchedule> {
+        self.chaos.as_deref().map(|spec| {
+            FaultSchedule::parse(spec).unwrap_or_else(|e| {
+                eprintln!("invalid --chaos spec: {e}");
+                std::process::exit(2);
+            })
+        })
+    }
+
+    fn recovery(&self) -> Option<RecoveryPolicy> {
+        self.recovery.as_deref().map(|name| {
+            RecoveryPolicy::by_name(name).unwrap_or_else(|| {
+                eprintln!("unknown recovery policy: {name} (retry|checkpoint|replan)");
+                std::process::exit(2);
+            })
+        })
     }
 
     fn constraint(&self, default_budget: f64) -> Constraint {
@@ -310,6 +339,15 @@ fn cmd_train(opts: &Opts) {
             ..PlatformConfig::default()
         });
     }
+    if let Some(schedule) = opts.chaos() {
+        job = job.with_chaos(schedule);
+    }
+    if let Some(policy) = opts.recovery() {
+        job = job.with_recovery(policy);
+    }
+    if let Some(k) = opts.checkpoint_every {
+        job = job.with_checkpoint_every(k);
+    }
     match job.run(opts.method()) {
         Ok(r) => {
             println!(
@@ -332,6 +370,22 @@ fn cmd_train(opts: &Opts) {
                     .collect::<Vec<_>>()
                     .join(" -> ")
             );
+            if opts.chaos.is_some() || opts.checkpoint_every.is_some() {
+                let reg = ce_scaling::obs::global();
+                println!(
+                    "  recovery       {} retries, {} restores, {} replans, {} epochs lost",
+                    reg.counter_value("recovery.retries"),
+                    reg.counter_value("recovery.restores"),
+                    reg.counter_value("recovery.replans"),
+                    reg.counter_value("recovery.lost_epochs"),
+                );
+                println!(
+                    "  checkpoints    {} taken ({:.1}s, ${:.4})",
+                    reg.counter_value("recovery.checkpoints"),
+                    reg.gauge_value("recovery.checkpoint_s"),
+                    reg.gauge_value("recovery.checkpoint_usd"),
+                );
+            }
             if r.budget_violated || r.qos_violated {
                 println!("  WARNING: constraint violated");
                 std::process::exit(1);
@@ -359,6 +413,15 @@ fn cmd_cluster(opts: &Opts) {
     if let Some(cap) = opts.job_cap {
         spec = spec.with_job_cap(cap);
     }
+    if let Some(schedule) = opts.chaos() {
+        spec = spec.with_chaos(schedule);
+    }
+    if let Some(policy) = opts.recovery() {
+        spec = spec.with_recovery(policy);
+    }
+    if let Some(k) = opts.checkpoint_every {
+        spec = spec.with_checkpoint_every(k);
+    }
     let report = ClusterSim::new(spec, policy).run();
     println!(
         "{} jobs at {rate}/min over a {quota}-function quota, policy {}:\n",
@@ -384,6 +447,21 @@ fn cmd_cluster(opts: &Opts) {
         "  contention     {:.1}s of stretched sync",
         report.contention_extra_s
     );
+    if opts.chaos.is_some() {
+        let reg = ce_scaling::obs::global();
+        println!(
+            "  chaos          {} stalls, {} worker losses, {} degraded epochs",
+            reg.counter_value("cluster.chaos_stalls"),
+            reg.counter_value("cluster.chaos_worker_losses"),
+            reg.counter_value("cluster.chaos_degraded_epochs"),
+        );
+        println!(
+            "  recovery       {} retries, {} restores, {} checkpoints",
+            reg.counter_value("recovery.retries"),
+            reg.counter_value("recovery.restores"),
+            reg.counter_value("recovery.checkpoints"),
+        );
+    }
 }
 
 fn cmd_storage(opts: &Opts) {

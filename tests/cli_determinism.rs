@@ -72,3 +72,96 @@ fn cluster_metrics_are_byte_identical_per_seed() {
     assert!(!a.is_empty());
     assert_eq!(a, b, "same seed must produce byte-identical fleet JSONL");
 }
+
+#[test]
+fn chaotic_train_metrics_are_byte_identical_per_seed() {
+    // A generous budget: the run must converge despite crash chaos, or
+    // cmd_train exits non-zero before the metrics dump.
+    let args = [
+        "train",
+        "--model",
+        "lr",
+        "--dataset",
+        "higgs",
+        "--budget",
+        "200",
+        "--seed",
+        "7",
+        "--chaos",
+        "crash:0.1@0..inf",
+        "--recovery",
+        "checkpoint",
+        "--checkpoint-every",
+        "5",
+    ];
+    let a = metrics_bytes(&args, "chaos_train_a");
+    let b = metrics_bytes(&args, "chaos_train_b");
+    assert!(!a.is_empty());
+    assert_eq!(
+        a, b,
+        "same seed + same --chaos spec must produce byte-identical JSONL"
+    );
+}
+
+#[test]
+fn zero_fault_chaos_schedule_matches_the_clean_run() {
+    let clean = [
+        "train",
+        "--model",
+        "lr",
+        "--dataset",
+        "higgs",
+        "--budget",
+        "20",
+        "--seed",
+        "7",
+    ];
+    let quiet = [
+        "train",
+        "--model",
+        "lr",
+        "--dataset",
+        "higgs",
+        "--budget",
+        "20",
+        "--seed",
+        "7",
+        "--chaos",
+        "crash:0@0..inf;coldspike:x1@0..inf",
+    ];
+    assert_eq!(
+        metrics_bytes(&clean, "quiet_clean"),
+        metrics_bytes(&quiet, "quiet_chaos"),
+        "a zero-fault schedule must reproduce the clean run bit-for-bit"
+    );
+}
+
+#[test]
+fn chaotic_cluster_metrics_are_byte_identical_per_seed() {
+    let args = [
+        "cluster",
+        "--jobs",
+        "12",
+        "--rate",
+        "30",
+        "--policy",
+        "edf",
+        "--quota",
+        "40",
+        "--seed",
+        "11",
+        "--chaos",
+        "outage:s3@300..900;crash:0.05@0..inf",
+        "--recovery",
+        "checkpoint",
+        "--checkpoint-every",
+        "5",
+    ];
+    let a = metrics_bytes(&args, "chaos_cluster_a");
+    let b = metrics_bytes(&args, "chaos_cluster_b");
+    assert!(!a.is_empty());
+    assert_eq!(
+        a, b,
+        "same seed + same --chaos spec must produce byte-identical fleet JSONL"
+    );
+}
