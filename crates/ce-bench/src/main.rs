@@ -1,0 +1,267 @@
+//! Fleet-scale benchmark: times [`ce_cluster::ClusterSim`] across fleet
+//! sizes, dispatch policies, chaos on/off, and both fleet engines, and
+//! emits a machine-readable `BENCH_fleet.json`.
+//!
+//! The **heap** arms run the shipping configuration: indexed ready-set
+//! dispatch plus the pruned (branch-and-bound) loss-curve sweep. The
+//! **naive** arms reconstruct the pre-optimization implementation
+//! faithfully: linear-scan dispatch ([`FleetEngine::Naive`]) plus the
+//! exhaustive sweep ([`SweepMode::Exhaustive`]). Both pipelines are
+//! bit-identical in outcome (differential- and property-tested; this
+//! binary re-asserts report equality on matching configs), so the arms
+//! measure the same simulation and differ only in wall-clock.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ce-bench                 # full matrix -> BENCH_fleet.json
+//! cargo run --release -p ce-bench -- --quick      # skip the 10k arms (CI smoke)
+//! cargo run --release -p ce-bench -- --out F      # write somewhere else
+//! cargo run --release -p ce-bench -- --quick --baseline BENCH_fleet.json
+//!     # additionally fail (exit 1) if the 2k-job heap benchmark regressed
+//!     # more than 2x against the committed baseline
+//! ```
+
+use ce_chaos::FaultSchedule;
+use ce_cluster::{policy_by_name, ClusterSim, ClusterSpec, FleetEngine, FleetSpec};
+use ce_obs::Registry;
+use ce_training::{set_sweep_mode, SweepMode};
+use ce_workflow::RecoveryPolicy;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Arrival rate for every arm (jobs per minute).
+const RATE_PER_MIN: f64 = 120.0;
+/// Shared account concurrency quota.
+const QUOTA: u32 = 400;
+/// Per-job worker cap.
+const JOB_CAP: u32 = 8;
+/// Seed for every arm (outcomes are deterministic per seed).
+const SEED: u64 = 42;
+/// Chaos spec used by the `chaos` arms.
+const CHAOS_SPEC: &str = "crash:0.05@0..inf;outage:s3@1800..3600";
+/// The reference arm pair for the speedup figure and the CI threshold.
+const REFERENCE: &str = "fleet/2000/fifo/clean";
+/// A fresh run slower than `baseline * REGRESSION_FACTOR` fails `--baseline`.
+const REGRESSION_FACTOR: f64 = 2.0;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ArmResult {
+    /// `fleet/<jobs>/<policy>/<clean|chaos>/<engine>`.
+    name: String,
+    jobs: usize,
+    policy: String,
+    chaos: bool,
+    /// `heap` (indexed dispatch + pruned sweep) or `naive` (linear-scan
+    /// dispatch + exhaustive sweep: the faithful pre-optimization core).
+    engine: String,
+    wall_ms: f64,
+    /// Jobs that reached their target loss.
+    completed: usize,
+    /// Total fleet spend in dollars (an outcome checksum: equal-config
+    /// arms must agree exactly).
+    fleet_dollars: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Speedup {
+    reference: String,
+    heap_wall_ms: f64,
+    naive_wall_ms: f64,
+    ratio: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchReport {
+    schema: String,
+    rate_per_min: f64,
+    quota: u32,
+    job_cap: u32,
+    seed: u64,
+    chaos_spec: String,
+    arms: Vec<ArmResult>,
+    /// Heap-vs-naive wall-clock ratio on the reference arm pair.
+    speedup_2k: Option<Speedup>,
+}
+
+fn run_arm(jobs: usize, policy: &str, chaos: bool, engine: FleetEngine) -> ArmResult {
+    let sweep = match engine {
+        FleetEngine::Heap => SweepMode::Pruned,
+        FleetEngine::Naive => SweepMode::Exhaustive,
+    };
+    set_sweep_mode(sweep);
+    let mut spec = ClusterSpec::new(FleetSpec::poisson(jobs, RATE_PER_MIN, SEED), QUOTA)
+        .with_job_cap(JOB_CAP)
+        .with_recovery(RecoveryPolicy::CheckpointResume)
+        .with_checkpoint_every(5)
+        .with_engine(engine);
+    if chaos {
+        spec = spec.with_chaos(FaultSchedule::parse(CHAOS_SPEC).expect("chaos spec parses"));
+    }
+    let registry = Registry::new();
+    let sim =
+        ClusterSim::new(spec, policy_by_name(policy).expect("known policy")).with_obs(&registry);
+    let start = Instant::now();
+    let report = sim.run();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    set_sweep_mode(SweepMode::Pruned);
+
+    let engine_name = match engine {
+        FleetEngine::Heap => "heap",
+        FleetEngine::Naive => "naive",
+    };
+    let variant = if chaos { "chaos" } else { "clean" };
+    let completed = report
+        .jobs
+        .iter()
+        .filter(|j| j.status == ce_cluster::JobStatus::Completed)
+        .count();
+    let arm = ArmResult {
+        name: format!("fleet/{jobs}/{policy}/{variant}/{engine_name}"),
+        jobs,
+        policy: policy.to_string(),
+        chaos,
+        engine: engine_name.to_string(),
+        wall_ms,
+        completed,
+        fleet_dollars: report.fleet_dollars,
+    };
+    eprintln!(
+        "{:<38} {:>9.1} ms  ({} completed, ${:.2})",
+        arm.name, arm.wall_ms, arm.completed, arm.fleet_dollars
+    );
+    arm
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = String::from("BENCH_fleet.json");
+    let mut baseline: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
+            other => {
+                eprintln!("unknown flag: {other} (expected --quick, --out, --baseline)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let sizes: &[usize] = if quick {
+        &[500, 2000]
+    } else {
+        &[500, 2000, 10_000]
+    };
+    let policies = ["fifo", "edf", "cost-greedy"];
+
+    let mut arms = Vec::new();
+    // Heap arms: the full matrix.
+    for &jobs in sizes {
+        for policy in policies {
+            for chaos in [false, true] {
+                arms.push(run_arm(jobs, policy, chaos, FleetEngine::Heap));
+            }
+        }
+    }
+    // Naive (pre-optimization) baseline arms: fifo at the small and
+    // reference sizes. The 10k naive arm is omitted — the quadratic scan
+    // plus exhaustive sweep make it minutes of wall-clock for no extra
+    // information.
+    for &jobs in &[500usize, 2000] {
+        for chaos in [false, true] {
+            if quick && (jobs != 2000 || chaos) {
+                continue; // CI smoke only needs the reference pair
+            }
+            arms.push(run_arm(jobs, "fifo", chaos, FleetEngine::Naive));
+        }
+    }
+
+    // Differential re-assertion: equal-config arm pairs must agree on
+    // outcomes exactly (the engines are bit-identical by contract).
+    for naive in arms.iter().filter(|a| a.engine == "naive") {
+        let twin = arms
+            .iter()
+            .find(|a| {
+                a.engine == "heap"
+                    && a.jobs == naive.jobs
+                    && a.policy == naive.policy
+                    && a.chaos == naive.chaos
+            })
+            .expect("every naive arm has a heap twin");
+        assert_eq!(
+            (naive.completed, naive.fleet_dollars.to_bits()),
+            (twin.completed, twin.fleet_dollars.to_bits()),
+            "engines diverged on {}",
+            naive.name
+        );
+    }
+
+    let find = |engine: &str| {
+        arms.iter()
+            .find(|a| a.name == format!("{REFERENCE}/{engine}"))
+            .map(|a| a.wall_ms)
+    };
+    let speedup_2k = match (find("heap"), find("naive")) {
+        (Some(heap_wall_ms), Some(naive_wall_ms)) => Some(Speedup {
+            reference: REFERENCE.to_string(),
+            heap_wall_ms,
+            naive_wall_ms,
+            ratio: naive_wall_ms / heap_wall_ms,
+        }),
+        _ => None,
+    };
+    if let Some(s) = &speedup_2k {
+        eprintln!(
+            "speedup at {}: {:.2}x (heap {:.1} ms vs naive {:.1} ms)",
+            s.reference, s.ratio, s.heap_wall_ms, s.naive_wall_ms
+        );
+    }
+
+    let report = BenchReport {
+        schema: "ce-bench/fleet/v1".to_string(),
+        rate_per_min: RATE_PER_MIN,
+        quota: QUOTA,
+        job_cap: JOB_CAP,
+        seed: SEED,
+        chaos_spec: CHAOS_SPEC.to_string(),
+        arms,
+        speedup_2k,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").expect("write benchmark report");
+    eprintln!("wrote {out}");
+
+    if let Some(path) = baseline {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let base: BenchReport = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+        let base_ms = base
+            .arms
+            .iter()
+            .find(|a| a.name == format!("{REFERENCE}/heap"))
+            .map(|a| a.wall_ms)
+            .expect("baseline lacks the reference heap arm");
+        let fresh_ms = report
+            .arms
+            .iter()
+            .find(|a| a.name == format!("{REFERENCE}/heap"))
+            .map(|a| a.wall_ms)
+            .expect("fresh report lacks the reference heap arm");
+        eprintln!(
+            "threshold check: fresh {fresh_ms:.1} ms vs baseline {base_ms:.1} ms \
+             (limit {:.1} ms)",
+            base_ms * REGRESSION_FACTOR
+        );
+        if fresh_ms > base_ms * REGRESSION_FACTOR {
+            eprintln!(
+                "REGRESSION: the {REFERENCE} benchmark is more than \
+                 {REGRESSION_FACTOR}x slower than the committed baseline"
+            );
+            std::process::exit(1);
+        }
+    }
+}

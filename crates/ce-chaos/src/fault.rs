@@ -2,6 +2,18 @@
 
 use ce_storage::StorageKind;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Canonical spec-grammar token for a storage service (the primary names
+/// `crate::parse` accepts, not the display aliases).
+pub(crate) fn service_token(service: StorageKind) -> &'static str {
+    match service {
+        StorageKind::S3 => "s3",
+        StorageKind::DynamoDb => "dynamodb",
+        StorageKind::ElastiCache => "elasticache",
+        StorageKind::VmPs => "vmps",
+    }
+}
 
 /// One kind of injected fault, with its severity parameter.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -55,6 +67,26 @@ impl FaultKind {
     }
 }
 
+impl fmt::Display for FaultKind {
+    /// The fault's head clause in the `--chaos` spec grammar, e.g.
+    /// `crash:0.2` or `degrade:elasticache:x4`. Inverse of the parser's
+    /// head grammar for in-range severities.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::WorkerCrash { rate } => write!(f, "crash:{rate}"),
+            FaultKind::WaveKill { fraction } => write!(f, "wave:{fraction}"),
+            FaultKind::StorageOutage { service } => {
+                write!(f, "outage:{}", service_token(*service))
+            }
+            FaultKind::StorageDegrade { service, factor } => {
+                write!(f, "degrade:{}:x{factor}", service_token(*service))
+            }
+            FaultKind::ThrottleStorm { rate } => write!(f, "throttle:{rate}"),
+            FaultKind::ColdStartSpike { factor } => write!(f, "coldspike:x{factor}"),
+        }
+    }
+}
+
 /// A fault active over the half-open simulated-time window
 /// `[start_s, end_s)`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -70,6 +102,19 @@ impl FaultWindow {
     }
 }
 
+impl fmt::Display for FaultWindow {
+    /// The window clause `fault@start..end`; an unbounded end renders as
+    /// `inf`, matching what the parser accepts.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}..", self.fault, self.start_s)?;
+        if self.end_s.is_infinite() {
+            f.write_str("inf")
+        } else {
+            write!(f, "{}", self.end_s)
+        }
+    }
+}
+
 /// A Poisson burst process: windows of `fault`, each `duration_s` long, with
 /// arrival times drawn at compile time at a mean rate of `per_hour`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -77,4 +122,11 @@ pub struct BurstSpec {
     pub fault: FaultKind,
     pub per_hour: f64,
     pub duration_s: f64,
+}
+
+impl fmt::Display for BurstSpec {
+    /// The burst clause `fault~per_hour/hxduration`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}~{}/hx{}", self.fault, self.per_hour, self.duration_s)
+    }
 }

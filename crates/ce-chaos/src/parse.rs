@@ -234,6 +234,63 @@ mod tests {
     }
 
     #[test]
+    fn malformed_specs_yield_typed_errors_not_panics() {
+        // Every malformed clause must come back as a ChaosSpecError whose
+        // message names the offending clause — never a panic, never a
+        // silently-dropped clause.
+        for bad in [
+            "crash:0.1@1800..600",  // window runs backwards
+            "meteor:0.1@0..10",     // unknown fault name
+            "outage:floppy@0..10",  // unknown service name
+            "crash:-0.2@0..10",     // negative rate
+            "wave:-1@0..10",        // negative fraction
+            "throttle:0.5~-2/hx60", // negative burst rate
+            ":",                    // empty head, no window/burst
+            "@0..10",               // empty fault head
+            "~2/hx60",              // burst with empty head
+            "crash:0.1@..10",       // missing window start
+            "crash:0.1@0..",        // missing window end
+        ] {
+            let e = FaultSchedule::parse(bad).expect_err(bad);
+            assert!(
+                !e.message.is_empty() && e.to_string().starts_with("invalid chaos spec:"),
+                "`{bad}` gave unhelpful error `{e}`"
+            );
+        }
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        // Display emits the canonical grammar, so parse ∘ display is the
+        // identity on everything parse accepts.
+        for spec in [
+            "crash:0.2@0..inf",
+            "outage:s3@300..900",
+            "degrade:elasticache:x4@0..900",
+            "degrade:vmps:x2@60..120",
+            "outage:dynamodb@10..20",
+            "wave:0.5@300..360",
+            "coldspike:x5@0..120",
+            "throttle:0.8~2/hx60",
+            "crash:0.05@0..inf;outage:s3@1800..3600;throttle:0.3~1.5/hx90",
+            "",
+        ] {
+            let parsed = FaultSchedule::parse(spec).expect(spec);
+            let rendered = parsed.to_string();
+            let again = FaultSchedule::parse(&rendered)
+                .unwrap_or_else(|e| panic!("rendering `{rendered}` of `{spec}` unparseable: {e}"));
+            assert_eq!(parsed, again, "spec `{spec}` via `{rendered}`");
+        }
+        // Aliases normalize to canonical service tokens.
+        let s =
+            FaultSchedule::parse("outage:DYNAMO@0..1;outage:redis@1..2;outage:vm-ps@2..3").unwrap();
+        assert_eq!(
+            s.to_string(),
+            "outage:dynamodb@0..1;outage:elasticache@1..2;outage:vmps@2..3"
+        );
+    }
+
+    #[test]
     fn service_aliases_resolve() {
         let s =
             FaultSchedule::parse("outage:DYNAMO@0..1;outage:redis@0..1;outage:vm-ps@0..1").unwrap();

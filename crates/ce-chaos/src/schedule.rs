@@ -6,6 +6,7 @@ use crate::parse::{self, ChaosSpecError};
 use ce_sim_core::SimRng;
 use ce_storage::StorageKind;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Default horizon for materialising Poisson bursts: one simulated week.
 pub const DEFAULT_HORIZON_S: f64 = 7.0 * 24.0 * 3600.0;
@@ -98,6 +99,34 @@ impl FaultSchedule {
                 .then(a.end_s.total_cmp(&b.end_s))
         });
         CompiledSchedule { windows }
+    }
+}
+
+impl fmt::Display for FaultSchedule {
+    /// Renders the schedule back into the `;`-separated spec grammar
+    /// (windows first, then bursts; the empty schedule renders as the
+    /// empty string). For any schedule whose values satisfy the grammar's
+    /// range constraints — which includes everything [`FaultSchedule::parse`]
+    /// accepts — `parse(schedule.to_string())` reconstructs the schedule.
+    /// The burst horizon is not part of the grammar and is not rendered;
+    /// parsed schedules always carry [`DEFAULT_HORIZON_S`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for w in &self.windows {
+            if !first {
+                f.write_str(";")?;
+            }
+            write!(f, "{w}")?;
+            first = false;
+        }
+        for b in &self.bursts {
+            if !first {
+                f.write_str(";")?;
+            }
+            write!(f, "{b}")?;
+            first = false;
+        }
+        Ok(())
     }
 }
 

@@ -145,7 +145,7 @@ impl FleetSpec {
             .map(|w| {
                 let profile = ParetoProfiler::new(&self.env)
                     .with_space(space.clone())
-                    .profile_workload(w);
+                    .profile_workload_cached(w);
                 let boundary = profile.boundary();
                 let mid = boundary[boundary.len() / 2];
                 let curve = CurveParams::for_workload(w.model.family, &w.dataset.name);

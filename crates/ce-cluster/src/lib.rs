@@ -43,10 +43,11 @@ pub mod arrival;
 pub mod contention;
 pub mod fleet;
 pub mod policy;
+mod ready;
 pub mod report;
 
 pub use arrival::{ArrivalProcess, FleetSpec, JobSpec};
 pub use contention::ContentionModel;
-pub use fleet::{ClusterSim, ClusterSpec};
+pub use fleet::{ClusterSim, ClusterSpec, FleetEngine};
 pub use policy::{all_policies, policy_by_name, Admission, AdmissionPolicy, ClusterView, ReadyJob};
 pub use report::{FleetReport, JobOutcome, JobStatus};

@@ -61,6 +61,22 @@ pub trait AdmissionPolicy {
     /// Picks which ready job's epoch to dispatch next. `ready` is in
     /// arrival order; returns an index into it, or `None` to idle.
     fn pick(&self, ready: &[ReadyJob<'_>], view: &ClusterView) -> Option<usize>;
+
+    /// The policy's total-order dispatch key, if it has one: the indexed
+    /// (heap) fleet engine dispatches the ready job minimizing
+    /// `(dispatch_key, job id)` instead of scanning the whole queue.
+    ///
+    /// Contract: when this returns `Some`, [`Self::pick`] must select
+    /// exactly the ready job that minimizes `(dispatch_key, spec.id)`,
+    /// and the key must stay constant while the job sits in the queue
+    /// (allocation and `queued_since_s` only change out of queue, so
+    /// keys derived from them are stable). Policies that need the full
+    /// queue or the [`ClusterView`] to decide return `None` (the
+    /// default), which falls the fleet back to the naive scan engine.
+    fn dispatch_key(&self, job: &ReadyJob<'_>) -> Option<f64> {
+        let _ = job;
+        None
+    }
 }
 
 /// First-come-first-served: dispatch the job that has waited longest.
@@ -75,6 +91,10 @@ impl AdmissionPolicy for Fifo {
     fn pick(&self, ready: &[ReadyJob<'_>], _view: &ClusterView) -> Option<usize> {
         // Ready is kept in arrival order; longest-waiting epoch first.
         position_min_by(ready, |j| (j.queued_since_s, j.spec.id))
+    }
+
+    fn dispatch_key(&self, job: &ReadyJob<'_>) -> Option<f64> {
+        Some(job.queued_since_s)
     }
 }
 
@@ -91,6 +111,10 @@ impl AdmissionPolicy for DeadlineEdf {
     fn pick(&self, ready: &[ReadyJob<'_>], _view: &ClusterView) -> Option<usize> {
         position_min_by(ready, |j| (j.spec.arrival_s + j.spec.deadline_s, j.spec.id))
     }
+
+    fn dispatch_key(&self, job: &ReadyJob<'_>) -> Option<f64> {
+        Some(job.spec.arrival_s + job.spec.deadline_s)
+    }
 }
 
 /// Cost-greedy: dispatch the narrowest wave first. Small waves maximize
@@ -106,6 +130,10 @@ impl AdmissionPolicy for CostGreedy {
 
     fn pick(&self, ready: &[ReadyJob<'_>], _view: &ClusterView) -> Option<usize> {
         position_min_by(ready, |j| (f64::from(j.workers), j.spec.id))
+    }
+
+    fn dispatch_key(&self, job: &ReadyJob<'_>) -> Option<f64> {
+        Some(f64::from(job.workers))
     }
 }
 
@@ -139,6 +167,10 @@ impl AdmissionPolicy for RejectOnOverload {
 
     fn pick(&self, ready: &[ReadyJob<'_>], view: &ClusterView) -> Option<usize> {
         Fifo.pick(ready, view)
+    }
+
+    fn dispatch_key(&self, job: &ReadyJob<'_>) -> Option<f64> {
+        Fifo.dispatch_key(job)
     }
 }
 
@@ -273,6 +305,44 @@ mod tests {
         let j = spec(9, 0.0, 100.0);
         assert_eq!(p.admit(&j, &view(2)), Admission::Admit);
         assert_eq!(p.admit(&j, &view(3)), Admission::Reject);
+    }
+
+    #[test]
+    fn dispatch_key_orders_exactly_like_pick() {
+        // The indexed engine's contract: for every built-in policy,
+        // `pick` returns the ready job minimizing `(dispatch_key, id)`.
+        let specs: Vec<JobSpec> = (0..12u32)
+            .map(|id| {
+                spec(
+                    u64::from(id),
+                    f64::from(id % 5) * 7.0,
+                    50.0 + f64::from(id % 3) * 400.0,
+                )
+            })
+            .collect();
+        let ready: Vec<ReadyJob<'_>> = specs
+            .iter()
+            .enumerate()
+            .map(|(k, s)| ReadyJob {
+                spec: s,
+                workers: [4, 16, 8, 4][k % 4],
+                queued_since_s: (k * 13 % 7) as f64,
+            })
+            .collect();
+        for p in all_policies() {
+            let picked = p.pick(&ready, &view(ready.len())).expect("non-empty");
+            let by_key = ready
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    let ka = p.dispatch_key(a).expect("built-ins are keyed");
+                    let kb = p.dispatch_key(b).expect("built-ins are keyed");
+                    ka.total_cmp(&kb).then(a.spec.id.cmp(&b.spec.id))
+                })
+                .map(|(i, _)| i)
+                .unwrap();
+            assert_eq!(picked, by_key, "policy {} diverges", p.name());
+        }
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! The indexed ready-set behind [`crate::fleet::FleetEngine::Heap`].
+//!
+//! The naive engine keeps ready jobs in a `Vec<usize>` and, on every
+//! event, materializes the whole queue as [`crate::policy::ReadyJob`]s,
+//! linear-scans it through `pick`, and removes the winner with an O(n)
+//! shift — O(queue) work per dispatch decision, O(n²) over a fleet. The
+//! heap engine instead keeps the queue as an ordered set keyed by the
+//! policy's [`crate::policy::AdmissionPolicy::dispatch_key`] paired with
+//! the job id: the next dispatch is the set's minimum, and push/pop are
+//! O(log queue).
+//!
+//! Determinism argument: built-in dispatch keys never produce NaN and
+//! the job id is unique, so the `(key, id)` minimum is unique and
+//! matches the naive scan's `(key, id)` `position_min_by` pick exactly
+//! (keys are normalized so `-0.0` and `0.0` compare equal under
+//! `total_cmp`, as they do under the scan's `PartialOrd`). Keys are
+//! computed once at enqueue time and are stable while queued — a job's
+//! allocation and queue-entry stamp only change after it leaves the set.
+
+use std::collections::BTreeSet;
+
+/// Ordered ready-set: jobs keyed by `(dispatch key, job index)`,
+/// minimum first.
+#[derive(Debug, Default)]
+pub(crate) struct ReadySet {
+    set: BTreeSet<Entry>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Entry {
+    /// Monotone total-order encoding of the f64 key (same order as
+    /// `f64::total_cmp`), so `Ord` on the tuple is the dispatch order.
+    key_bits: u64,
+    job: usize,
+}
+
+/// Maps an f64 to bits whose unsigned order equals `total_cmp` order.
+/// `-0.0` is folded onto `0.0` first: the naive scan's `PartialOrd`
+/// treats them as equal (falling through to the id tie-break), and the
+/// indexed engine must not order them.
+fn order_bits(key: f64) -> u64 {
+    let key = if key == 0.0 { 0.0 } else { key };
+    let bits = key.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+impl ReadySet {
+    /// Jobs currently ready.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Inserts `job` with its dispatch `key`.
+    pub fn push(&mut self, key: f64, job: usize) {
+        let inserted = self.set.insert(Entry {
+            key_bits: order_bits(key),
+            job,
+        });
+        debug_assert!(inserted, "job {job} enqueued twice");
+    }
+
+    /// The job the policy dispatches next, without removing it.
+    pub fn peek_min(&self) -> Option<usize> {
+        self.set.first().map(|e| e.job)
+    }
+
+    /// Removes and returns the job the policy dispatches next.
+    pub fn pop_min(&mut self) -> Option<usize> {
+        self.set.pop_first().map(|e| e.job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_key_then_id_order() {
+        let mut set = ReadySet::default();
+        set.push(5.0, 2);
+        set.push(1.0, 7);
+        set.push(5.0, 0); // same key as job 2: lower id wins
+        set.push(3.0, 4);
+        let order: Vec<usize> = std::iter::from_fn(|| set.pop_min()).collect();
+        assert_eq!(order, vec![7, 4, 0, 2]);
+        assert_eq!(set.len(), 0);
+    }
+
+    #[test]
+    fn head_of_line_stall_keeps_the_head_stable() {
+        // A quota stall leaves the set untouched; the same head must be
+        // picked on every retry until it actually dispatches, and jobs
+        // that queued later (larger FIFO key) must stay behind it.
+        let mut set = ReadySet::default();
+        set.push(10.0, 0); // queued earliest → head of line
+        set.push(20.0, 1);
+        for _ in 0..3 {
+            assert_eq!(set.peek_min(), Some(0), "stall must not rotate the head");
+        }
+        set.push(30.0, 2); // arrives during the stall, behind everyone
+        assert_eq!(set.pop_min(), Some(0));
+        assert_eq!(set.pop_min(), Some(1));
+        assert_eq!(set.pop_min(), Some(2));
+    }
+
+    #[test]
+    fn negative_zero_ties_break_on_id_like_the_naive_scan() {
+        let mut set = ReadySet::default();
+        set.push(0.0, 5);
+        set.push(-0.0, 9);
+        assert_eq!(set.pop_min(), Some(5), "-0.0 must not outrank 0.0");
+        assert_eq!(set.pop_min(), Some(9));
+    }
+
+    #[test]
+    fn negative_and_fractional_keys_order_numerically() {
+        let mut set = ReadySet::default();
+        set.push(0.5, 1);
+        set.push(-3.25, 2);
+        set.push(-0.5, 3);
+        set.push(2.0, 4);
+        let order: Vec<usize> = std::iter::from_fn(|| set.pop_min()).collect();
+        assert_eq!(order, vec![2, 3, 1, 4]);
+    }
+
+    #[test]
+    fn empty_set_peeks_and_pops_none() {
+        let mut set = ReadySet::default();
+        assert_eq!(set.len(), 0);
+        assert_eq!(set.peek_min(), None);
+        assert_eq!(set.pop_min(), None);
+    }
+}

@@ -5,6 +5,29 @@ use crate::profile::{AllocPoint, Profile};
 use ce_ml::{DatasetSpec, ModelSpec};
 use ce_models::{AllocationSpace, CostModel, Environment, EpochTimeModel, Workload};
 use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Process-global memo for [`ParetoProfiler::profile_workload_cached`].
+///
+/// A profile is a pure function of `(environment, allocation space,
+/// workload)`; fleets profile the same zoo workloads thousands of times.
+/// Keys are the derived `Debug` renderings of all three inputs — derived
+/// `Debug` covers every field recursively, so equal keys mean equal model
+/// inputs (f64s print their shortest round-trip form, which is injective).
+static PROFILE_CACHE: OnceLock<Mutex<HashMap<String, Arc<Profile>>>> = OnceLock::new();
+static PROFILE_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static PROFILE_CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// `(hits, misses)` of the process-global profile cache, for overhead
+/// reporting.
+pub fn profile_cache_stats() -> (u64, u64) {
+    (
+        PROFILE_CACHE_HITS.load(Ordering::Relaxed),
+        PROFILE_CACHE_MISSES.load(Ordering::Relaxed),
+    )
+}
 
 /// Profiles workloads over an environment's allocation space.
 ///
@@ -68,6 +91,27 @@ impl<'e> ParetoProfiler<'e> {
             .collect();
         Profile::from_points(points)
     }
+
+    /// [`Self::profile_workload`] through the process-global memo: the
+    /// first profile of an `(env, space, workload)` triple sweeps the
+    /// grid, every later one returns the shared result. The sweep is
+    /// deterministic, so cached and fresh profiles are identical.
+    pub fn profile_workload_cached(&self, w: &Workload) -> Arc<Profile> {
+        let key = format!("{:?}\u{1}{:?}\u{1}{:?}", self.env, self.space, w);
+        let cache = PROFILE_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(hit) = cache.lock().expect("profile cache poisoned").get(&key) {
+            PROFILE_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Sweep outside the lock: concurrent first-profilers may race and
+        // both compute, but the sweep is pure so either result is the one
+        // canonical profile.
+        let profile = Arc::new(self.profile_workload(w));
+        let mut guard = cache.lock().expect("profile cache poisoned");
+        let entry = guard.entry(key).or_insert_with(|| Arc::clone(&profile));
+        PROFILE_CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+        Arc::clone(entry)
+    }
 }
 
 #[cfg(test)]
@@ -76,6 +120,7 @@ mod tests {
     use crate::dominates;
     use ce_models::AllocationSpace;
     use ce_storage::StorageKind;
+    use std::sync::Arc;
 
     fn env() -> Environment {
         Environment::aws_default()
@@ -174,6 +219,30 @@ mod tests {
                 profile.boundary().len()
             );
         }
+    }
+
+    #[test]
+    fn cached_profile_matches_fresh_sweep_and_is_shared() {
+        let env = env();
+        let profiler = ParetoProfiler::new(&env).with_space(AllocationSpace::small());
+        let fresh = profiler.profile_workload(&Workload::lr_higgs());
+        let a = profiler.profile_workload_cached(&Workload::lr_higgs());
+        let b = profiler.profile_workload_cached(&Workload::lr_higgs());
+        // Second lookup returns the same shared allocation.
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.points().len(), fresh.points().len());
+        let coords = |p: &Profile| -> Vec<(f64, f64)> {
+            p.boundary()
+                .iter()
+                .map(|x| (x.time_s(), x.cost_usd()))
+                .collect()
+        };
+        assert_eq!(coords(&a), coords(&fresh));
+        // A different workload misses: distinct profile.
+        let c = profiler.profile_workload_cached(&Workload::mobilenet_cifar10());
+        assert!(!Arc::ptr_eq(&a, &c));
+        let (hits, misses) = profile_cache_stats();
+        assert!(hits >= 1 && misses >= 2, "hits {hits} misses {misses}");
     }
 
     #[test]

@@ -63,6 +63,18 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue at t = 0 with room for `capacity` pending
+    /// events before the heap reallocates. Large drivers (fleet
+    /// simulations schedule one arrival per job up front) know their
+    /// high-water mark in advance.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
     /// Current simulated time: the delivery time of the last popped event.
     pub fn now(&self) -> SimTime {
         self.now
@@ -186,6 +198,18 @@ mod tests {
         assert_eq!(q.now(), SimTime::ZERO);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut q = EventQueue::with_capacity(64);
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        for i in 0..4 {
+            q.schedule_in(f64::from(4 - i), i);
+        }
+        let order: Vec<i32> = q.drain_ordered().into_iter().map(|(_, e)| e).collect();
+        assert_eq!(order, vec![3, 2, 1, 0]);
     }
 
     #[test]

@@ -8,6 +8,44 @@
 //! derivative-free, and fast enough to run after every epoch.
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Which candidate sweep [`LossCurveFitter::fit`] runs.
+///
+/// Both sweeps return bit-identical fits for every input
+/// (property-tested in this module); they differ only in wall-clock
+/// cost. The exhaustive sweep is the pre-optimization implementation,
+/// kept as the pruned sweep's oracle and as the faithful baseline for
+/// the fleet benchmarks (`ce-bench`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepMode {
+    /// Branch-and-bound SSE pruning over the same candidate sequence
+    /// (the default).
+    #[default]
+    Pruned,
+    /// The original full sweep: every candidate's SSE evaluated over the
+    /// whole history.
+    Exhaustive,
+}
+
+static SWEEP_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the process-wide sweep mode. Outcomes are unaffected (the
+/// sweeps are bit-identical); only benchmarking and differential tests
+/// have a reason to switch.
+pub fn set_sweep_mode(mode: SweepMode) {
+    SWEEP_MODE.store(mode as u8, Ordering::Relaxed);
+}
+
+/// The process-wide sweep mode.
+pub fn sweep_mode() -> SweepMode {
+    if SWEEP_MODE.load(Ordering::Relaxed) == SweepMode::Exhaustive as u8 {
+        SweepMode::Exhaustive
+    } else {
+        SweepMode::Pruned
+    }
+}
 
 /// A fitted convergence curve.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -42,12 +80,39 @@ impl FittedCurve {
     /// Sum of squared residuals against a history (epoch `i+1` ↦
     /// `history[i]`).
     pub fn sse(&self, history: &[f64]) -> f64 {
-        history
-            .iter()
-            .enumerate()
-            .map(|(i, &l)| (self.loss_at((i + 1) as f64) - l).powi(2))
-            .sum()
+        self.sse_within(history, f64::INFINITY)
     }
+
+    /// [`Self::sse`] with branch-and-bound pruning: the partial sum is a
+    /// monotone nondecreasing sequence of nonnegative terms, so once it
+    /// exceeds `bound` (an incumbent best) this candidate can never win
+    /// a strict `<` comparison and the accumulation stops early. Terms
+    /// are added in [`Self::sse`]'s order, so any return value that is
+    /// `<= bound` is the full sum, bit-identical to [`Self::sse`].
+    pub fn sse_within(&self, history: &[f64], bound: f64) -> f64 {
+        let mut total = 0.0;
+        for (i, &l) in history.iter().enumerate() {
+            total += (self.loss_at((i + 1) as f64) - l).powi(2);
+            if total > bound {
+                return total;
+            }
+        }
+        total
+    }
+}
+
+/// The fixed log-spaced rate grid (1e-3 to 1e3) swept by
+/// [`LossCurveFitter::fit`], built once per process: the `powf` calls
+/// would otherwise dominate the sweep's setup for every refit.
+fn rate_grid() -> &'static [f64; 49] {
+    static GRID: OnceLock<[f64; 49]> = OnceLock::new();
+    GRID.get_or_init(|| {
+        let mut rates = [0.0; 49];
+        for (ri, rate) in rates.iter_mut().enumerate() {
+            *rate = 10f64.powf(-3.0 + 6.0 * ri as f64 / 48.0);
+        }
+        rates
+    })
 }
 
 /// The online fitter.
@@ -69,8 +134,20 @@ impl LossCurveFitter {
     }
 
     /// Fits `(floor, rate)` to the observed history, or `None` with fewer
-    /// than [`Self::MIN_POINTS`] observations.
+    /// than [`Self::MIN_POINTS`] observations. Runs the sweep selected by
+    /// [`set_sweep_mode`]; both sweeps are bit-identical.
     pub fn fit(&self, history: &[f64]) -> Option<FittedCurve> {
+        match sweep_mode() {
+            SweepMode::Pruned => self.fit_pruned(history),
+            SweepMode::Exhaustive => self.fit_exhaustive(history),
+        }
+    }
+
+    /// The branch-and-bound sweep: same candidate sequence as
+    /// [`Self::fit_exhaustive`], but each candidate's SSE accumulation
+    /// aborts once it exceeds the incumbent best ([`FittedCurve::sse_within`]),
+    /// which cannot change the strict-`<` argmin.
+    pub fn fit_pruned(&self, history: &[f64]) -> Option<FittedCurve> {
         if history.len() < Self::MIN_POINTS {
             return None;
         }
@@ -84,8 +161,70 @@ impl LossCurveFitter {
         let mut best_sse = f64::INFINITY;
         for fi in 0..=32 {
             let floor = min_loss * f64::from(fi) / 32.0;
+            // rate from 1e-3 to 1e3, log-spaced.
+            for &rate in rate_grid() {
+                let cand = FittedCurve {
+                    initial: self.initial,
+                    floor,
+                    rate,
+                };
+                let sse = cand.sse_within(history, best_sse);
+                if sse < best_sse {
+                    best_sse = sse;
+                    best = cand;
+                }
+            }
+        }
+        // Local refinement: shrinking coordinate search around the best
+        // grid cell.
+        let mut floor_step = min_loss / 32.0;
+        let mut rate_factor = 10f64.powf(6.0 / 48.0);
+        for _ in 0..24 {
+            let mut improved = false;
+            for (df, rf) in [
+                (floor_step, 1.0),
+                (-floor_step, 1.0),
+                (0.0, rate_factor),
+                (0.0, 1.0 / rate_factor),
+            ] {
+                let cand = FittedCurve {
+                    initial: self.initial,
+                    floor: (best.floor + df).clamp(0.0, min_loss),
+                    rate: (best.rate * rf).max(1e-6),
+                };
+                let sse = cand.sse_within(history, best_sse);
+                if sse < best_sse {
+                    best_sse = sse;
+                    best = cand;
+                    improved = true;
+                }
+            }
+            if !improved {
+                floor_step *= 0.5;
+                rate_factor = rate_factor.sqrt();
+            }
+        }
+        Some(best)
+    }
+
+    /// The original full sweep: every candidate's SSE evaluated over the
+    /// whole history, `powf` per grid cell. Kept verbatim as the pruned
+    /// sweep's oracle (differential tests) and as the faithful pre-PR
+    /// cost baseline for the fleet benchmarks.
+    pub fn fit_exhaustive(&self, history: &[f64]) -> Option<FittedCurve> {
+        if history.len() < Self::MIN_POINTS {
+            return None;
+        }
+        let min_loss = history.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mut best = FittedCurve {
+            initial: self.initial,
+            floor: 0.0,
+            rate: 1.0,
+        };
+        let mut best_sse = f64::INFINITY;
+        for fi in 0..=32 {
+            let floor = min_loss * f64::from(fi) / 32.0;
             for ri in 0..=48 {
-                // rate from 1e-3 to 1e3, log-spaced.
                 let rate = 10f64.powf(-3.0 + 6.0 * f64::from(ri) / 48.0);
                 let cand = FittedCurve {
                     initial: self.initial,
@@ -99,8 +238,6 @@ impl LossCurveFitter {
                 }
             }
         }
-        // Local refinement: shrinking coordinate search around the best
-        // grid cell.
         let mut floor_step = min_loss / 32.0;
         let mut rate_factor = 10f64.powf(6.0 / 48.0);
         for _ in 0..24 {
@@ -230,6 +367,54 @@ mod tests {
             "late error {:.3}",
             mean(&late_errs)
         );
+    }
+
+    #[test]
+    fn pruned_fit_is_bit_identical_to_exhaustive_sweep() {
+        // The SSE early-exit must never change which candidate wins:
+        // across many noisy realizations and history lengths, the pruned
+        // fit and the exhaustive oracle return the exact same bits.
+        for seed in 0..6 {
+            let params = CurveParams::for_workload(ModelFamily::MobileNet, "Cifar10");
+            let mut run = LossCurve::sample_optimal(&params, SimRng::new(seed));
+            for _ in 0..40 {
+                run.next_epoch();
+            }
+            let fitter = LossCurveFitter::new(params.initial);
+            for n in [3, 5, 12, 25, 40] {
+                let history = &run.history()[..n];
+                let fast = fitter.fit_pruned(history).unwrap();
+                let slow = fitter.fit_exhaustive(history).unwrap();
+                assert_eq!(
+                    fast.floor.to_bits(),
+                    slow.floor.to_bits(),
+                    "seed {seed} n {n}"
+                );
+                assert_eq!(
+                    fast.rate.to_bits(),
+                    slow.rate.to_bits(),
+                    "seed {seed} n {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sse_within_matches_sse_when_under_bound() {
+        let fit = FittedCurve {
+            initial: 1.0,
+            floor: 0.2,
+            rate: 0.5,
+        };
+        let history = exact_history(1.0, 0.3, 0.4, 20);
+        let full = fit.sse(&history);
+        assert_eq!(
+            full.to_bits(),
+            fit.sse_within(&history, f64::INFINITY).to_bits()
+        );
+        assert_eq!(full.to_bits(), fit.sse_within(&history, full).to_bits());
+        // A bound below the total stops early with some partial > bound.
+        assert!(fit.sse_within(&history, full / 4.0) > full / 4.0);
     }
 
     #[test]

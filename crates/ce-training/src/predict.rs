@@ -16,6 +16,7 @@ use crate::fitter::{FittedCurve, LossCurveFitter};
 use ce_ml::curve::{CurveParams, LossCurve};
 use ce_sim_core::rng::SimRng;
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 
 /// Result of an epoch prediction.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -76,6 +77,11 @@ impl OfflinePredictor {
 pub struct OnlinePredictor {
     fitter: LossCurveFitter,
     history: Vec<f64>,
+    /// Memoized refit, keyed by the history length it was computed at.
+    /// The fit is a pure function of the history, and `observe` (the
+    /// only mutation) grows the history, so a matching length means the
+    /// cached curve is bit-identical to a fresh fit.
+    fit_cache: Cell<Option<(usize, Option<FittedCurve>)>>,
 }
 
 impl OnlinePredictor {
@@ -84,12 +90,14 @@ impl OnlinePredictor {
         OnlinePredictor {
             fitter: LossCurveFitter::new(initial_loss),
             history: Vec::new(),
+            fit_cache: Cell::new(None),
         }
     }
 
-    /// Records one observed epoch loss.
+    /// Records one observed epoch loss. Invalidates the memoized fit.
     pub fn observe(&mut self, loss: f64) {
         self.history.push(loss);
+        self.fit_cache.set(None);
     }
 
     /// Epochs observed so far.
@@ -97,9 +105,18 @@ impl OnlinePredictor {
         self.history.len() as u32
     }
 
-    /// Latest fitted curve, if enough history has accumulated.
+    /// Latest fitted curve, if enough history has accumulated. Refits at
+    /// most once per observed epoch: callers that consult the curve
+    /// several times between observations hit the memo.
     pub fn fitted(&self) -> Option<FittedCurve> {
-        self.fitter.fit(&self.history)
+        if let Some((n, fit)) = self.fit_cache.get() {
+            if n == self.history.len() {
+                return fit;
+            }
+        }
+        let fit = self.fitter.fit(&self.history);
+        self.fit_cache.set(Some((self.history.len(), fit)));
+        fit
     }
 
     /// Predicts the *total* epochs (from training start) to reach
@@ -169,6 +186,32 @@ mod tests {
         p.observe(0.7);
         assert!(p.predict(0.5).is_some());
         assert_eq!(p.epochs_observed(), 3);
+    }
+
+    #[test]
+    fn fit_memo_matches_fresh_fit_and_invalidates_on_observe() {
+        let params = params();
+        let mut run = LossCurve::sample_optimal(&params, SimRng::new(7));
+        let mut p = OnlinePredictor::new(params.initial);
+        for _ in 0..10 {
+            p.observe(run.next_epoch());
+        }
+        let first = p.fitted().expect("fit");
+        // Memo hit: same bits without refitting.
+        let memo = p.fitted().expect("fit");
+        assert_eq!(first.floor.to_bits(), memo.floor.to_bits());
+        assert_eq!(first.rate.to_bits(), memo.rate.to_bits());
+        // New observation invalidates; result equals a from-scratch fit
+        // over the grown history.
+        p.observe(run.next_epoch());
+        let after = p.fitted().expect("fit");
+        let mut fresh = OnlinePredictor::new(params.initial);
+        for &l in run.history() {
+            fresh.observe(l);
+        }
+        let oracle = fresh.fitted().expect("fit");
+        assert_eq!(after.floor.to_bits(), oracle.floor.to_bits());
+        assert_eq!(after.rate.to_bits(), oracle.rate.to_bits());
     }
 
     #[test]

@@ -17,6 +17,7 @@ use ce_models::Allocation;
 use ce_obs::{Counter, Registry};
 use ce_pareto::{AllocPoint, Profile};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// The training objective (Eq. 13–16).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -124,6 +125,14 @@ pub struct AdaptiveScheduler {
     /// Epochs completed (`e'`).
     epochs_done: u32,
     current: Option<Allocation>,
+    /// Memoized [`Self::select_best`] results keyed by the exact bits of
+    /// `(remaining_epochs, r_eff)`. The selection is a pure function of
+    /// that pair given the candidate set and objective (both fixed at
+    /// construction), so hits are bit-identical to recomputation. Hits
+    /// still charge `scheduler.evaluations` — the counter models decision
+    /// *work requested*, and the derived scheduling overhead must not
+    /// change with the cache.
+    select_cache: HashMap<(u64, u64), Option<AllocPoint>>,
     /// Observability sink; private by default, shareable via
     /// [`Self::bind_registry`].
     obs: Registry,
@@ -155,6 +164,7 @@ impl Clone for AdaptiveScheduler {
             elapsed: self.elapsed,
             epochs_done: self.epochs_done,
             current: self.current,
+            select_cache: self.select_cache.clone(),
             obs,
             evaluations,
             adjustments,
@@ -195,6 +205,7 @@ impl AdaptiveScheduler {
             elapsed: 0.0,
             epochs_done: 0,
             current: None,
+            select_cache: HashMap::new(),
             obs,
             evaluations,
             adjustments,
@@ -368,6 +379,9 @@ impl AdaptiveScheduler {
     const OVERRUN_PENALTY: f64 = 12.0;
 
     fn select_best(&mut self, remaining_epochs: f64) -> Option<AllocPoint> {
+        // Charged before the memo lookup: the modeled decision cost is
+        // per candidate *requested*, so `sched_overhead_s` downstream is
+        // byte-identical with and without the cache.
         self.evaluations.add(self.candidates.len() as u64);
         // Scalarized selection: minimize the predicted remaining value of
         // the *objective* metric, multiplied by a steep soft penalty on
@@ -389,21 +403,28 @@ impl AdaptiveScheduler {
             }
         };
         let r_eff = remaining * self.config.safety_margin;
-        if r_eff <= 0.0 {
-            // Already past the constraint: limit the damage.
-            return Self::fallback(&self.candidates, constrained_of);
+        let key = (remaining_epochs.to_bits(), r_eff.to_bits());
+        if let Some(&hit) = self.select_cache.get(&key) {
+            return hit;
         }
-        self.candidates
-            .iter()
-            .min_by(|a, b| {
-                let score = |p: &AllocPoint| {
-                    let projected = remaining_epochs * constrained_of(p);
-                    let overrun = ((projected - r_eff) / r_eff).max(0.0);
-                    remaining_epochs * objective_of(p) * (1.0 + Self::OVERRUN_PENALTY * overrun)
-                };
-                score(a).total_cmp(&score(b))
-            })
-            .copied()
+        let result = if r_eff <= 0.0 {
+            // Already past the constraint: limit the damage.
+            Self::fallback(&self.candidates, constrained_of)
+        } else {
+            self.candidates
+                .iter()
+                .min_by(|a, b| {
+                    let score = |p: &AllocPoint| {
+                        let projected = remaining_epochs * constrained_of(p);
+                        let overrun = ((projected - r_eff) / r_eff).max(0.0);
+                        remaining_epochs * objective_of(p) * (1.0 + Self::OVERRUN_PENALTY * overrun)
+                    };
+                    score(a).total_cmp(&score(b))
+                })
+                .copied()
+        };
+        self.select_cache.insert(key, result);
+        result
     }
 }
 
@@ -656,6 +677,26 @@ mod tests {
             switched_to_richer,
             "scheduler never exploited the shrinking epoch estimate"
         );
+    }
+
+    #[test]
+    fn select_memo_hits_still_charge_evaluations() {
+        // Same selection key twice: the second call is a memo hit, must
+        // return the same allocation, and must still count its candidate
+        // evaluations (the modeled overhead may not shrink with caching).
+        let w = Workload::mobilenet_cifar10();
+        let p = profile(&w);
+        let mut s = scheduler(
+            &p,
+            TrainingObjective::MinJctGivenBudget { budget: 100.0 },
+            SchedulerConfig::default(),
+        );
+        let a = s.initial_allocation(40.0);
+        let once = s.stats().evaluations;
+        assert!(once > 0);
+        let b = s.initial_allocation(40.0);
+        assert_eq!(a, b);
+        assert_eq!(s.stats().evaluations, 2 * once);
     }
 
     #[test]

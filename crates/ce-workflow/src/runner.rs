@@ -21,6 +21,7 @@ use ce_storage::StorageKind;
 use ce_training::predict::OfflinePredictor;
 use ce_training::{AdaptiveScheduler, Decision, SchedulerConfig, TrainingObjective};
 use ce_tuning::{CandidateSet, GreedyPlanner, Objective, PartitionPlan, PlannerConfig, ShaSpec};
+use std::sync::Arc;
 
 /// The allocation grid a method is allowed to search when the job does
 /// not pin one: CE-scaling sees everything; LambdaML and Siren are
@@ -145,14 +146,14 @@ impl TuningJob {
         self
     }
 
-    fn profile_for(&self, method: Method) -> Profile {
+    fn profile_for(&self, method: Method) -> Arc<Profile> {
         let space = self
             .space
             .clone()
             .unwrap_or_else(|| method_space(method, &AllocationSpace::aws_default()));
         ParetoProfiler::new(&self.env)
             .with_space(space)
-            .profile_workload(&self.workload)
+            .profile_workload_cached(&self.workload)
     }
 
     /// Produces the partitioning plan a method would use, plus the
@@ -533,14 +534,14 @@ impl TrainingJob {
         self
     }
 
-    fn profile_for(&self, method: Method) -> Profile {
+    fn profile_for(&self, method: Method) -> Arc<Profile> {
         let space = self
             .space
             .clone()
             .unwrap_or_else(|| method_space(method, &AllocationSpace::aws_default()));
         ParetoProfiler::new(&self.env)
             .with_space(space)
-            .profile_workload(&self.workload)
+            .profile_workload_cached(&self.workload)
     }
 
     /// Runs the job under `method`. `Method::Fixed` is not a training

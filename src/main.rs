@@ -107,6 +107,7 @@ fn usage_and_exit(unknown: Option<&str>) -> ! {
            --policy P        fifo|edf|cost-greedy|reject-on-overload (default fifo)\n  \
            --quota N         account concurrency quota (default 60)\n  \
            --job-cap N       per-job concurrency ceiling (default: the quota)\n  \
+           --engine E        heap|naive fleet dispatch core (default heap)\n  \
            --chaos SPEC      fault schedule, e.g. 'crash:0.1@0..inf;outage:s3@600..1800'\n  \
                              (train: platform faults; cluster: fleet-clock faults)\n  \
            --checkpoint-every K  snapshot the model to durable storage every K epochs\n  \
@@ -132,6 +133,7 @@ struct Opts {
     policy: Option<String>,
     quota: Option<u32>,
     job_cap: Option<u32>,
+    engine: Option<String>,
     metrics: Option<String>,
     chaos: Option<String>,
     checkpoint_every: Option<u32>,
@@ -166,6 +168,7 @@ impl Opts {
                 "--policy" => opts.policy = Some(value()),
                 "--quota" => opts.quota = Some(parse_or_exit(&value(), flag)),
                 "--job-cap" => opts.job_cap = Some(parse_or_exit(&value(), flag)),
+                "--engine" => opts.engine = Some(value()),
                 "--metrics" => opts.metrics = Some(value()),
                 "--chaos" => opts.chaos = Some(value()),
                 "--checkpoint-every" => opts.checkpoint_every = Some(parse_or_exit(&value(), flag)),
@@ -399,7 +402,9 @@ fn cmd_train(opts: &Opts) {
 }
 
 fn cmd_cluster(opts: &Opts) {
-    use ce_scaling::cluster::{policy_by_name, ClusterSim, ClusterSpec, FleetSpec, JobStatus};
+    use ce_scaling::cluster::{
+        policy_by_name, ClusterSim, ClusterSpec, FleetEngine, FleetSpec, JobStatus,
+    };
     let jobs = opts.jobs.unwrap_or(40);
     let rate = opts.rate.unwrap_or(12.0);
     let quota = opts.quota.unwrap_or(60);
@@ -412,6 +417,14 @@ fn cmd_cluster(opts: &Opts) {
     let mut spec = ClusterSpec::new(fleet, quota);
     if let Some(cap) = opts.job_cap {
         spec = spec.with_job_cap(cap);
+    }
+    match opts.engine.as_deref() {
+        None | Some("heap") => {}
+        Some("naive") => spec = spec.with_engine(FleetEngine::Naive),
+        Some(other) => {
+            eprintln!("unknown engine: {other} (heap|naive)");
+            std::process::exit(2);
+        }
     }
     if let Some(schedule) = opts.chaos() {
         spec = spec.with_chaos(schedule);

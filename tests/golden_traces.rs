@@ -1,0 +1,160 @@
+//! Golden-trace regression suite: canonical `--metrics` JSONL fixtures,
+//! byte-compared against fresh runs of the `ce-scaling` binary.
+//!
+//! The fixtures under `tests/golden/` pin the simulator's deterministic
+//! output contract *across commits*, not just within one run: any change
+//! that moves a counter, reorders an event, or perturbs a float breaks
+//! these tests and must either be fixed or explicitly re-baselined.
+//! Cluster fixtures are verified against **both** fleet engines, so the
+//! heap/naive equivalence is enforced forever, not just in unit tests.
+//!
+//! Re-baselining (after an intentional output change):
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_traces
+//! git diff tests/golden/   # review every changed fixture before committing
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Seeds pinned by the suite. Three is enough to catch seed-dependent
+/// drift without tripling runtime for every extra scenario.
+const SEEDS: [u64; 3] = [11, 23, 42];
+
+fn fixture_path(scenario: &str, seed: u64) -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.push("tests");
+    p.push("golden");
+    p.push(format!("{scenario}_{seed}.jsonl"));
+    p
+}
+
+/// Runs the binary with `args` plus `--metrics <tmp>` and returns the
+/// metrics bytes.
+fn run_metrics(args: &[String], tag: &str) -> Vec<u8> {
+    let mut path = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    path.push(format!("golden_{tag}.jsonl"));
+    let out = Command::new(env!("CARGO_BIN_EXE_ce-scaling"))
+        .args(args)
+        .arg("--metrics")
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "ce-scaling {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let bytes = std::fs::read(&path).expect("metrics file written");
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+fn train_args(seed: u64) -> Vec<String> {
+    [
+        "train",
+        "--model",
+        "lr",
+        "--dataset",
+        "higgs",
+        "--budget",
+        "20",
+    ]
+    .into_iter()
+    .map(String::from)
+    .chain(["--seed".into(), seed.to_string()])
+    .collect()
+}
+
+fn cluster_args(seed: u64, chaos: bool, engine: &str) -> Vec<String> {
+    let mut args: Vec<String> = [
+        "cluster", "--jobs", "12", "--rate", "30", "--policy", "edf", "--quota", "40",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect();
+    args.extend(["--seed".into(), seed.to_string()]);
+    args.extend(["--engine".into(), engine.into()]);
+    if chaos {
+        args.extend([
+            "--chaos".into(),
+            "outage:s3@300..900;crash:0.05@0..inf".into(),
+            "--recovery".into(),
+            "checkpoint".into(),
+            "--checkpoint-every".into(),
+            "5".into(),
+        ]);
+    }
+    args
+}
+
+/// Compares `actual` against the committed fixture, or rewrites the
+/// fixture when `UPDATE_GOLDEN=1` is set.
+fn check_golden(scenario: &str, seed: u64, actual: &[u8]) {
+    let path = fixture_path(scenario, seed);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        std::fs::write(&path, actual).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run `UPDATE_GOLDEN=1 cargo test \
+             --test golden_traces` to create it",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "{scenario} seed {seed} diverged from {}; if the change is \
+         intentional, re-baseline with `UPDATE_GOLDEN=1 cargo test --test \
+         golden_traces` and review the fixture diff",
+        path.display()
+    );
+}
+
+#[test]
+fn train_traces_match_golden_fixtures() {
+    for seed in SEEDS {
+        let bytes = run_metrics(&train_args(seed), &format!("train_{seed}"));
+        assert!(!bytes.is_empty());
+        check_golden("train", seed, &bytes);
+    }
+}
+
+#[test]
+fn cluster_traces_match_golden_fixtures_on_both_engines() {
+    for seed in SEEDS {
+        // The fixture is authored from the default (heap) engine; the
+        // naive engine must reproduce it byte-for-byte.
+        let heap = run_metrics(
+            &cluster_args(seed, false, "heap"),
+            &format!("cluster_heap_{seed}"),
+        );
+        assert!(!heap.is_empty());
+        check_golden("cluster", seed, &heap);
+        let naive = run_metrics(
+            &cluster_args(seed, false, "naive"),
+            &format!("cluster_naive_{seed}"),
+        );
+        check_golden("cluster", seed, &naive);
+    }
+}
+
+#[test]
+fn chaotic_cluster_traces_match_golden_fixtures_on_both_engines() {
+    for seed in SEEDS {
+        let heap = run_metrics(
+            &cluster_args(seed, true, "heap"),
+            &format!("cluster_chaos_heap_{seed}"),
+        );
+        assert!(!heap.is_empty());
+        check_golden("cluster_chaos", seed, &heap);
+        let naive = run_metrics(
+            &cluster_args(seed, true, "naive"),
+            &format!("cluster_chaos_naive_{seed}"),
+        );
+        check_golden("cluster_chaos", seed, &naive);
+    }
+}

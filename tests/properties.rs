@@ -459,3 +459,69 @@ fn same_seed_runs_export_identical_metrics_jsonl() {
     assert!(a.lines().any(|l| l.contains("\"type\":\"event\"")));
     assert_eq!(a, b, "same seed must give a byte-identical metrics stream");
 }
+
+/// The indexed (heap) fleet engine is a pure reimplementation of the
+/// naive scan engine: over random small fleets — random size, arrival
+/// rate, policy, quota, chaos spec, and recovery policy — both engines
+/// must produce identical `JobOutcome` vectors and byte-identical
+/// `cluster.*` metric exports.
+#[test]
+fn fleet_engines_are_differentially_identical() {
+    use ce_scaling::chaos::FaultSchedule;
+    use ce_scaling::cluster::{policy_by_name, ClusterSim, ClusterSpec, FleetEngine, FleetSpec};
+    use ce_scaling::obs::Registry;
+    use ce_scaling::workflow::RecoveryPolicy;
+
+    let chaos_pool = [
+        "",
+        "crash:0.2@0..inf",
+        "outage:s3@300..900;crash:0.05@0..inf",
+        "degrade:elasticache:x4@0..1800;coldspike:x5@0..600",
+        "wave:0.5@200..260;throttle:0.4~3/hx120",
+    ];
+    let policies = ["fifo", "edf", "cost-greedy", "reject-on-overload"];
+    let recoveries = [
+        RecoveryPolicy::Retry,
+        RecoveryPolicy::CheckpointResume,
+        RecoveryPolicy::Replan,
+    ];
+    prop("fleet_engine_differential", 4, |rng| {
+        let jobs = 6 + rng.gen_index(15);
+        let rate = rng.uniform_range(5.0, 40.0);
+        let seed = rng.next_u64();
+        let quota = 20 + rng.gen_index(100) as u32;
+        let policy = policies[rng.gen_index(policies.len())];
+        let chaos = chaos_pool[rng.gen_index(chaos_pool.len())];
+        let recovery = recoveries[rng.gen_index(recoveries.len())];
+        let job_cap = 4 + rng.gen_index(8) as u32;
+        let checkpoint_every = 3 + rng.gen_index(5) as u32;
+
+        let run = |engine: FleetEngine| {
+            let mut spec = ClusterSpec::new(FleetSpec::poisson(jobs, rate, seed), quota)
+                .with_job_cap(job_cap)
+                .with_recovery(recovery)
+                .with_checkpoint_every(checkpoint_every)
+                .with_engine(engine);
+            if !chaos.is_empty() {
+                spec = spec.with_chaos(FaultSchedule::parse(chaos).expect("pool specs parse"));
+            }
+            let registry = Registry::new();
+            let report = ClusterSim::new(spec, policy_by_name(policy).expect("known policy"))
+                .with_obs(&registry)
+                .run();
+            (report, registry.export_jsonl())
+        };
+        let (heap_report, heap_jsonl) = run(FleetEngine::Heap);
+        let (naive_report, naive_jsonl) = run(FleetEngine::Naive);
+        let label = format!(
+            "jobs={jobs} rate={rate:.1} quota={quota} policy={policy} \
+             chaos=`{chaos}` recovery={recovery:?}"
+        );
+        assert_eq!(
+            heap_report.jobs, naive_report.jobs,
+            "outcomes diverge: {label}"
+        );
+        assert_eq!(heap_report, naive_report, "reports diverge: {label}");
+        assert_eq!(heap_jsonl, naive_jsonl, "metrics diverge: {label}");
+    });
+}
