@@ -11,6 +11,11 @@
 //! binary re-asserts report equality on matching configs), so the arms
 //! measure the same simulation and differ only in wall-clock.
 //!
+//! A second suite (`--suite serve`) times [`ce_serve::ServeSim`] at
+//! request scale — 10k/100k/1M requests through the event heap — and
+//! emits `BENCH_serve.json` with the same 2x `--baseline` regression
+//! gate on the 100k-request reference arm.
+//!
 //! Usage:
 //!
 //! ```text
@@ -20,6 +25,10 @@
 //! cargo run --release -p ce-bench -- --quick --baseline BENCH_fleet.json
 //!     # additionally fail (exit 1) if the 2k-job heap benchmark regressed
 //!     # more than 2x against the committed baseline
+//! cargo run --release -p ce-bench -- --suite serve
+//!     # serving suite: 10k/100k/1M requests -> BENCH_serve.json
+//! cargo run --release -p ce-bench -- --suite serve --quick --baseline BENCH_serve.json
+//!     # CI smoke: 10k/100k arms plus the 2x gate on serve/100000/target/adaptive
 //! ```
 
 use ce_chaos::FaultSchedule;
@@ -133,22 +142,171 @@ fn run_arm(jobs: usize, policy: &str, chaos: bool, engine: FleetEngine) -> ArmRe
     arm
 }
 
+/// Requests per second for every serving arm (diurnal base rate).
+const SERVE_RPS: f64 = 200.0;
+/// Latency SLO for the serving arms (milliseconds).
+const SERVE_SLO_MS: f64 = 800.0;
+/// The serving reference arm for the CI threshold.
+const SERVE_REFERENCE: &str = "serve/100000/target/adaptive";
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ServeArmResult {
+    /// `serve/<requests>/<autoscaler>/<keep-alive>`.
+    name: String,
+    requests: u64,
+    autoscaler: String,
+    keep_alive: String,
+    wall_ms: f64,
+    /// Simulated requests processed per wall-clock second.
+    reqs_per_sec: f64,
+    /// Outcome checksums: equal-config arms must agree exactly.
+    completed: u64,
+    violation_rate: f64,
+    dollars: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ServeBenchReport {
+    schema: String,
+    rps: f64,
+    slo_ms: f64,
+    seed: u64,
+    arms: Vec<ServeArmResult>,
+}
+
+fn run_serve_arm(target_requests: u64, autoscaler: &str, keep_alive: &str) -> ServeArmResult {
+    use ce_serve::{autoscaler_by_name, ArrivalModel, ServeSim, ServeSpec};
+    // Open-loop rate is fixed; scale comes from the arrival window. One
+    // day/night cycle per 500 s keeps the diurnal shape at every size.
+    let duration_s = target_requests as f64 / SERVE_RPS;
+    let spec = ServeSpec::new(
+        ArrivalModel::Diurnal {
+            base_rps: SERVE_RPS,
+            amplitude: 0.8,
+            period_s: 500.0,
+        },
+        duration_s,
+        SEED,
+    )
+    .with_slo_ms(SERVE_SLO_MS);
+    let sim = ServeSim::new(
+        spec,
+        autoscaler_by_name(autoscaler).expect("known autoscaler"),
+        ce_faas::keep_alive_by_name(keep_alive).expect("known keep-alive"),
+    );
+    let start = Instant::now();
+    let report = sim.run();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let arm = ServeArmResult {
+        name: format!("serve/{target_requests}/{autoscaler}/{keep_alive}"),
+        requests: report.requests,
+        autoscaler: autoscaler.to_string(),
+        keep_alive: keep_alive.to_string(),
+        wall_ms,
+        reqs_per_sec: report.requests as f64 / (wall_ms / 1e3).max(1e-9),
+        completed: report.completed,
+        violation_rate: report.violation_rate(),
+        dollars: report.dollars,
+    };
+    eprintln!(
+        "{:<38} {:>9.1} ms  ({:.0} req/s, {:.2}% viol, ${:.4})",
+        arm.name,
+        arm.wall_ms,
+        arm.reqs_per_sec,
+        arm.violation_rate * 100.0,
+        arm.dollars
+    );
+    arm
+}
+
+fn run_serve_suite(quick: bool, out: &str, baseline: Option<&str>) {
+    let scales: &[u64] = if quick {
+        &[10_000, 100_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    let pairs = [
+        ("target", "adaptive"),
+        ("fixed:64", "fixed:600"),
+        ("prewarm", "histogram"),
+    ];
+    let mut arms = Vec::new();
+    for &requests in scales {
+        for (autoscaler, keep_alive) in pairs {
+            arms.push(run_serve_arm(requests, autoscaler, keep_alive));
+        }
+    }
+    let report = ServeBenchReport {
+        schema: "ce-bench/serve/v1".to_string(),
+        rps: SERVE_RPS,
+        slo_ms: SERVE_SLO_MS,
+        seed: SEED,
+        arms,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(out, json + "\n").expect("write benchmark report");
+    eprintln!("wrote {out}");
+
+    if let Some(path) = baseline {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let base: ServeBenchReport = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+        let reference_ms = |r: &ServeBenchReport, which: &str| {
+            r.arms
+                .iter()
+                .find(|a| a.name == SERVE_REFERENCE)
+                .map(|a| a.wall_ms)
+                .unwrap_or_else(|| panic!("{which} report lacks the {SERVE_REFERENCE} arm"))
+        };
+        let base_ms = reference_ms(&base, "baseline");
+        let fresh_ms = reference_ms(&report, "fresh");
+        eprintln!(
+            "threshold check: fresh {fresh_ms:.1} ms vs baseline {base_ms:.1} ms \
+             (limit {:.1} ms)",
+            base_ms * REGRESSION_FACTOR
+        );
+        if fresh_ms > base_ms * REGRESSION_FACTOR {
+            eprintln!(
+                "REGRESSION: the {SERVE_REFERENCE} benchmark is more than \
+                 {REGRESSION_FACTOR}x slower than the committed baseline"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let mut quick = false;
-    let mut out = String::from("BENCH_fleet.json");
+    let mut out: Option<String> = None;
+    let mut suite = String::from("fleet");
     let mut baseline: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
-            "--out" => out = args.next().expect("--out needs a path"),
+            "--out" => out = Some(args.next().expect("--out needs a path")),
+            "--suite" => suite = args.next().expect("--suite needs fleet|serve"),
             "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
             other => {
-                eprintln!("unknown flag: {other} (expected --quick, --out, --baseline)");
+                eprintln!("unknown flag: {other} (expected --quick, --out, --suite, --baseline)");
                 std::process::exit(2);
             }
         }
     }
+    match suite.as_str() {
+        "fleet" => {}
+        "serve" => {
+            let out = out.unwrap_or_else(|| "BENCH_serve.json".into());
+            run_serve_suite(quick, &out, baseline.as_deref());
+            return;
+        }
+        other => {
+            eprintln!("unknown suite: {other} (expected fleet or serve)");
+            std::process::exit(2);
+        }
+    }
+    let out = out.unwrap_or_else(|| "BENCH_fleet.json".into());
 
     let sizes: &[usize] = if quick {
         &[500, 2000]

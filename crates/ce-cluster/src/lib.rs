@@ -50,4 +50,4 @@ pub use arrival::{ArrivalProcess, FleetSpec, JobSpec};
 pub use contention::ContentionModel;
 pub use fleet::{ClusterSim, ClusterSpec, FleetEngine};
 pub use policy::{all_policies, policy_by_name, Admission, AdmissionPolicy, ClusterView, ReadyJob};
-pub use report::{FleetReport, JobOutcome, JobStatus};
+pub use report::{dominates_point, FleetReport, JobOutcome, JobStatus};

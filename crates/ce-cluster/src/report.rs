@@ -3,6 +3,15 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Pareto dominance on a (violation-rate, cost) frontier point: `a`
+/// dominates `b` when it is no worse on both axes and strictly better on
+/// at least one. Shared by the fleet report and ce-serve's
+/// policy-frontier comparison.
+pub fn dominates_point(a: (f64, f64), b: (f64, f64)) -> bool {
+    let ((v1, c1), (v2, c2)) = (a, b);
+    v1 <= v2 && c1 <= c2 && (v1 < v2 || c1 < c2)
+}
+
 /// How a job's stay at the cluster ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum JobStatus {
@@ -100,9 +109,10 @@ impl FleetReport {
     /// Whether this run dominates `other` on the violation-vs-cost
     /// frontier: no worse on both axes, strictly better on one.
     pub fn dominates(&self, other: &FleetReport) -> bool {
-        let (v1, c1) = (self.qos_violation_rate(), self.fleet_dollars);
-        let (v2, c2) = (other.qos_violation_rate(), other.fleet_dollars);
-        v1 <= v2 && c1 <= c2 && (v1 < v2 || c1 < c2)
+        dominates_point(
+            (self.qos_violation_rate(), self.fleet_dollars),
+            (other.qos_violation_rate(), other.fleet_dollars),
+        )
     }
 }
 

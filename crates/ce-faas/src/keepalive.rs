@@ -1,0 +1,382 @@
+//! Pluggable keep-alive (idle-expiry) policies for warm function
+//! instances.
+//!
+//! Providers differ in how long an idle instance stays warm before the
+//! platform reclaims it. The classic fixed window (AWS Lambda's observed
+//! ~10 min) is [`FixedTtl`]; "The High Cost of Keeping Warm" and the
+//! Serverless-in-the-Wild line of work motivate the two adaptive
+//! alternatives: [`AdaptiveTtl`] tracks an EWMA of inter-arrival gaps and
+//! keeps instances warm just long enough to catch the next expected
+//! request, and [`HistogramTtl`] predicts the idle window from a
+//! log-bucket histogram of observed gaps (keep warm until the p99 gap).
+//!
+//! Policies are deterministic pure functions of the arrival history —
+//! they draw no randomness — so swapping one in never perturbs any RNG
+//! stream and the simulator stays byte-identical per seed.
+
+use ce_sim_core::time::SimTime;
+use std::collections::BTreeMap;
+
+/// The provider-default fixed idle window, in seconds.
+pub const DEFAULT_TTL_S: f64 = 600.0;
+
+/// A keep-alive policy: decides how long an idle warm instance survives.
+///
+/// [`KeepAlive::observe_arrival`] is fed every invocation arrival so
+/// adaptive policies can learn the traffic's inter-arrival structure;
+/// [`KeepAlive::ttl_s`] is consulted whenever the pool reaps or counts
+/// warm instances.
+pub trait KeepAlive: std::fmt::Debug + Send {
+    /// Stable display name, e.g. `fixed:600` / `adaptive` / `histogram`.
+    fn name(&self) -> String;
+
+    /// Idle seconds after which a warm instance is reclaimed, as of `now`.
+    fn ttl_s(&self, now: SimTime) -> f64;
+
+    /// Feeds one invocation arrival into the policy's model.
+    fn observe_arrival(&mut self, _now: SimTime) {}
+
+    /// Clones the policy behind the trait object.
+    fn clone_box(&self) -> Box<dyn KeepAlive>;
+}
+
+impl Clone for Box<dyn KeepAlive> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Keep idle instances warm for a fixed window (the provider default).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedTtl(pub f64);
+
+impl Default for FixedTtl {
+    fn default() -> Self {
+        FixedTtl(DEFAULT_TTL_S)
+    }
+}
+
+impl KeepAlive for FixedTtl {
+    fn name(&self) -> String {
+        // Integer seconds render without a trailing ".0" so the common
+        // cases read naturally ("fixed:600").
+        if self.0.fract() == 0.0 {
+            format!("fixed:{}", self.0 as u64)
+        } else {
+            format!("fixed:{}", self.0)
+        }
+    }
+
+    fn ttl_s(&self, _now: SimTime) -> f64 {
+        self.0
+    }
+
+    fn clone_box(&self) -> Box<dyn KeepAlive> {
+        Box::new(*self)
+    }
+}
+
+/// Cost-aware adaptive TTL: an EWMA of inter-arrival gaps times a safety
+/// margin, clamped to `[min_ttl_s, max_ttl_s]`.
+///
+/// Under steady traffic the EWMA converges to the mean gap, so instances
+/// stay warm just past the next expected arrival; when traffic thins
+/// (diurnal trough) the gaps grow, the TTL rises toward — and is capped
+/// at — the ski-rental break-even, past which paying a cold start is
+/// cheaper than idling the instance.
+#[derive(Debug, Clone)]
+pub struct AdaptiveTtl {
+    /// EWMA smoothing factor in `(0, 1]` (weight of the newest gap).
+    pub alpha: f64,
+    /// Safety margin multiplying the EWMA gap.
+    pub margin: f64,
+    /// TTL floor in seconds.
+    pub min_ttl_s: f64,
+    /// TTL ceiling in seconds (the ski-rental break-even when built via
+    /// [`AdaptiveTtl::cost_aware`]).
+    pub max_ttl_s: f64,
+    ewma_gap_s: Option<f64>,
+    last_arrival: Option<SimTime>,
+}
+
+impl AdaptiveTtl {
+    /// An adaptive policy with explicit clamp bounds.
+    pub fn new(margin: f64, min_ttl_s: f64, max_ttl_s: f64) -> Self {
+        assert!(min_ttl_s <= max_ttl_s, "TTL floor above ceiling");
+        AdaptiveTtl {
+            alpha: 0.1,
+            margin,
+            min_ttl_s,
+            max_ttl_s,
+            ewma_gap_s: None,
+            last_arrival: None,
+        }
+    }
+
+    /// Derives the TTL ceiling from the billing model (ski rental): keep
+    /// an instance warm no longer than the point where accumulated
+    /// keep-warm spend exceeds the cost of just eating a cold start.
+    /// `latency_value` scales the cold start's effective cost to account
+    /// for its QoS damage on top of the billed GB-seconds (a pure
+    /// dollars-for-dollars trade would cap the TTL at a few seconds and
+    /// disable keep-alive entirely).
+    pub fn cost_aware(
+        cold_start_s: f64,
+        per_gb_second: f64,
+        keep_warm_per_gb_s: f64,
+        latency_value: f64,
+    ) -> Self {
+        let break_even_s = latency_value * cold_start_s * per_gb_second / keep_warm_per_gb_s;
+        AdaptiveTtl::new(3.0, 10.0, break_even_s.max(10.0))
+    }
+
+    /// The current EWMA of inter-arrival gaps, once two arrivals exist.
+    pub fn ewma_gap_s(&self) -> Option<f64> {
+        self.ewma_gap_s
+    }
+}
+
+impl Default for AdaptiveTtl {
+    fn default() -> Self {
+        // AWS-like numbers: 1.8 s cold start, on-demand compute at
+        // 1.66667e-5 $/GB-s vs provisioned keep-warm at 4.1667e-6, and a
+        // 50x latency value => a ~360 s ceiling.
+        AdaptiveTtl::cost_aware(1.8, 1.66667e-5, 4.1667e-6, 50.0)
+    }
+}
+
+impl KeepAlive for AdaptiveTtl {
+    fn name(&self) -> String {
+        "adaptive".to_string()
+    }
+
+    fn ttl_s(&self, _now: SimTime) -> f64 {
+        match self.ewma_gap_s {
+            // No gap data yet: stay conservative (the ceiling), matching
+            // the cold-pool behaviour of a freshly deployed function.
+            None => self.max_ttl_s,
+            Some(gap) => (gap * self.margin).clamp(self.min_ttl_s, self.max_ttl_s),
+        }
+    }
+
+    fn observe_arrival(&mut self, now: SimTime) {
+        if let Some(last) = self.last_arrival {
+            let gap = (now - last).max(0.0);
+            self.ewma_gap_s = Some(match self.ewma_gap_s {
+                None => gap,
+                Some(ewma) => ewma + self.alpha * (gap - ewma),
+            });
+        }
+        self.last_arrival = Some(now);
+    }
+
+    fn clone_box(&self) -> Box<dyn KeepAlive> {
+        Box::new(self.clone())
+    }
+}
+
+/// Histogram-based inter-arrival prediction (Serverless-in-the-Wild
+/// style): log-bucket tallies of observed gaps; the TTL is a high
+/// percentile of that distribution, so the pool keeps instances warm
+/// long enough to catch all but the rarest stragglers.
+#[derive(Debug, Clone)]
+pub struct HistogramTtl {
+    /// Which gap percentile to keep instances warm for.
+    pub percentile: f64,
+    /// Safety margin multiplying the percentile gap.
+    pub margin: f64,
+    /// TTL bounds in seconds.
+    pub min_ttl_s: f64,
+    /// TTL ceiling in seconds.
+    pub max_ttl_s: f64,
+    /// Gap observations needed before trusting the histogram; below this
+    /// the policy falls back to [`DEFAULT_TTL_S`] (clamped).
+    pub warmup: u64,
+    gaps: BTreeMap<i32, u64>,
+    zero_gaps: u64,
+    total: u64,
+    last_arrival: Option<SimTime>,
+}
+
+impl HistogramTtl {
+    /// A histogram policy keeping instances warm for the `percentile`
+    /// inter-arrival gap, clamped to `[min_ttl_s, max_ttl_s]`.
+    pub fn new(percentile: f64, min_ttl_s: f64, max_ttl_s: f64) -> Self {
+        assert!((0.0..=1.0).contains(&percentile), "percentile in [0,1]");
+        assert!(min_ttl_s <= max_ttl_s, "TTL floor above ceiling");
+        HistogramTtl {
+            percentile,
+            margin: 1.25,
+            min_ttl_s,
+            max_ttl_s,
+            warmup: 20,
+            gaps: BTreeMap::new(),
+            zero_gaps: 0,
+            total: 0,
+            last_arrival: None,
+        }
+    }
+
+    /// Gap observations recorded so far.
+    pub fn samples(&self) -> u64 {
+        self.total
+    }
+
+    /// The `percentile` gap by nearest rank over the log buckets, or
+    /// `None` before any gap was observed.
+    fn percentile_gap_s(&self) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((self.percentile * self.total as f64).ceil() as u64).max(1);
+        if self.zero_gaps >= rank {
+            return Some(0.0);
+        }
+        let mut seen = self.zero_gaps;
+        for (&idx, &n) in self.gaps.iter() {
+            seen += n;
+            if seen >= rank {
+                return Some(ce_obs::log_bucket_value(idx));
+            }
+        }
+        None
+    }
+}
+
+impl Default for HistogramTtl {
+    fn default() -> Self {
+        HistogramTtl::new(0.99, 10.0, DEFAULT_TTL_S)
+    }
+}
+
+impl KeepAlive for HistogramTtl {
+    fn name(&self) -> String {
+        "histogram".to_string()
+    }
+
+    fn ttl_s(&self, _now: SimTime) -> f64 {
+        if self.total < self.warmup {
+            return DEFAULT_TTL_S.clamp(self.min_ttl_s, self.max_ttl_s);
+        }
+        match self.percentile_gap_s() {
+            None => DEFAULT_TTL_S.clamp(self.min_ttl_s, self.max_ttl_s),
+            Some(gap) => (gap * self.margin).clamp(self.min_ttl_s, self.max_ttl_s),
+        }
+    }
+
+    fn observe_arrival(&mut self, now: SimTime) {
+        if let Some(last) = self.last_arrival {
+            let gap = (now - last).max(0.0);
+            if gap > 0.0 {
+                *self.gaps.entry(ce_obs::log_bucket_index(gap)).or_insert(0) += 1;
+            } else {
+                self.zero_gaps += 1;
+            }
+            self.total += 1;
+        }
+        self.last_arrival = Some(now);
+    }
+
+    fn clone_box(&self) -> Box<dyn KeepAlive> {
+        Box::new(self.clone())
+    }
+}
+
+/// Parses a keep-alive policy name: `fixed` (600 s), `fixed:<seconds>`,
+/// `adaptive`, or `histogram`. Returns `None` for anything else.
+pub fn keep_alive_by_name(name: &str) -> Option<Box<dyn KeepAlive>> {
+    if let Some(rest) = name.strip_prefix("fixed:") {
+        let ttl: f64 = rest.parse().ok()?;
+        if !ttl.is_finite() || ttl < 0.0 {
+            return None;
+        }
+        return Some(Box::new(FixedTtl(ttl)));
+    }
+    match name {
+        "fixed" => Some(Box::new(FixedTtl::default())),
+        "adaptive" => Some(Box::new(AdaptiveTtl::default())),
+        "histogram" => Some(Box::new(HistogramTtl::default())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn fixed_ttl_is_constant_and_named() {
+        let p = FixedTtl::default();
+        assert_eq!(p.ttl_s(t(0.0)), 600.0);
+        assert_eq!(p.ttl_s(t(1e6)), 600.0);
+        assert_eq!(p.name(), "fixed:600");
+        assert_eq!(FixedTtl(42.5).name(), "fixed:42.5");
+    }
+
+    #[test]
+    fn adaptive_ttl_tracks_gap_ewma() {
+        let mut p = AdaptiveTtl::new(3.0, 1.0, 1e9);
+        assert_eq!(p.ttl_s(t(0.0)), 1e9, "no data: ceiling");
+        // Steady 10 s gaps: the EWMA converges to 10, TTL to 30.
+        for i in 0..200 {
+            p.observe_arrival(t(f64::from(i) * 10.0));
+        }
+        let ttl = p.ttl_s(t(2000.0));
+        assert!((ttl - 30.0).abs() < 1e-6, "ttl {ttl}");
+        // Traffic thins to 100 s gaps: the TTL grows toward 300.
+        for i in 0..200 {
+            p.observe_arrival(t(2000.0 + f64::from(i) * 100.0));
+        }
+        let ttl = p.ttl_s(t(25_000.0));
+        assert!(ttl > 250.0, "ttl {ttl} should approach 300");
+    }
+
+    #[test]
+    fn cost_aware_ceiling_is_the_break_even() {
+        let p = AdaptiveTtl::cost_aware(1.8, 1.66667e-5, 4.1667e-6, 50.0);
+        // 50 * 1.8 * (1.66667e-5 / 4.1667e-6) ~= 360 s.
+        assert!((p.max_ttl_s - 360.0).abs() < 1.0, "ceiling {}", p.max_ttl_s);
+    }
+
+    #[test]
+    fn histogram_ttl_learns_the_gap_percentile() {
+        let mut p = HistogramTtl::new(0.99, 1.0, 1e9);
+        assert_eq!(p.ttl_s(t(0.0)), 600.0, "warmup fallback");
+        // 97 gaps of 5 s and 3 of 50 s: rank 99 of 100 lands in the 50 s
+        // bucket (nearest-rank).
+        let mut now = 0.0;
+        p.observe_arrival(t(now));
+        for i in 0..100 {
+            now += if i % 33 == 7 { 50.0 } else { 5.0 };
+            p.observe_arrival(t(now));
+        }
+        let ttl = p.ttl_s(t(now));
+        assert!(
+            (50.0..=75.0).contains(&ttl),
+            "p99 gap ~50 s x margin: ttl {ttl}"
+        );
+    }
+
+    #[test]
+    fn policies_parse_by_name() {
+        assert_eq!(keep_alive_by_name("fixed").unwrap().name(), "fixed:600");
+        assert_eq!(keep_alive_by_name("fixed:45").unwrap().name(), "fixed:45");
+        assert_eq!(keep_alive_by_name("adaptive").unwrap().name(), "adaptive");
+        assert_eq!(keep_alive_by_name("histogram").unwrap().name(), "histogram");
+        assert!(keep_alive_by_name("fixed:-3").is_none());
+        assert!(keep_alive_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn boxed_policies_clone() {
+        let mut a: Box<dyn KeepAlive> = Box::new(AdaptiveTtl::new(2.0, 1.0, 100.0));
+        a.observe_arrival(t(0.0));
+        a.observe_arrival(t(10.0));
+        let b = a.clone();
+        assert_eq!(a.ttl_s(t(10.0)), b.ttl_s(t(10.0)));
+    }
+}

@@ -28,6 +28,9 @@
 //!   including the paper's *delayed restart* overlap optimization (Fig 8).
 //! * [`function`] — instance lifecycle: warm pools, idle expiry,
 //!   execution-limit accounting.
+//! * [`keepalive`] — pluggable idle-expiry policies ([`keepalive::FixedTtl`],
+//!   cost-aware [`keepalive::AdaptiveTtl`], Serverless-in-the-Wild-style
+//!   [`keepalive::HistogramTtl`]) behind the [`keepalive::KeepAlive`] trait.
 //! * [`quota`] — the shared account-level concurrency pool
 //!   ([`quota::AccountQuota`]) and the typed overload signal
 //!   ([`quota::QuotaExceeded`]) multi-tenant schedulers react to.
@@ -51,6 +54,7 @@
 pub mod billing;
 pub mod epoch;
 pub mod function;
+pub mod keepalive;
 pub mod platform;
 pub mod quota;
 pub mod restart;
@@ -58,7 +62,8 @@ pub mod stage;
 
 pub use billing::BillingLedger;
 pub use epoch::{ExecutionFidelity, MeasuredEpoch};
-pub use function::{FunctionId, InstancePool, PoolStats};
+pub use function::{FunctionId, FunctionInstance, InstancePool, PoolStats, ReapedInstance};
+pub use keepalive::{keep_alive_by_name, AdaptiveTtl, FixedTtl, HistogramTtl, KeepAlive};
 pub use platform::{EpochError, FaasPlatform, PlatformConfig};
 pub use quota::{AccountQuota, QuotaExceeded};
 pub use restart::RestartPlan;

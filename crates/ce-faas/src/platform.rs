@@ -234,6 +234,19 @@ impl FaasPlatform {
         self
     }
 
+    /// Replaces the warm pool's idle-expiry policy (default:
+    /// [`crate::keepalive::FixedTtl`] at 600 s, the provider window).
+    pub fn with_keep_alive(mut self, policy: Box<dyn crate::keepalive::KeepAlive>) -> Self {
+        self.pool.set_keep_alive(policy);
+        self
+    }
+
+    /// Mutable access to the instance pool (the serving simulator drives
+    /// per-request acquire/release and reaping directly).
+    pub fn pool_mut(&mut self) -> &mut InstancePool {
+        &mut self.pool
+    }
+
     /// Draws this platform's concurrency from a shared account-level
     /// pool: every epoch reserves `alloc.n` functions from `quota` for
     /// its duration, so concurrent tenants contend for one limit.

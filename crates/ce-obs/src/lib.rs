@@ -23,16 +23,36 @@
 //! {"type":"counter","name":"faas.cold_starts","value":12}
 //! {"type":"gauge","name":"storage.s3.dollars","value":0.0875}
 //! {"type":"histogram","name":"faas.queue_wait_s","count":3,"sum":1.5,"min":0.1,"max":0.9,"mean":0.5}
+//! {"type":"summary","name":"serve.latency_ms","count":3,"p50":210.1,"p90":287.3,"p95":287.3,"p99":287.3}
 //! {"type":"event","at_s":12.5,"name":"stage_done","stage":1,...}
 //! ```
 //!
 //! Counter lines come first (sorted by name), then gauges, then
-//! histograms, then events.
+//! histograms, then quantile summaries (only for histograms with
+//! [`Histogram::enable_quantiles`] — plain histograms export exactly the
+//! bytes they always did), then events.
 
 use serde_json::{json, Map, Value};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Geometric bucket growth factor for quantile-tracking histograms: each
+/// bucket spans a 2 % relative range, so any extracted quantile is within
+/// ±1 % of the exact order statistic.
+pub const BUCKET_GAMMA: f64 = 1.02;
+
+/// Log-bucket index of a positive value: `floor(ln(v) / ln(GAMMA))`.
+/// Values `<= 0` have no log bucket and are tracked separately.
+pub fn log_bucket_index(v: f64) -> i32 {
+    debug_assert!(v > 0.0, "log bucket of non-positive value {v}");
+    (v.ln() / BUCKET_GAMMA.ln()).floor() as i32
+}
+
+/// Representative value of log bucket `i` (the geometric bucket middle).
+pub fn log_bucket_value(i: i32) -> f64 {
+    ((f64::from(i) + 0.5) * BUCKET_GAMMA.ln()).exp()
+}
 
 /// A monotonically increasing `u64` metric.
 #[derive(Clone, Debug, Default)]
@@ -86,16 +106,29 @@ impl Gauge {
     }
 }
 
-/// Running distribution summary: count / sum / min / max.
+/// Running distribution summary: count / sum / min / max, plus optional
+/// log-bucket tallies for quantile extraction (see
+/// [`Histogram::enable_quantiles`]).
 #[derive(Clone, Debug, Default)]
 pub struct Histogram(Arc<Mutex<HistogramState>>);
 
-#[derive(Debug, Default, Clone, Copy)]
+/// Geometric bucket tallies: bucket `i` counts observations in
+/// `[GAMMA^i, GAMMA^(i+1))`; non-positive observations land in `zeros`.
+#[derive(Debug, Default, Clone)]
+struct BucketTable {
+    zeros: u64,
+    counts: BTreeMap<i32, u64>,
+}
+
+#[derive(Debug, Default, Clone)]
 struct HistogramState {
     count: u64,
     sum: f64,
     min: f64,
     max: f64,
+    /// `Some` once quantile tracking is enabled; plain histograms carry
+    /// no buckets and export exactly the bytes they always did.
+    buckets: Option<BucketTable>,
 }
 
 impl Histogram {
@@ -111,6 +144,74 @@ impl Histogram {
         }
         state.count += 1;
         state.sum += value;
+        if let Some(buckets) = state.buckets.as_mut() {
+            if value > 0.0 {
+                *buckets.counts.entry(log_bucket_index(value)).or_insert(0) += 1;
+            } else {
+                buckets.zeros += 1;
+            }
+        }
+    }
+
+    /// Turns on log-bucket quantile tracking (idempotent). Only
+    /// observations recorded *after* this call are bucketed, so enable it
+    /// right after creating the histogram. Quantile-enabled histograms
+    /// additionally export a `summary` JSONL record.
+    pub fn enable_quantiles(&self) {
+        let mut state = self.0.lock().expect("histogram lock");
+        if state.buckets.is_none() {
+            state.buckets = Some(BucketTable::default());
+        }
+    }
+
+    /// Whether [`Histogram::enable_quantiles`] was called.
+    pub fn quantiles_enabled(&self) -> bool {
+        self.0.lock().expect("histogram lock").buckets.is_some()
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) by nearest-rank over the log
+    /// buckets, accurate to the 2 % bucket width and clamped to the exact
+    /// observed `[min, max]`. Returns `None` when empty or when quantile
+    /// tracking is disabled.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let state = self.0.lock().expect("histogram lock");
+        let buckets = state.buckets.as_ref()?;
+        let total = buckets.zeros + buckets.counts.values().sum::<u64>();
+        if total == 0 {
+            return None;
+        }
+        // Nearest-rank: the smallest bucket whose cumulative count covers
+        // rank = ceil(q * total), with rank at least 1.
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        if rank == total {
+            return Some(state.max);
+        }
+        if buckets.zeros >= rank {
+            return Some(state.min.min(0.0));
+        }
+        let mut seen = buckets.zeros;
+        for (&idx, &n) in buckets.counts.iter() {
+            seen += n;
+            if seen >= rank {
+                return Some(log_bucket_value(idx).clamp(state.min, state.max));
+            }
+        }
+        Some(state.max)
+    }
+
+    /// Median (see [`Histogram::quantile`]).
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (see [`Histogram::quantile`]).
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (see [`Histogram::quantile`]).
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
     }
 
     /// Number of observations.
@@ -265,7 +366,12 @@ impl Registry {
             .expect("histograms lock")
             .values()
         {
-            *histogram.0.lock().expect("histogram lock") = HistogramState::default();
+            let mut state = histogram.0.lock().expect("histogram lock");
+            let quantiles = state.buckets.is_some();
+            *state = HistogramState::default();
+            if quantiles {
+                state.buckets = Some(BucketTable::default());
+            }
         }
         self.inner.events.lock().expect("events lock").clear();
     }
@@ -286,14 +392,9 @@ impl Registry {
                 json!({"type": "gauge", "name": name.as_str(), "value": gauge.get()}).to_string(),
             );
         }
-        for (name, histogram) in self
-            .inner
-            .histograms
-            .lock()
-            .expect("histograms lock")
-            .iter()
-        {
-            let state = *histogram.0.lock().expect("histogram lock");
+        let histograms = self.inner.histograms.lock().expect("histograms lock");
+        for (name, histogram) in histograms.iter() {
+            let state = histogram.0.lock().expect("histogram lock").clone();
             lines.push(
                 json!({
                     "type": "histogram",
@@ -307,6 +408,25 @@ impl Registry {
                 .to_string(),
             );
         }
+        // Quantile summaries in a second pass so plain histograms keep the
+        // exact byte layout they had before quantiles existed.
+        for (name, histogram) in histograms.iter() {
+            if !histogram.quantiles_enabled() {
+                continue;
+            }
+            lines.push(
+                json!({
+                    "type": "summary",
+                    "name": name.as_str(),
+                    "count": histogram.count(),
+                    "p50": histogram.p50().unwrap_or(0.0),
+                    "p95": histogram.p95().unwrap_or(0.0),
+                    "p99": histogram.p99().unwrap_or(0.0),
+                })
+                .to_string(),
+            );
+        }
+        drop(histograms);
         for event in self.inner.events.lock().expect("events lock").iter() {
             let mut map = Map::new();
             map.insert("type".to_string(), Value::String("event".to_string()));
@@ -340,7 +460,7 @@ impl Registry {
             .expect("histograms lock")
             .iter()
         {
-            let state = *histogram.0.lock().expect("histogram lock");
+            let state = histogram.0.lock().expect("histogram lock").clone();
             map.insert(
                 name.clone(),
                 json!({"count": state.count, "sum": state.sum, "min": state.min, "max": state.max}),
@@ -417,6 +537,95 @@ mod tests {
         assert!(lines[1].contains("b.second"));
         assert!(lines[3].contains("epoch_end"));
         assert!(a.ends_with('\n'));
+    }
+
+    #[test]
+    fn quantiles_match_known_uniform_distribution() {
+        let registry = Registry::new();
+        let h = registry.histogram("lat");
+        h.enable_quantiles();
+        // 1..=1000: exact pXX is XX0 (nearest rank); buckets are 2 % wide,
+        // so allow the documented relative error plus the bucket middle.
+        for v in 1..=1000u32 {
+            h.observe(f64::from(v));
+        }
+        for (q, exact) in [(0.50, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let got = h.quantile(q).expect("non-empty");
+            assert!(
+                (got - exact).abs() / exact < 0.02,
+                "q={q}: got {got}, want ~{exact}"
+            );
+        }
+        assert_eq!(h.quantile(1.0), Some(1000.0), "max clamp");
+        assert!(h.quantile(0.0).expect("min rank") <= 1.02);
+    }
+
+    #[test]
+    fn quantiles_handle_point_mass_and_zeros() {
+        let registry = Registry::new();
+        let h = registry.histogram("lat");
+        h.enable_quantiles();
+        for _ in 0..10 {
+            h.observe(7.0);
+        }
+        // A point mass: every quantile collapses to the single value
+        // (clamped to the exact min/max, so no bucket-middle error).
+        assert_eq!(h.p50(), Some(7.0));
+        assert_eq!(h.p99(), Some(7.0));
+        for _ in 0..90 {
+            h.observe(0.0);
+        }
+        // 90 % of mass at zero: the median is the zeros bucket.
+        assert_eq!(h.p50(), Some(0.0));
+    }
+
+    #[test]
+    fn quantiles_disabled_returns_none_and_keeps_export_stable() {
+        let registry = Registry::new();
+        let h = registry.histogram("plain");
+        h.observe(1.0);
+        assert_eq!(h.quantile(0.5), None);
+        let export = registry.export_jsonl();
+        assert!(
+            !export.contains("\"summary\""),
+            "plain histograms must not grow summary lines: {export}"
+        );
+        let q = registry.histogram("fancy");
+        q.enable_quantiles();
+        q.observe(2.0);
+        let export = registry.export_jsonl();
+        assert!(
+            export.contains("\"summary\""),
+            "enabled => summary: {export}"
+        );
+        assert!(
+            export.find("\"histogram\"").unwrap() < export.find("\"summary\"").unwrap(),
+            "summaries come after all histogram lines"
+        );
+    }
+
+    #[test]
+    fn reset_preserves_quantile_tracking() {
+        let registry = Registry::new();
+        let h = registry.histogram("lat");
+        h.enable_quantiles();
+        h.observe(5.0);
+        registry.reset();
+        assert_eq!(h.count(), 0);
+        h.observe(3.0);
+        assert!(h.p50().is_some(), "buckets survive reset");
+    }
+
+    #[test]
+    fn log_bucket_round_trip_is_within_bucket_width() {
+        for v in [1e-6, 0.3, 1.0, 42.0, 1.7e9] {
+            let i = log_bucket_index(v);
+            let mid = log_bucket_value(i);
+            assert!(
+                (mid / v).abs().ln().abs() <= BUCKET_GAMMA.ln(),
+                "v={v}: bucket middle {mid} too far"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,148 @@
+//! The serving run's aggregate outcome: request verdict counts, latency
+//! quantiles, the cost decomposition, and the QoS-vs-cost frontier point
+//! the (autoscaler, keep-alive) policy pair lands on.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate outcome of one serving run.
+///
+/// Every request ends in exactly one verdict:
+/// `completed` (within or over SLO), `failed` (instance crashed
+/// mid-request), `shed_throttled` (rejected by an injected throttle
+/// storm), `shed_overload` (admission queue full), or `shed_outage`
+/// (parked on a backing-store outage that outlasted the run).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Autoscaler display name.
+    pub autoscaler: String,
+    /// Keep-alive policy display name.
+    pub keep_alive: String,
+    /// Arrival model display name.
+    pub arrivals: String,
+    /// Requests that arrived.
+    pub requests: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests lost to a mid-request instance crash.
+    pub failed: u64,
+    /// Requests rejected by an injected throttle storm.
+    pub shed_throttled: u64,
+    /// Requests dropped because the admission queue was full.
+    pub shed_overload: u64,
+    /// Requests dropped because a backing-store outage outlasted the run.
+    pub shed_outage: u64,
+    /// Completed requests that cold-started.
+    pub cold_starts: u64,
+    /// Completed requests served by a warm instance.
+    pub warm_starts: u64,
+    /// Completed requests whose end-to-end latency broke the SLO.
+    pub slo_violations: u64,
+    /// Instances provisioned ahead of demand by the autoscaler.
+    pub prewarmed: u64,
+    /// Instances reclaimed by keep-alive expiry.
+    pub expired: u64,
+    /// End-to-end latency quantiles over completed requests (ms).
+    pub p50_ms: f64,
+    /// 95th-percentile latency (ms).
+    pub p95_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub p99_ms: f64,
+    /// GB-seconds of billed execution time.
+    pub busy_gb_s: f64,
+    /// GB-seconds of provisioned-but-idle (keep-warm) time.
+    pub idle_gb_s: f64,
+    /// Total spend: invocations + execution + keep-warm.
+    pub dollars: f64,
+    /// First arrival to last event (seconds).
+    pub makespan_s: f64,
+    /// The SLO the run was judged against (ms).
+    pub slo_ms: f64,
+}
+
+impl ServeReport {
+    /// Fraction of arrivals that did not get SLO-compliant service:
+    /// over-SLO completions plus every failed or shed request. The
+    /// y-axis of the QoS-violation-vs-cost frontier.
+    pub fn violation_rate(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        let bad = self.slo_violations
+            + self.failed
+            + self.shed_throttled
+            + self.shed_overload
+            + self.shed_outage;
+        bad as f64 / self.requests as f64
+    }
+
+    /// Dollars per million requests (the x-axis of the frontier).
+    pub fn cost_per_million(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.dollars / self.requests as f64 * 1e6
+    }
+
+    /// This run's point on the violation-vs-cost frontier.
+    pub fn frontier_point(&self) -> (f64, f64) {
+        (self.violation_rate(), self.cost_per_million())
+    }
+
+    /// Whether this run Pareto-dominates `other`: no worse on both the
+    /// violation rate and $/1M requests, strictly better on one.
+    pub fn dominates(&self, other: &ServeReport) -> bool {
+        ce_cluster::dominates_point(self.frontier_point(), other.frontier_point())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(slo_violations: u64, dollars: f64) -> ServeReport {
+        ServeReport {
+            autoscaler: "target".into(),
+            keep_alive: "adaptive".into(),
+            arrivals: "poisson".into(),
+            requests: 1000,
+            completed: 990,
+            failed: 4,
+            shed_throttled: 3,
+            shed_overload: 2,
+            shed_outage: 1,
+            cold_starts: 10,
+            warm_starts: 980,
+            slo_violations,
+            prewarmed: 5,
+            expired: 5,
+            p50_ms: 250.0,
+            p95_ms: 400.0,
+            p99_ms: 900.0,
+            busy_gb_s: 400.0,
+            idle_gb_s: 100.0,
+            dollars,
+            makespan_s: 600.0,
+            slo_ms: 500.0,
+        }
+    }
+
+    #[test]
+    fn violation_rate_counts_every_unserved_request() {
+        let r = report(40, 1.0);
+        // 40 over-SLO + 4 failed + 3 + 2 + 1 shed = 50 of 1000.
+        assert!((r.violation_rate() - 0.05).abs() < 1e-12);
+        assert!((r.cost_per_million() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dominance_requires_strict_improvement_on_one_axis() {
+        let base = report(40, 1.0);
+        assert!(report(20, 1.0).dominates(&base), "better QoS, equal cost");
+        assert!(report(40, 0.5).dominates(&base), "equal QoS, cheaper");
+        assert!(!base.dominates(&base), "no strict edge");
+        assert!(
+            !report(20, 2.0).dominates(&base),
+            "trade-off, not dominance"
+        );
+    }
+}

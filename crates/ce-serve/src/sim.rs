@@ -1,0 +1,817 @@
+//! The request-level serving simulator.
+//!
+//! A [`ServeSim`] drives a `ce_faas::InstancePool` with an open-loop
+//! arrival schedule on the shared `ce_sim_core` event heap. Each request
+//! is dispatched to a warm instance (or cold-starts one), executes for a
+//! jittered service time, and completes; the autoscaler runs on a fixed
+//! tick and adjusts admission capacity and the pre-warmed pool; the
+//! keep-alive policy decides when idle instances expire, and every
+//! GB-second — busy or idle — is billed.
+//!
+//! # Determinism
+//!
+//! Same spec + same seed ⇒ byte-identical metrics. Three RNG streams,
+//! all derived from the seed by label, make this hold under policy and
+//! chaos toggles:
+//!
+//! * `"arrivals"` — the arrival schedule, drawn once up front;
+//! * `"request"/i` — per-request jitter, keyed by request *index*, so a
+//!   request's draws do not depend on when (or in which order) it was
+//!   dispatched — this is what makes trace-replay of a run's own arrival
+//!   log reproduce its metrics bit-for-bit;
+//! * `"serve-chaos"` — fault compilation plus per-request fault draws
+//!   (keyed `"request-throttle"/i`, `"request-crash"/i`), drawn only in
+//!   non-quiet instants, so a zero-fault schedule is bit-identical to no
+//!   schedule.
+
+use crate::arrival::ArrivalModel;
+use crate::autoscale::{Autoscaler, LoadObservation, ScaleDecision};
+use crate::report::ServeReport;
+use ce_chaos::{ActiveFaults, CompiledSchedule, FaultSchedule};
+use ce_faas::{FunctionId, InstancePool, KeepAlive};
+use ce_obs::{Histogram, Registry};
+use ce_sim_core::event::EventQueue;
+use ce_sim_core::rng::SimRng;
+use ce_sim_core::time::SimTime;
+use ce_storage::StorageKind;
+use std::collections::VecDeque;
+
+/// Configuration of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeSpec {
+    /// The open-loop arrival process.
+    pub arrivals: ArrivalModel,
+    /// Arrival window length in seconds (the run drains after it).
+    pub duration_s: f64,
+    /// Master seed; every stream derives from it.
+    pub seed: u64,
+    /// Mean service time of one request (seconds).
+    pub service_s: f64,
+    /// Lognormal sigma of service jitter.
+    pub service_jitter: f64,
+    /// Mean cold-start latency (seconds).
+    pub cold_start_s: f64,
+    /// Lognormal sigma of cold-start jitter.
+    pub cold_start_jitter: f64,
+    /// Instance memory size (CPU scales with it on the platform).
+    pub memory_mb: u32,
+    /// End-to-end latency SLO in milliseconds.
+    pub slo_ms: f64,
+    /// Admission-queue capacity; arrivals beyond it are shed.
+    pub queue_cap: usize,
+    /// Autoscaler control-loop period (seconds).
+    pub scale_tick_s: f64,
+    /// $ per invocation (AWS: 2e-7).
+    pub per_invocation: f64,
+    /// $ per GB-second of execution (AWS: 1.66667e-5).
+    pub per_gb_second: f64,
+    /// $ per GB-second of provisioned-but-idle keep-warm time (AWS
+    /// provisioned concurrency: ~4.1667e-6).
+    pub keep_warm_per_gb_s: f64,
+    /// The backing store requests read model state from (outage target).
+    pub backing: StorageKind,
+    /// Optional fault schedule.
+    pub chaos: Option<FaultSchedule>,
+}
+
+impl ServeSpec {
+    /// A spec with AWS-like defaults: 250 ms mean service, 1.8 s cold
+    /// starts, 1769 MB instances, a 500 ms SLO, and Lambda pricing.
+    pub fn new(arrivals: ArrivalModel, duration_s: f64, seed: u64) -> Self {
+        ServeSpec {
+            arrivals,
+            duration_s,
+            seed,
+            service_s: 0.25,
+            service_jitter: 0.08,
+            cold_start_s: 1.8,
+            cold_start_jitter: 0.25,
+            memory_mb: 1769,
+            slo_ms: 500.0,
+            queue_cap: 10_000,
+            scale_tick_s: 2.0,
+            per_invocation: 2e-7,
+            per_gb_second: 1.66667e-5,
+            keep_warm_per_gb_s: 4.1667e-6,
+            backing: StorageKind::S3,
+            chaos: None,
+        }
+    }
+
+    /// Sets the latency SLO in milliseconds.
+    pub fn with_slo_ms(mut self, slo_ms: f64) -> Self {
+        self.slo_ms = slo_ms;
+        self
+    }
+
+    /// Sets the mean request service time in seconds.
+    pub fn with_service_s(mut self, service_s: f64) -> Self {
+        self.service_s = service_s;
+        self
+    }
+
+    /// Sets the mean cold-start latency in seconds.
+    pub fn with_cold_start_s(mut self, cold_start_s: f64) -> Self {
+        self.cold_start_s = cold_start_s;
+        self
+    }
+
+    /// Attaches a fault schedule.
+    pub fn with_chaos(mut self, chaos: FaultSchedule) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+}
+
+/// Simulation events (heap-ordered by time, FIFO on ties).
+enum Ev {
+    /// Request `i` of the arrival schedule arrives.
+    Arrival(u32),
+    /// A dispatched request finishes (successfully or crashed).
+    Done {
+        fid: FunctionId,
+        arrival: SimTime,
+        busy_s: f64,
+        failed: bool,
+    },
+    /// Autoscaler control-loop tick.
+    ScaleTick,
+    /// A backing-store outage window ends; parked requests dispatch.
+    OutageEnd,
+}
+
+/// Per-run counters accumulated inline and flushed to ce-obs once.
+#[derive(Debug, Default)]
+struct Tally {
+    completed: u64,
+    failed: u64,
+    shed_throttled: u64,
+    shed_overload: u64,
+    shed_outage: u64,
+    cold_starts: u64,
+    warm_starts: u64,
+    slo_violations: u64,
+    prewarmed: u64,
+    busy_gb_s: f64,
+    idle_gb_s: f64,
+}
+
+/// Per-run chaos state: the compiled schedule plus its dedicated stream.
+struct ChaosState {
+    schedule: CompiledSchedule,
+    rng: SimRng,
+}
+
+/// The request-level serving simulator (see the module docs).
+pub struct ServeSim {
+    spec: ServeSpec,
+    autoscaler: Box<dyn Autoscaler>,
+    keep_alive_name: String,
+    pool: InstancePool,
+    obs: Registry,
+    rng: SimRng,
+    arrivals: Vec<f64>,
+    chaos: Option<ChaosState>,
+    // Live state during run().
+    capacity: u32,
+    inflight: u32,
+    queue: VecDeque<(u32, SimTime)>,
+    arrivals_since_tick: u32,
+    arrived: usize,
+    outage_end_pending: bool,
+    tally: Tally,
+    latency_h: Option<Histogram>,
+    queue_wait_h: Option<Histogram>,
+    cold_start_h: Option<Histogram>,
+}
+
+impl ServeSim {
+    /// Builds a simulator: generates the arrival schedule and compiles
+    /// the fault schedule, both on their own derived streams.
+    pub fn new(
+        spec: ServeSpec,
+        autoscaler: Box<dyn Autoscaler>,
+        keep_alive: Box<dyn KeepAlive>,
+    ) -> Self {
+        let rng = SimRng::new(spec.seed).derive("serve");
+        let mut arrival_rng = rng.derive("arrivals");
+        let arrivals = spec.arrivals.generate(spec.duration_s, &mut arrival_rng);
+        let chaos = spec.chaos.as_ref().map(|s| {
+            let chaos_rng = rng.derive("serve-chaos");
+            ChaosState {
+                schedule: s.compile(&chaos_rng),
+                rng: chaos_rng,
+            }
+        });
+        let keep_alive_name = keep_alive.name();
+        ServeSim {
+            pool: InstancePool::new().with_keep_alive(keep_alive),
+            autoscaler,
+            keep_alive_name,
+            obs: Registry::new(),
+            rng,
+            arrivals,
+            chaos,
+            capacity: 1,
+            inflight: 0,
+            queue: VecDeque::new(),
+            arrivals_since_tick: 0,
+            arrived: 0,
+            outage_end_pending: false,
+            tally: Tally::default(),
+            latency_h: None,
+            queue_wait_h: None,
+            cold_start_h: None,
+            spec,
+        }
+    }
+
+    /// Sends `serve.*` metrics to a shared registry.
+    pub fn with_obs(mut self, registry: &Registry) -> Self {
+        self.obs = registry.clone();
+        self
+    }
+
+    /// The pre-generated arrival schedule (seconds, ascending). Written
+    /// out as a JSONL log, replaying it through [`ArrivalModel::Trace`]
+    /// reproduces this run's metrics byte-for-byte.
+    pub fn arrivals(&self) -> &[f64] {
+        &self.arrivals
+    }
+
+    /// GB factor of one instance (memory in GiB).
+    fn gb(&self) -> f64 {
+        f64::from(self.spec.memory_mb) / 1024.0
+    }
+
+    /// The fault environment at `t` (quiet when no schedule is attached).
+    fn active_faults(&self, t: SimTime) -> ActiveFaults {
+        match &self.chaos {
+            None => ActiveFaults::quiet(),
+            Some(c) => c.schedule.active_at(t.as_secs()),
+        }
+    }
+
+    /// Reaps idle-expired instances and bills their keep-warm time.
+    fn reap_warm(&mut self, now: SimTime) {
+        let gb = self.gb();
+        for r in self.pool.reap_detailed(now) {
+            self.tally.idle_gb_s += r.warm_idle_s() * gb;
+        }
+    }
+
+    /// Applies a scale decision: clamps capacity and pre-warms any
+    /// provisioning deficit (surplus drains via keep-alive expiry).
+    fn apply_decision(&mut self, d: ScaleDecision, now: SimTime) {
+        self.capacity = d.capacity.max(1);
+        let provisioned = self.inflight + self.pool.warm_count(self.spec.memory_mb, now);
+        if d.warm_target > provisioned {
+            let n = d.warm_target - provisioned;
+            self.pool.prewarm(n, self.spec.memory_mb, now);
+            self.tally.prewarmed += u64::from(n);
+        }
+    }
+
+    /// Starts request `req` executing at `now` and schedules its
+    /// completion.
+    fn dispatch(&mut self, q: &mut EventQueue<Ev>, req: u32, arrival: SimTime, now: SimTime) {
+        let (fid, cold) = self.pool.acquire_one(self.spec.memory_mb, now);
+        let active = self.active_faults(now);
+        let mut rng = self.rng.derive_idx("request", u64::from(req));
+        let cold_s = if cold {
+            self.tally.cold_starts += 1;
+            let spike = active.cold_start_factor.max(1.0);
+            let cold_s =
+                self.spec.cold_start_s * spike * rng.lognormal_jitter(self.spec.cold_start_jitter);
+            if let Some(h) = &self.cold_start_h {
+                h.observe(cold_s * 1e3);
+            }
+            cold_s
+        } else {
+            self.tally.warm_starts += 1;
+            0.0
+        };
+        let service_s = self.spec.service_s * rng.lognormal_jitter(self.spec.service_jitter);
+        let mut busy_s = cold_s + service_s;
+        let mut failed = false;
+        // Mid-request crash: the instance dies at a uniform fraction of
+        // its execution. Drawn on the chaos stream keyed by request index
+        // only when a crash window is active.
+        if !active.is_quiet() && active.crash_rate > 0.0 {
+            let chaos = self.chaos.as_ref().expect("non-quiet implies a schedule");
+            let mut draw = chaos.rng.derive_idx("request-crash", u64::from(req));
+            if draw.bernoulli(active.crash_rate) {
+                failed = true;
+                busy_s *= draw.uniform();
+            }
+        }
+        if let Some(h) = &self.queue_wait_h {
+            h.observe((now - arrival) * 1e3);
+        }
+        self.inflight += 1;
+        q.schedule_at(
+            now + busy_s,
+            Ev::Done {
+                fid,
+                arrival,
+                busy_s,
+                failed,
+            },
+        );
+    }
+
+    /// Admits one arrival: shed on an active throttle storm, park on a
+    /// backing-store outage, dispatch within capacity, else queue.
+    fn handle_arrival(&mut self, q: &mut EventQueue<Ev>, req: u32, now: SimTime) {
+        let active = self.active_faults(now);
+        if !active.is_quiet() && active.throttle_rate > 0.0 {
+            let chaos = self.chaos.as_ref().expect("non-quiet implies a schedule");
+            let mut draw = chaos.rng.derive_idx("request-throttle", u64::from(req));
+            if draw.bernoulli(active.throttle_rate) {
+                self.tally.shed_throttled += 1;
+                return;
+            }
+        }
+        if let Some(resumes_at_s) = active.outage_until(self.spec.backing) {
+            // An outage that outlasts the run can never serve the
+            // request; shed it with its own typed outcome.
+            let run_end_s = self.spec.duration_s.max(now.as_secs());
+            if resumes_at_s > run_end_s {
+                self.tally.shed_outage += 1;
+                return;
+            }
+            if self.queue.len() >= self.spec.queue_cap {
+                self.tally.shed_overload += 1;
+                return;
+            }
+            self.queue.push_back((req, now));
+            if !self.outage_end_pending {
+                q.schedule_at(SimTime::from_secs(resumes_at_s), Ev::OutageEnd);
+                self.outage_end_pending = true;
+            }
+            return;
+        }
+        if self.inflight < self.capacity {
+            self.dispatch(q, req, now, now);
+        } else if self.queue.len() < self.spec.queue_cap {
+            self.queue.push_back((req, now));
+        } else {
+            self.tally.shed_overload += 1;
+        }
+    }
+
+    /// Dispatches parked requests while capacity allows and no outage is
+    /// in force.
+    fn drain_queue(&mut self, q: &mut EventQueue<Ev>, now: SimTime) {
+        if self.queue.is_empty() {
+            return;
+        }
+        let active = self.active_faults(now);
+        if let Some(resumes_at_s) = active.outage_until(self.spec.backing) {
+            // Still (or again) down: keep the queue parked.
+            if !self.outage_end_pending && resumes_at_s <= self.spec.duration_s.max(now.as_secs()) {
+                q.schedule_at(SimTime::from_secs(resumes_at_s), Ev::OutageEnd);
+                self.outage_end_pending = true;
+            }
+            return;
+        }
+        while self.inflight < self.capacity {
+            let Some((req, arrival)) = self.queue.pop_front() else {
+                break;
+            };
+            self.dispatch(q, req, arrival, now);
+        }
+    }
+
+    /// Runs the simulation to completion and returns the aggregate
+    /// report. A zero-traffic run schedules no events, touches no
+    /// metrics, and spends zero dollars.
+    pub fn run(mut self) -> ServeReport {
+        if self.arrivals.is_empty() {
+            return self.finalize(SimTime::ZERO);
+        }
+        let latency_h = self.obs.histogram("serve.latency_ms");
+        latency_h.enable_quantiles();
+        let queue_wait_h = self.obs.histogram("serve.queue_wait_ms");
+        queue_wait_h.enable_quantiles();
+        let cold_start_h = self.obs.histogram("serve.cold_start_ms");
+        cold_start_h.enable_quantiles();
+        self.latency_h = Some(latency_h);
+        self.queue_wait_h = Some(queue_wait_h);
+        self.cold_start_h = Some(cold_start_h);
+
+        let mut q: EventQueue<Ev> = EventQueue::with_capacity(1024);
+        let init = self.autoscaler.initial();
+        self.apply_decision(init, SimTime::ZERO);
+        q.schedule_at(SimTime::from_secs(self.arrivals[0]), Ev::Arrival(0));
+        q.schedule_at(SimTime::from_secs(self.spec.scale_tick_s), Ev::ScaleTick);
+
+        while let Some((t, ev)) = q.pop() {
+            match ev {
+                Ev::Arrival(i) => {
+                    self.reap_warm(t);
+                    self.arrived += 1;
+                    self.arrivals_since_tick += 1;
+                    let next = i as usize + 1;
+                    if next < self.arrivals.len() {
+                        q.schedule_at(SimTime::from_secs(self.arrivals[next]), Ev::Arrival(i + 1));
+                    }
+                    self.handle_arrival(&mut q, i, t);
+                }
+                Ev::Done {
+                    fid,
+                    arrival,
+                    busy_s,
+                    failed,
+                } => {
+                    self.reap_warm(t);
+                    self.inflight -= 1;
+                    let gb = self.gb();
+                    self.tally.busy_gb_s += busy_s * gb;
+                    if failed {
+                        // The instance died mid-request: remove it and
+                        // bill its keep-warm time up to the crash.
+                        let inst = self.pool.retire(&[fid]).pop().expect("retired instance");
+                        let idle_s = ((t - inst.created_at) - inst.busy_s - busy_s).max(0.0);
+                        self.tally.idle_gb_s += idle_s * gb;
+                        self.tally.failed += 1;
+                    } else {
+                        self.pool.release(&[fid], busy_s, t);
+                        self.tally.completed += 1;
+                        let latency_ms = (t - arrival) * 1e3;
+                        if let Some(h) = &self.latency_h {
+                            h.observe(latency_ms);
+                        }
+                        if latency_ms > self.spec.slo_ms {
+                            self.tally.slo_violations += 1;
+                        }
+                    }
+                    self.drain_queue(&mut q, t);
+                }
+                Ev::ScaleTick => {
+                    self.reap_warm(t);
+                    let load = LoadObservation {
+                        now_s: t.as_secs(),
+                        tick_s: self.spec.scale_tick_s,
+                        inflight: self.inflight,
+                        queued: self.queue.len() as u32,
+                        warm_idle: self.pool.warm_count(self.spec.memory_mb, t),
+                        arrivals_in_tick: self.arrivals_since_tick,
+                        mean_service_s: self.spec.service_s,
+                    };
+                    self.arrivals_since_tick = 0;
+                    let decision = self.autoscaler.plan(&load);
+                    self.apply_decision(decision, t);
+                    self.drain_queue(&mut q, t);
+                    let work_remains = self.arrived < self.arrivals.len()
+                        || self.inflight > 0
+                        || !self.queue.is_empty();
+                    if work_remains {
+                        q.schedule_in(self.spec.scale_tick_s, Ev::ScaleTick);
+                    }
+                }
+                Ev::OutageEnd => {
+                    self.outage_end_pending = false;
+                    self.reap_warm(t);
+                    self.drain_queue(&mut q, t);
+                }
+            }
+        }
+        // Anything still parked saw its outage outlast every later event.
+        self.tally.shed_outage += self.queue.len() as u64;
+        self.queue.clear();
+        let horizon = SimTime::max(q.now(), SimTime::from_secs(self.spec.duration_s));
+        self.finalize(horizon)
+    }
+
+    /// Drains the warm pool, computes the bill, flushes metrics, and
+    /// assembles the report.
+    fn finalize(mut self, horizon: SimTime) -> ServeReport {
+        let gb = self.gb();
+        for r in self.pool.drain_remaining(horizon) {
+            self.tally.idle_gb_s += r.warm_idle_s() * gb;
+        }
+        let t = &self.tally;
+        let stats = self.pool.stats();
+        let requests = self.arrivals.len() as u64;
+        let dispatched = t.completed + t.failed;
+        let dollars = self.spec.per_invocation * dispatched as f64
+            + t.busy_gb_s * self.spec.per_gb_second
+            + t.idle_gb_s * self.spec.keep_warm_per_gb_s;
+        let quantile =
+            |h: &Option<Histogram>, q: f64| h.as_ref().and_then(|h| h.quantile(q)).unwrap_or(0.0);
+        let report = ServeReport {
+            autoscaler: self.autoscaler.name(),
+            keep_alive: self.keep_alive_name.clone(),
+            arrivals: self.spec.arrivals.name().to_string(),
+            requests,
+            completed: t.completed,
+            failed: t.failed,
+            shed_throttled: t.shed_throttled,
+            shed_overload: t.shed_overload,
+            shed_outage: t.shed_outage,
+            cold_starts: t.cold_starts,
+            warm_starts: t.warm_starts,
+            slo_violations: t.slo_violations,
+            prewarmed: t.prewarmed,
+            expired: stats.expired,
+            p50_ms: quantile(&self.latency_h, 0.50),
+            p95_ms: quantile(&self.latency_h, 0.95),
+            p99_ms: quantile(&self.latency_h, 0.99),
+            busy_gb_s: t.busy_gb_s,
+            idle_gb_s: t.idle_gb_s,
+            dollars,
+            makespan_s: horizon.as_secs(),
+            slo_ms: self.spec.slo_ms,
+        };
+        if requests > 0 {
+            self.obs.counter("serve.requests").add(requests);
+            self.obs.counter("serve.completed").add(t.completed);
+            self.obs.counter("serve.failed").add(t.failed);
+            self.obs
+                .counter("serve.shed_throttled")
+                .add(t.shed_throttled);
+            self.obs.counter("serve.shed_overload").add(t.shed_overload);
+            self.obs.counter("serve.shed_outage").add(t.shed_outage);
+            self.obs.counter("serve.cold_starts").add(t.cold_starts);
+            self.obs.counter("serve.warm_starts").add(t.warm_starts);
+            self.obs
+                .counter("serve.slo_violations")
+                .add(t.slo_violations);
+            self.obs.counter("serve.prewarmed").add(t.prewarmed);
+            self.obs.counter("serve.expired").add(stats.expired);
+            self.obs.gauge("serve.busy_gb_s").add(t.busy_gb_s);
+            self.obs.gauge("serve.idle_gb_s").add(t.idle_gb_s);
+            self.obs.gauge("serve.dollars").add(dollars);
+            self.obs
+                .gauge("serve.cost_per_million_req")
+                .set(report.cost_per_million());
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autoscale::{autoscaler_by_name, ConcurrencyTarget, FixedPool};
+    use ce_faas::{keep_alive_by_name, AdaptiveTtl, FixedTtl};
+
+    fn poisson_spec(rps: f64, duration_s: f64, seed: u64) -> ServeSpec {
+        ServeSpec::new(ArrivalModel::Poisson { rps }, duration_s, seed)
+    }
+
+    fn run_default(spec: ServeSpec) -> ServeReport {
+        ServeSim::new(
+            spec,
+            Box::new(ConcurrencyTarget::default()),
+            Box::new(FixedTtl::default()),
+        )
+        .run()
+    }
+
+    #[test]
+    fn every_request_gets_a_verdict() {
+        let r = run_default(poisson_spec(40.0, 300.0, 42));
+        assert!(r.requests > 10_000 / 2, "~12k requests expected");
+        assert_eq!(
+            r.completed + r.failed + r.shed_throttled + r.shed_overload + r.shed_outage,
+            r.requests,
+            "verdicts partition arrivals: {r:?}"
+        );
+        assert_eq!(r.cold_starts + r.warm_starts, r.completed + r.failed);
+        assert!(r.p50_ms > 0.0 && r.p99_ms >= r.p95_ms && r.p95_ms >= r.p50_ms);
+        assert!(r.dollars > 0.0);
+    }
+
+    #[test]
+    fn same_seed_is_deterministic_down_to_the_bytes() {
+        let run = || {
+            let registry = Registry::new();
+            let r = ServeSim::new(
+                poisson_spec(30.0, 120.0, 7),
+                Box::new(ConcurrencyTarget::default()),
+                Box::new(AdaptiveTtl::default()),
+            )
+            .with_obs(&registry)
+            .run();
+            (r, registry.export_jsonl())
+        };
+        let (r1, m1) = run();
+        let (r2, m2) = run();
+        assert_eq!(r1, r2);
+        assert_eq!(m1, m2, "metrics must be byte-identical");
+        let (r3, _) = {
+            let registry = Registry::new();
+            let r = ServeSim::new(
+                poisson_spec(30.0, 120.0, 8),
+                Box::new(ConcurrencyTarget::default()),
+                Box::new(AdaptiveTtl::default()),
+            )
+            .with_obs(&registry)
+            .run();
+            (r, registry.export_jsonl())
+        };
+        assert_ne!(r1, r3, "different seed, different run");
+    }
+
+    #[test]
+    fn zero_traffic_emits_nothing_and_costs_nothing() {
+        let registry = Registry::new();
+        let r = ServeSim::new(
+            poisson_spec(0.0, 600.0, 42),
+            Box::new(ConcurrencyTarget::default()),
+            Box::new(FixedTtl::default()),
+        )
+        .with_obs(&registry)
+        .run();
+        assert_eq!(r.requests, 0);
+        assert_eq!(r.dollars, 0.0);
+        assert_eq!(registry.export_jsonl(), "", "no metrics, no events");
+        assert_eq!(registry.event_count(), 0);
+    }
+
+    #[test]
+    fn trace_replay_reproduces_the_run_bit_for_bit() {
+        let spec = ServeSpec::new(
+            ArrivalModel::Diurnal {
+                base_rps: 20.0,
+                amplitude: 0.8,
+                period_s: 300.0,
+            },
+            240.0,
+            42,
+        );
+        let make = |spec: ServeSpec| {
+            ServeSim::new(
+                spec,
+                Box::new(ConcurrencyTarget::default()),
+                Box::new(AdaptiveTtl::default()),
+            )
+        };
+        let sim = make(spec.clone());
+        let log = crate::arrival::write_arrival_log(sim.arrivals());
+        let registry = Registry::new();
+        let original = sim.with_obs(&registry).run();
+        let original_metrics = registry.export_jsonl();
+
+        let replay_spec = ServeSpec::new(
+            ArrivalModel::Trace {
+                arrival_s: crate::arrival::read_arrival_log(&log).expect("log parses"),
+            },
+            240.0,
+            42,
+        );
+        let registry = Registry::new();
+        let replay = make(replay_spec).with_obs(&registry).run();
+        let replay_metrics = registry.export_jsonl();
+        // Only the arrival model name differs; every number matches.
+        assert_eq!(original.requests, replay.requests);
+        assert_eq!(original.dollars.to_bits(), replay.dollars.to_bits());
+        assert_eq!(original.p99_ms.to_bits(), replay.p99_ms.to_bits());
+        assert_eq!(original_metrics, replay_metrics, "replay closure");
+    }
+
+    #[test]
+    fn undersized_fixed_pool_queues_and_violates_slo() {
+        // 50 rps x 0.25 s = 12.5 mean concurrency; 4 instances saturate.
+        let r = ServeSim::new(
+            poisson_spec(50.0, 120.0, 42),
+            Box::new(FixedPool::new(4)),
+            Box::new(FixedTtl::default()),
+        )
+        .run();
+        assert!(
+            r.slo_violations + r.shed_overload > r.requests / 2,
+            "saturated pool must violate massively: {r:?}"
+        );
+        let roomy = ServeSim::new(
+            poisson_spec(50.0, 120.0, 42),
+            Box::new(FixedPool::new(32)),
+            Box::new(FixedTtl::default()),
+        )
+        .run();
+        assert!(
+            roomy.violation_rate() < 0.05,
+            "32 instances absorb 12.5 mean concurrency: {roomy:?}"
+        );
+    }
+
+    #[test]
+    fn zero_fault_schedule_matches_no_schedule_bit_for_bit() {
+        let run = |chaos: Option<FaultSchedule>| {
+            let mut spec = poisson_spec(30.0, 120.0, 11);
+            spec.chaos = chaos;
+            let registry = Registry::new();
+            ServeSim::new(
+                spec,
+                Box::new(ConcurrencyTarget::default()),
+                Box::new(FixedTtl::default()),
+            )
+            .with_obs(&registry)
+            .run();
+            registry.export_jsonl()
+        };
+        let clean = run(None);
+        let zero = run(Some(
+            FaultSchedule::parse("crash:0@0..inf;coldspike:x1@0..inf").unwrap(),
+        ));
+        assert_eq!(clean, zero);
+    }
+
+    #[test]
+    fn throttle_storm_sheds_requests_without_billing_them() {
+        let mut spec = poisson_spec(30.0, 60.0, 5);
+        spec.chaos = Some(FaultSchedule::parse("throttle:1@0..inf").unwrap());
+        let r = run_default(spec);
+        assert_eq!(r.shed_throttled, r.requests, "total storm sheds all");
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.cold_starts + r.warm_starts, 0, "nothing dispatched");
+        assert_eq!(r.busy_gb_s, 0.0, "shed requests bill no execution");
+    }
+
+    #[test]
+    fn outage_parks_requests_until_the_window_ends() {
+        let mut spec = poisson_spec(20.0, 120.0, 9);
+        // S3 down for the first 30 s of the run.
+        spec.chaos = Some(FaultSchedule::parse("outage:s3@0..30").unwrap());
+        let r = run_default(spec);
+        assert_eq!(r.shed_outage, 0, "outage ends within the run");
+        assert_eq!(
+            r.completed + r.failed + r.shed_overload,
+            r.requests,
+            "parked requests eventually serve: {r:?}"
+        );
+        // Early arrivals waited for the window end: big queueing latency.
+        assert!(r.p99_ms > 5_000.0, "30 s park shows in the tail: {r:?}");
+    }
+
+    #[test]
+    fn endless_outage_sheds_with_a_typed_outcome() {
+        let mut spec = poisson_spec(20.0, 60.0, 9);
+        spec.chaos = Some(FaultSchedule::parse("outage:s3@0..inf").unwrap());
+        let r = run_default(spec);
+        assert_eq!(r.shed_outage, r.requests, "nothing can ever serve");
+        assert_eq!(r.completed, 0);
+    }
+
+    #[test]
+    fn crash_windows_fail_requests_and_kill_instances() {
+        let mut spec = poisson_spec(30.0, 120.0, 13);
+        spec.chaos = Some(FaultSchedule::parse("crash:0.2@0..inf").unwrap());
+        let r = run_default(spec);
+        assert!(r.failed > 0, "20% crash rate must fire: {r:?}");
+        let rate = r.failed as f64 / (r.completed + r.failed) as f64;
+        assert!((0.1..0.3).contains(&rate), "empirical crash rate {rate}");
+        assert!(r.violation_rate() >= rate, "failures count as violations");
+    }
+
+    #[test]
+    fn adaptive_keep_alive_cuts_idle_spend_under_bursty_traffic() {
+        // Bursts of tight arrivals separated by ~2-minute silences. The
+        // adaptive policy learns sub-second gaps and expires instances
+        // seconds into each silence; FixedTtl(600) keeps them warm
+        // through every silence. The autoscaler scales provisioning to
+        // zero, so nothing re-warms what keep-alive reclaims.
+        let run = |ka: &str| {
+            let spec = ServeSpec::new(
+                ArrivalModel::Bursty {
+                    low_rps: 0.0,
+                    high_rps: 10.0,
+                    mean_dwell_s: 120.0,
+                },
+                3000.0,
+                21,
+            );
+            ServeSim::new(
+                spec,
+                Box::new(ConcurrencyTarget::default()),
+                keep_alive_by_name(ka).unwrap(),
+            )
+            .run()
+        };
+        let fixed = run("fixed:600");
+        let adaptive = run("adaptive");
+        assert!(
+            adaptive.idle_gb_s < fixed.idle_gb_s * 0.7,
+            "adaptive {} vs fixed {}",
+            adaptive.idle_gb_s,
+            fixed.idle_gb_s
+        );
+        assert!(adaptive.expired > 0, "idle instances actually expired");
+    }
+
+    #[test]
+    fn autoscaler_registry_names_round_trip() {
+        for name in ["fixed:8", "target", "prewarm"] {
+            let r = ServeSim::new(
+                poisson_spec(10.0, 30.0, 3),
+                autoscaler_by_name(name).unwrap(),
+                keep_alive_by_name("histogram").unwrap(),
+            )
+            .run();
+            assert_eq!(r.autoscaler, name);
+            assert_eq!(r.keep_alive, "histogram");
+        }
+    }
+}

@@ -26,6 +26,8 @@
 //!   control, and shared-quota contention over one substrate.
 //! * [`chaos`] — deterministic fault injection: typed fault taxonomy and
 //!   seed-derived schedules for crash/outage/throttle/degrade chaos.
+//! * [`serve`] — request-level inference serving: open-loop arrivals,
+//!   SLO-aware autoscaling, and keep-alive policy economics.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +57,7 @@ pub use ce_ml as ml;
 pub use ce_models as models;
 pub use ce_obs as obs;
 pub use ce_pareto as pareto;
+pub use ce_serve as serve;
 pub use ce_sim_core as sim;
 pub use ce_storage as storage;
 pub use ce_training as training;
@@ -83,6 +86,7 @@ pub mod prelude {
         time::EpochTimeModel,
     };
     pub use ce_pareto::{ParetoProfiler, Profile};
+    pub use ce_serve::{ArrivalModel, ServeReport, ServeSim, ServeSpec};
     pub use ce_sim_core::rng::SimRng;
     pub use ce_training::scheduler::{AdaptiveScheduler, SchedulerConfig};
     pub use ce_tuning::{

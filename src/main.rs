@@ -7,6 +7,7 @@
 //! ce-scaling train        --model mobilenet --dataset cifar10 --budget 30 --method ce
 //! ce-scaling storage      --model lr --dataset higgs -n 10
 //! ce-scaling cluster      --jobs 40 --rate 12 --policy edf --quota 60
+//! ce-scaling serve        --arrivals diurnal --rps 25 --duration 600 --autoscaler target
 //! ```
 
 use ce_scaling::chaos::FaultSchedule;
@@ -26,13 +27,14 @@ fn main() {
         // run-config takes a file path, not flag options.
         "run-config" => cmd_run_config(&args[1..]),
         "help" | "--help" | "-h" => usage_and_exit(None),
-        "profile" | "plan-tuning" | "train" | "storage" | "cluster" => {
+        "profile" | "plan-tuning" | "train" | "storage" | "cluster" | "serve" => {
             let opts = Opts::parse(&args[1..]);
             match command.as_str() {
                 "profile" => cmd_profile(&opts),
                 "plan-tuning" => cmd_plan_tuning(&opts),
                 "train" => cmd_train(&opts),
                 "cluster" => cmd_cluster(&opts),
+                "serve" => cmd_serve(&opts),
                 _ => cmd_storage(&opts),
             }
             if let Some(path) = &opts.metrics {
@@ -91,6 +93,7 @@ fn usage_and_exit(unknown: Option<&str>) -> ! {
            train        simulate a training job under a scheduling method\n  \
            storage      compare external storage services for a workload\n  \
            cluster      simulate a multi-tenant fleet sharing one account quota\n  \
+           serve        simulate request-level inference serving against an SLO\n  \
            run-config   run a declarative JSON scenario (see workflow::scenario)\n\n\
          options:\n  \
            --model lr|svm|mobilenet|resnet50|bert     (default lr)\n  \
@@ -112,7 +115,14 @@ fn usage_and_exit(unknown: Option<&str>) -> ! {
                              (train: platform faults; cluster: fleet-clock faults)\n  \
            --checkpoint-every K  snapshot the model to durable storage every K epochs\n  \
            --recovery P      retry|checkpoint|replan recovery policy (default retry)\n  \
-           --metrics PATH    dump the ce-obs metrics/event stream as JSONL\n"
+           --metrics PATH    dump the ce-obs metrics/event stream as JSONL\n  \
+           --arrivals M      poisson|diurnal|bursty|trace:<log.jsonl> (serve; default poisson)\n  \
+           --rps R           mean arrival rate for `serve` (default 20)\n  \
+           --duration S      arrival window for `serve`, seconds (default 600)\n  \
+           --autoscaler A    fixed:<n>|target|prewarm (serve; default target)\n  \
+           --keepalive K     fixed[:<ttl-s>]|adaptive|histogram (serve; default fixed)\n  \
+           --slo-ms X        latency SLO for `serve`, milliseconds (default 500)\n  \
+           --arrival-log P   write the generated arrival schedule as JSONL (serve)\n"
     );
     std::process::exit(2);
 }
@@ -138,6 +148,13 @@ struct Opts {
     chaos: Option<String>,
     checkpoint_every: Option<u32>,
     recovery: Option<String>,
+    arrivals: Option<String>,
+    rps: Option<f64>,
+    duration: Option<f64>,
+    autoscaler: Option<String>,
+    keepalive: Option<String>,
+    slo_ms: Option<f64>,
+    arrival_log: Option<String>,
 }
 
 impl Opts {
@@ -173,6 +190,13 @@ impl Opts {
                 "--chaos" => opts.chaos = Some(value()),
                 "--checkpoint-every" => opts.checkpoint_every = Some(parse_or_exit(&value(), flag)),
                 "--recovery" => opts.recovery = Some(value()),
+                "--arrivals" => opts.arrivals = Some(value()),
+                "--rps" => opts.rps = Some(parse_or_exit(&value(), flag)),
+                "--duration" => opts.duration = Some(parse_or_exit(&value(), flag)),
+                "--autoscaler" => opts.autoscaler = Some(value()),
+                "--keepalive" => opts.keepalive = Some(value()),
+                "--slo-ms" => opts.slo_ms = Some(parse_or_exit(&value(), flag)),
+                "--arrival-log" => opts.arrival_log = Some(value()),
                 other => {
                     eprintln!("unknown option: {other}");
                     std::process::exit(2);
@@ -475,6 +499,99 @@ fn cmd_cluster(opts: &Opts) {
             reg.counter_value("recovery.checkpoints"),
         );
     }
+}
+
+fn cmd_serve(opts: &Opts) {
+    use ce_scaling::serve::{autoscaler_by_name, ArrivalModel, ServeSim, ServeSpec};
+    let rps = opts.rps.unwrap_or(20.0);
+    let duration = opts.duration.unwrap_or(600.0);
+    let arrivals = match opts.arrivals.as_deref().unwrap_or("poisson") {
+        "poisson" => ArrivalModel::Poisson { rps },
+        // One day/night cycle per half window, ±80% swing around the mean.
+        "diurnal" => ArrivalModel::Diurnal {
+            base_rps: rps,
+            amplitude: 0.8,
+            period_s: duration / 2.0,
+        },
+        "bursty" => ArrivalModel::Bursty {
+            low_rps: rps / 4.0,
+            high_rps: rps * 4.0,
+            mean_dwell_s: 60.0,
+        },
+        other => {
+            if let Some(path) = other.strip_prefix("trace:") {
+                let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("cannot read arrival log {path}: {e}");
+                    std::process::exit(2);
+                });
+                let arrival_s = ce_scaling::serve::read_arrival_log(&text).unwrap_or_else(|e| {
+                    eprintln!("bad arrival log {path}: {e}");
+                    std::process::exit(2);
+                });
+                ArrivalModel::Trace { arrival_s }
+            } else {
+                eprintln!("unknown arrivals model: {other} (poisson|diurnal|bursty|trace:<path>)");
+                std::process::exit(2);
+            }
+        }
+    };
+    let autoscaler_name = opts.autoscaler.as_deref().unwrap_or("target");
+    let Some(autoscaler) = autoscaler_by_name(autoscaler_name) else {
+        eprintln!("unknown autoscaler: {autoscaler_name} (fixed:<n>|target|prewarm)");
+        std::process::exit(2);
+    };
+    let keepalive_name = opts.keepalive.as_deref().unwrap_or("fixed");
+    let Some(keep_alive) = ce_scaling::faas::keep_alive_by_name(keepalive_name) else {
+        eprintln!(
+            "unknown keep-alive policy: {keepalive_name} (fixed[:<ttl-s>]|adaptive|histogram)"
+        );
+        std::process::exit(2);
+    };
+    let mut spec = ServeSpec::new(arrivals, duration, opts.seed.unwrap_or(42))
+        .with_slo_ms(opts.slo_ms.unwrap_or(500.0));
+    if let Some(schedule) = opts.chaos() {
+        spec = spec.with_chaos(schedule);
+    }
+    let sim = ServeSim::new(spec, autoscaler, keep_alive).with_obs(ce_scaling::obs::global());
+    if let Some(path) = &opts.arrival_log {
+        let log = ce_scaling::serve::write_arrival_log(sim.arrivals());
+        std::fs::write(path, log).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("arrival log written to {path}");
+    }
+    let r = sim.run();
+    println!(
+        "{} arrivals over {duration:.0}s, autoscaler {}, keep-alive {}:\n",
+        r.arrivals, r.autoscaler, r.keep_alive
+    );
+    println!("  requests       {}", r.requests);
+    println!(
+        "  completed      {} ({} cold, {} warm)",
+        r.completed, r.cold_starts, r.warm_starts
+    );
+    println!(
+        "  shed           {} throttled, {} overload, {} outage; {} failed",
+        r.shed_throttled, r.shed_overload, r.shed_outage, r.failed
+    );
+    println!(
+        "  latency        p50 {:.0}ms  p95 {:.0}ms  p99 {:.0}ms (SLO {:.0}ms)",
+        r.p50_ms, r.p95_ms, r.p99_ms, r.slo_ms
+    );
+    println!(
+        "  QoS violations {:.2}% of arrivals",
+        r.violation_rate() * 100.0
+    );
+    println!(
+        "  compute        {:.1} busy GB-s, {:.1} idle GB-s, {} prewarmed, {} expired",
+        r.busy_gb_s, r.idle_gb_s, r.prewarmed, r.expired
+    );
+    println!(
+        "  cost           ${:.4} (${:.2}/1M requests)",
+        r.dollars,
+        r.cost_per_million()
+    );
 }
 
 fn cmd_storage(opts: &Opts) {

@@ -137,6 +137,122 @@ fn zero_fault_chaos_schedule_matches_the_clean_run() {
 }
 
 #[test]
+fn serve_metrics_are_byte_identical_per_seed() {
+    let args = [
+        "serve",
+        "--arrivals",
+        "diurnal",
+        "--rps",
+        "25",
+        "--duration",
+        "300",
+        "--autoscaler",
+        "target",
+        "--keepalive",
+        "adaptive",
+        "--slo-ms",
+        "800",
+        "--seed",
+        "11",
+    ];
+    let a = metrics_bytes(&args, "serve_a");
+    let b = metrics_bytes(&args, "serve_b");
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same seed must produce byte-identical serve JSONL");
+
+    let mut other = args;
+    other[other.len() - 1] = "12";
+    assert_ne!(a, metrics_bytes(&other, "serve_c"), "seed must matter");
+}
+
+#[test]
+fn serve_trace_replay_reproduces_the_original_run() {
+    // A run that writes its own arrival log, then a second run replaying
+    // that log through `--arrivals trace:<path>`: per-request randomness
+    // is keyed by request index, so the replay must be byte-identical.
+    let mut log = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    log.push("serve_replay_arrivals.jsonl");
+    let log_str = log.to_str().expect("utf-8 tmpdir");
+    let original = metrics_bytes(
+        &[
+            "serve",
+            "--arrivals",
+            "bursty",
+            "--rps",
+            "30",
+            "--duration",
+            "300",
+            "--autoscaler",
+            "prewarm",
+            "--keepalive",
+            "histogram",
+            "--seed",
+            "23",
+            "--arrival-log",
+            log_str,
+        ],
+        "serve_replay_orig",
+    );
+    let trace_arg = format!("trace:{log_str}");
+    let replayed = metrics_bytes(
+        &[
+            "serve",
+            "--arrivals",
+            &trace_arg,
+            "--duration",
+            "300",
+            "--autoscaler",
+            "prewarm",
+            "--keepalive",
+            "histogram",
+            "--seed",
+            "23",
+        ],
+        "serve_replay_back",
+    );
+    assert!(!original.is_empty());
+    assert_eq!(
+        original, replayed,
+        "trace replay of a run's own arrival log must reproduce its metrics"
+    );
+    std::fs::remove_file(&log).ok();
+}
+
+#[test]
+fn zero_traffic_serve_run_emits_nothing_and_spends_nothing() {
+    let out = metrics_bytes(
+        &["serve", "--rps", "0", "--duration", "600", "--seed", "42"],
+        "serve_zero",
+    );
+    assert!(
+        out.is_empty(),
+        "zero arrivals must emit no metrics or events, got:\n{}",
+        String::from_utf8_lossy(&out)
+    );
+}
+
+#[test]
+fn chaotic_serve_metrics_are_byte_identical_per_seed() {
+    let args = [
+        "serve",
+        "--arrivals",
+        "poisson",
+        "--rps",
+        "20",
+        "--duration",
+        "300",
+        "--seed",
+        "42",
+        "--chaos",
+        "coldspike:x4@0..60;throttle:0.3@100..160;outage:s3@200..230",
+    ];
+    let a = metrics_bytes(&args, "chaos_serve_a");
+    let b = metrics_bytes(&args, "chaos_serve_b");
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same seed + same --chaos spec must match");
+}
+
+#[test]
 fn chaotic_cluster_metrics_are_byte_identical_per_seed() {
     let args = [
         "cluster",

@@ -89,6 +89,28 @@ fn cluster_args(seed: u64, chaos: bool, engine: &str) -> Vec<String> {
     args
 }
 
+fn serve_args(seed: u64) -> Vec<String> {
+    [
+        "serve",
+        "--arrivals",
+        "diurnal",
+        "--rps",
+        "25",
+        "--duration",
+        "600",
+        "--autoscaler",
+        "target",
+        "--keepalive",
+        "adaptive",
+        "--slo-ms",
+        "800",
+    ]
+    .into_iter()
+    .map(String::from)
+    .chain(["--seed".into(), seed.to_string()])
+    .collect()
+}
+
 /// Compares `actual` against the committed fixture, or rewrites the
 /// fixture when `UPDATE_GOLDEN=1` is set.
 fn check_golden(scenario: &str, seed: u64, actual: &[u8]) {
@@ -120,6 +142,21 @@ fn train_traces_match_golden_fixtures() {
         let bytes = run_metrics(&train_args(seed), &format!("train_{seed}"));
         assert!(!bytes.is_empty());
         check_golden("train", seed, &bytes);
+    }
+}
+
+#[test]
+fn serve_traces_match_golden_fixtures() {
+    for seed in SEEDS {
+        let bytes = run_metrics(&serve_args(seed), &format!("serve_{seed}"));
+        assert!(!bytes.is_empty());
+        // Quantile summaries ride along with the histograms they describe.
+        let text = String::from_utf8_lossy(&bytes);
+        assert!(
+            text.contains(r#""type":"summary","name":"serve.latency_ms""#),
+            "serve metrics must include the latency quantile summary"
+        );
+        check_golden("serve", seed, &bytes);
     }
 }
 
