@@ -16,12 +16,21 @@
 //! emits `BENCH_serve.json` with the same 2x `--baseline` regression
 //! gate on the 100k-request reference arm.
 //!
+//! Both suites end with a **scaling arm**: the largest configuration
+//! re-run as a multi-seed batch, once at 1 thread and once at the
+//! resolved thread count (`--threads` / `CE_THREADS`), with the outcome
+//! checksums asserted byte-equal between the two runs before the
+//! speedup and parallel efficiency are reported. The `--baseline` gate
+//! also fails when the fresh speedup collapses to less than half the
+//! committed one at the same thread count.
+//!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p ce-bench                 # full matrix -> BENCH_fleet.json
 //! cargo run --release -p ce-bench -- --quick      # skip the 10k arms (CI smoke)
 //! cargo run --release -p ce-bench -- --out F      # write somewhere else
+//! cargo run --release -p ce-bench -- --threads 8  # thread count for the scaling arm
 //! cargo run --release -p ce-bench -- --quick --baseline BENCH_fleet.json
 //!     # additionally fail (exit 1) if the 2k-job heap benchmark regressed
 //!     # more than 2x against the committed baseline
@@ -32,7 +41,9 @@
 //! ```
 
 use ce_chaos::FaultSchedule;
-use ce_cluster::{policy_by_name, ClusterSim, ClusterSpec, FleetEngine, FleetSpec};
+use ce_cluster::{
+    policy_by_name, run_fleet_seeds, ClusterSim, ClusterSpec, FleetEngine, FleetSpec,
+};
 use ce_obs::Registry;
 use ce_training::{set_sweep_mode, SweepMode};
 use ce_workflow::RecoveryPolicy;
@@ -53,6 +64,58 @@ const CHAOS_SPEC: &str = "crash:0.05@0..inf;outage:s3@1800..3600";
 const REFERENCE: &str = "fleet/2000/fifo/clean";
 /// A fresh run slower than `baseline * REGRESSION_FACTOR` fails `--baseline`.
 const REGRESSION_FACTOR: f64 = 2.0;
+/// Seeds per scaling-arm batch (independent runs sharded across threads).
+const SCALING_SEEDS: u64 = 4;
+
+/// Everything that can abort a benchmark run, with the exit code the
+/// process should die with. User mistakes (bad flags, unreadable or
+/// malformed baseline, unwritable output) must land here as messages,
+/// never as panics.
+#[derive(Debug)]
+enum BenchError {
+    /// Bad command line; exit 2.
+    Usage(String),
+    /// Filesystem trouble on a user-supplied path; exit 2.
+    Io {
+        what: &'static str,
+        path: String,
+        source: std::io::Error,
+    },
+    /// The baseline file is not a benchmark report; exit 2.
+    BaselineParse {
+        path: String,
+        source: serde_json::Error,
+    },
+    /// A report lacks the arm the gate needs; exit 2.
+    MissingReferenceArm { which: &'static str, arm: String },
+    /// The gate tripped; exit 1.
+    Regression(String),
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::Usage(msg) => write!(f, "{msg}"),
+            BenchError::Io { what, path, source } => write!(f, "cannot {what} {path}: {source}"),
+            BenchError::BaselineParse { path, source } => {
+                write!(f, "cannot parse baseline {path}: {source}")
+            }
+            BenchError::MissingReferenceArm { which, arm } => {
+                write!(f, "{which} report lacks the {arm} arm")
+            }
+            BenchError::Regression(msg) => write!(f, "REGRESSION: {msg}"),
+        }
+    }
+}
+
+impl BenchError {
+    fn exit_code(&self) -> i32 {
+        match self {
+            BenchError::Regression(_) => 1,
+            _ => 2,
+        }
+    }
+}
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct ArmResult {
@@ -80,6 +143,51 @@ struct Speedup {
     ratio: f64,
 }
 
+/// The multi-seed scaling arm: the same batch of independent runs timed
+/// sequentially and at the resolved thread count, with outcomes asserted
+/// byte-equal before the ratio is reported.
+#[derive(Debug, Serialize, Deserialize)]
+struct ScalingResult {
+    /// `<suite>-batch/<size>x<seed count>`.
+    name: String,
+    /// Worker threads used by the parallel run.
+    threads: usize,
+    seeds: Vec<u64>,
+    wall_ms_1t: f64,
+    wall_ms_nt: f64,
+    /// `wall_ms_1t / wall_ms_nt`.
+    speedup_vs_1t: f64,
+    /// `speedup_vs_1t / threads` (1.0 = perfect linear scaling).
+    scaling_efficiency: f64,
+}
+
+impl ScalingResult {
+    fn from_walls(name: String, threads: usize, seeds: Vec<u64>, ms_1t: f64, ms_nt: f64) -> Self {
+        let speedup = ms_1t / ms_nt.max(1e-9);
+        ScalingResult {
+            name,
+            threads,
+            seeds,
+            wall_ms_1t: ms_1t,
+            wall_ms_nt: ms_nt,
+            speedup_vs_1t: speedup,
+            scaling_efficiency: speedup / threads as f64,
+        }
+    }
+
+    fn log(&self) {
+        eprintln!(
+            "{:<38} {:>9.1} ms @1t vs {:>9.1} ms @{}t  ({:.2}x, {:.0}% efficiency)",
+            self.name,
+            self.wall_ms_1t,
+            self.wall_ms_nt,
+            self.threads,
+            self.speedup_vs_1t,
+            self.scaling_efficiency * 100.0
+        );
+    }
+}
+
 #[derive(Debug, Serialize, Deserialize)]
 struct BenchReport {
     schema: String,
@@ -88,9 +196,15 @@ struct BenchReport {
     job_cap: u32,
     seed: u64,
     chaos_spec: String,
+    /// Resolved worker thread count for this run.
+    #[serde(default)]
+    threads: usize,
     arms: Vec<ArmResult>,
     /// Heap-vs-naive wall-clock ratio on the reference arm pair.
     speedup_2k: Option<Speedup>,
+    /// Multi-seed thread-scaling measurement (absent in v1 baselines).
+    #[serde(default)]
+    scaling: Option<ScalingResult>,
 }
 
 fn run_arm(jobs: usize, policy: &str, chaos: bool, engine: FleetEngine) -> ArmResult {
@@ -142,6 +256,52 @@ fn run_arm(jobs: usize, policy: &str, chaos: bool, engine: FleetEngine) -> ArmRe
     arm
 }
 
+/// Times the `jobs`-job fifo/clean fleet as a batch of independent
+/// seeds, sequentially and at `threads` workers, asserting the reports
+/// and metric exports byte-equal before reporting the ratio.
+fn run_fleet_scaling(jobs: usize, threads: usize) -> ScalingResult {
+    let seeds: Vec<u64> = (0..SCALING_SEEDS).map(|i| SEED + i).collect();
+    let batch = || {
+        run_fleet_seeds(&seeds, |seed| {
+            ClusterSim::new(
+                ClusterSpec::new(FleetSpec::poisson(jobs, RATE_PER_MIN, seed), QUOTA)
+                    .with_job_cap(JOB_CAP)
+                    .with_recovery(RecoveryPolicy::CheckpointResume)
+                    .with_checkpoint_every(5)
+                    .with_engine(FleetEngine::Heap),
+                policy_by_name("fifo").expect("known policy"),
+            )
+        })
+    };
+    let start = Instant::now();
+    let seq = rayon::with_threads(1, batch);
+    let wall_ms_1t = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let par = rayon::with_threads(threads, batch);
+    let wall_ms_nt = start.elapsed().as_secs_f64() * 1e3;
+    for ((r1, o1), (r2, o2)) in seq.iter().zip(&par) {
+        assert_eq!(
+            (r1.fleet_dollars.to_bits(), &r1.jobs),
+            (r2.fleet_dollars.to_bits(), &r2.jobs),
+            "parallel batch diverged from sequential on fleet/{jobs}"
+        );
+        assert_eq!(
+            o1.export_jsonl(),
+            o2.export_jsonl(),
+            "metric export diverged on fleet/{jobs}"
+        );
+    }
+    let result = ScalingResult::from_walls(
+        format!("fleet-batch/{jobs}x{SCALING_SEEDS}"),
+        threads,
+        seeds,
+        wall_ms_1t,
+        wall_ms_nt,
+    );
+    result.log();
+    result
+}
+
 /// Requests per second for every serving arm (diurnal base rate).
 const SERVE_RPS: f64 = 200.0;
 /// Latency SLO for the serving arms (milliseconds).
@@ -171,26 +331,36 @@ struct ServeBenchReport {
     rps: f64,
     slo_ms: f64,
     seed: u64,
+    /// Resolved worker thread count for this run.
+    #[serde(default)]
+    threads: usize,
     arms: Vec<ServeArmResult>,
+    /// Multi-seed thread-scaling measurement (absent in v1 baselines).
+    #[serde(default)]
+    scaling: Option<ScalingResult>,
 }
 
-fn run_serve_arm(target_requests: u64, autoscaler: &str, keep_alive: &str) -> ServeArmResult {
-    use ce_serve::{autoscaler_by_name, ArrivalModel, ServeSim, ServeSpec};
+fn serve_spec(target_requests: u64, seed: u64) -> ce_serve::ServeSpec {
+    use ce_serve::{ArrivalModel, ServeSpec};
     // Open-loop rate is fixed; scale comes from the arrival window. One
     // day/night cycle per 500 s keeps the diurnal shape at every size.
     let duration_s = target_requests as f64 / SERVE_RPS;
-    let spec = ServeSpec::new(
+    ServeSpec::new(
         ArrivalModel::Diurnal {
             base_rps: SERVE_RPS,
             amplitude: 0.8,
             period_s: 500.0,
         },
         duration_s,
-        SEED,
+        seed,
     )
-    .with_slo_ms(SERVE_SLO_MS);
+    .with_slo_ms(SERVE_SLO_MS)
+}
+
+fn run_serve_arm(target_requests: u64, autoscaler: &str, keep_alive: &str) -> ServeArmResult {
+    use ce_serve::{autoscaler_by_name, ServeSim};
     let sim = ServeSim::new(
-        spec,
+        serve_spec(target_requests, SEED),
         autoscaler_by_name(autoscaler).expect("known autoscaler"),
         ce_faas::keep_alive_by_name(keep_alive).expect("known keep-alive"),
     );
@@ -219,7 +389,134 @@ fn run_serve_arm(target_requests: u64, autoscaler: &str, keep_alive: &str) -> Se
     arm
 }
 
-fn run_serve_suite(quick: bool, out: &str, baseline: Option<&str>) {
+/// Times the `requests`-request target/adaptive serve arm as a batch of
+/// independent seeds, sequentially and at `threads` workers, asserting
+/// metric exports byte-equal before reporting the ratio.
+fn run_serve_scaling(requests: u64, threads: usize) -> ScalingResult {
+    use ce_serve::{autoscaler_by_name, ServeSim};
+    use rayon::prelude::*;
+    let seeds: Vec<u64> = (0..SCALING_SEEDS).map(|i| SEED + i).collect();
+    let batch = || -> Vec<(u64, u64, u64, String)> {
+        seeds
+            .par_iter()
+            .map(|&seed| {
+                let obs = Registry::new();
+                let sim = ServeSim::new(
+                    serve_spec(requests, seed),
+                    autoscaler_by_name("target").expect("known autoscaler"),
+                    ce_faas::keep_alive_by_name("adaptive").expect("known keep-alive"),
+                )
+                .with_obs(&obs);
+                let r = sim.run();
+                (
+                    r.requests,
+                    r.completed,
+                    r.dollars.to_bits(),
+                    obs.export_jsonl(),
+                )
+            })
+            .collect()
+    };
+    let start = Instant::now();
+    let seq = rayon::with_threads(1, batch);
+    let wall_ms_1t = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let par = rayon::with_threads(threads, batch);
+    let wall_ms_nt = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        seq, par,
+        "parallel serve batch diverged from sequential on serve/{requests}"
+    );
+    let result = ScalingResult::from_walls(
+        format!("serve-batch/{requests}x{SCALING_SEEDS}"),
+        threads,
+        seeds,
+        wall_ms_1t,
+        wall_ms_nt,
+    );
+    result.log();
+    result
+}
+
+fn write_report(out: &str, json: String) -> Result<(), BenchError> {
+    std::fs::write(out, json + "\n").map_err(|source| BenchError::Io {
+        what: "write report to",
+        path: out.to_string(),
+        source,
+    })?;
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
+fn read_baseline<T: serde::Deserialize>(path: &str) -> Result<T, BenchError> {
+    let text = std::fs::read_to_string(path).map_err(|source| BenchError::Io {
+        what: "read baseline",
+        path: path.to_string(),
+        source,
+    })?;
+    serde_json::from_str(&text).map_err(|source| BenchError::BaselineParse {
+        path: path.to_string(),
+        source,
+    })
+}
+
+/// The shared `--baseline` gate: wall-clock on the reference arm within
+/// `REGRESSION_FACTOR` of the committed run, and — when both runs
+/// measured scaling at the same thread count — fresh parallel speedup
+/// no worse than half the committed one.
+fn check_gate(
+    reference: &str,
+    base_ms: Option<f64>,
+    fresh_ms: Option<f64>,
+    base_scaling: Option<&ScalingResult>,
+    fresh_scaling: Option<&ScalingResult>,
+) -> Result<(), BenchError> {
+    let base_ms = base_ms.ok_or(BenchError::MissingReferenceArm {
+        which: "baseline",
+        arm: reference.to_string(),
+    })?;
+    let fresh_ms = fresh_ms.ok_or(BenchError::MissingReferenceArm {
+        which: "fresh",
+        arm: reference.to_string(),
+    })?;
+    eprintln!(
+        "threshold check: fresh {fresh_ms:.1} ms vs baseline {base_ms:.1} ms \
+         (limit {:.1} ms)",
+        base_ms * REGRESSION_FACTOR
+    );
+    if fresh_ms > base_ms * REGRESSION_FACTOR {
+        return Err(BenchError::Regression(format!(
+            "the {reference} benchmark is more than {REGRESSION_FACTOR}x slower \
+             than the committed baseline"
+        )));
+    }
+    if let (Some(base), Some(fresh)) = (base_scaling, fresh_scaling) {
+        if base.threads == fresh.threads && base.threads > 1 {
+            eprintln!(
+                "scaling check: fresh {:.2}x vs baseline {:.2}x at {} threads",
+                fresh.speedup_vs_1t, base.speedup_vs_1t, fresh.threads
+            );
+            if fresh.speedup_vs_1t < base.speedup_vs_1t / REGRESSION_FACTOR {
+                return Err(BenchError::Regression(format!(
+                    "parallel speedup on {} collapsed: fresh {:.2}x vs committed {:.2}x \
+                     at {} threads",
+                    fresh.name, fresh.speedup_vs_1t, base.speedup_vs_1t, fresh.threads
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run_serve_suite(
+    quick: bool,
+    out: &str,
+    baseline: Option<&str>,
+    threads: usize,
+) -> Result<(), BenchError> {
+    // Load the baseline up front: a missing or malformed file should
+    // fail in milliseconds, not after minutes of benchmarking.
+    let base: Option<ServeBenchReport> = baseline.map(read_baseline).transpose()?;
     let scales: &[u64] = if quick {
         &[10_000, 100_000]
     } else {
@@ -236,78 +533,46 @@ fn run_serve_suite(quick: bool, out: &str, baseline: Option<&str>) {
             arms.push(run_serve_arm(requests, autoscaler, keep_alive));
         }
     }
+    let scaling = Some(run_serve_scaling(*scales.last().unwrap(), threads));
     let report = ServeBenchReport {
-        schema: "ce-bench/serve/v1".to_string(),
+        schema: "ce-bench/serve/v2".to_string(),
         rps: SERVE_RPS,
         slo_ms: SERVE_SLO_MS,
         seed: SEED,
+        threads,
         arms,
+        scaling,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(out, json + "\n").expect("write benchmark report");
-    eprintln!("wrote {out}");
+    write_report(out, json)?;
 
-    if let Some(path) = baseline {
-        let text = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-        let base: ServeBenchReport = serde_json::from_str(&text)
-            .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
-        let reference_ms = |r: &ServeBenchReport, which: &str| {
+    if let Some(base) = base {
+        let arm_ms = |r: &ServeBenchReport| {
             r.arms
                 .iter()
                 .find(|a| a.name == SERVE_REFERENCE)
                 .map(|a| a.wall_ms)
-                .unwrap_or_else(|| panic!("{which} report lacks the {SERVE_REFERENCE} arm"))
         };
-        let base_ms = reference_ms(&base, "baseline");
-        let fresh_ms = reference_ms(&report, "fresh");
-        eprintln!(
-            "threshold check: fresh {fresh_ms:.1} ms vs baseline {base_ms:.1} ms \
-             (limit {:.1} ms)",
-            base_ms * REGRESSION_FACTOR
-        );
-        if fresh_ms > base_ms * REGRESSION_FACTOR {
-            eprintln!(
-                "REGRESSION: the {SERVE_REFERENCE} benchmark is more than \
-                 {REGRESSION_FACTOR}x slower than the committed baseline"
-            );
-            std::process::exit(1);
-        }
+        check_gate(
+            SERVE_REFERENCE,
+            arm_ms(&base),
+            arm_ms(&report),
+            base.scaling.as_ref(),
+            report.scaling.as_ref(),
+        )?;
     }
+    Ok(())
 }
 
-fn main() {
-    let mut quick = false;
-    let mut out: Option<String> = None;
-    let mut suite = String::from("fleet");
-    let mut baseline: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => quick = true,
-            "--out" => out = Some(args.next().expect("--out needs a path")),
-            "--suite" => suite = args.next().expect("--suite needs fleet|serve"),
-            "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
-            other => {
-                eprintln!("unknown flag: {other} (expected --quick, --out, --suite, --baseline)");
-                std::process::exit(2);
-            }
-        }
-    }
-    match suite.as_str() {
-        "fleet" => {}
-        "serve" => {
-            let out = out.unwrap_or_else(|| "BENCH_serve.json".into());
-            run_serve_suite(quick, &out, baseline.as_deref());
-            return;
-        }
-        other => {
-            eprintln!("unknown suite: {other} (expected fleet or serve)");
-            std::process::exit(2);
-        }
-    }
-    let out = out.unwrap_or_else(|| "BENCH_fleet.json".into());
-
+fn run_fleet_suite(
+    quick: bool,
+    out: &str,
+    baseline: Option<&str>,
+    threads: usize,
+) -> Result<(), BenchError> {
+    // Load the baseline up front: a missing or malformed file should
+    // fail in milliseconds, not after minutes of benchmarking.
+    let base: Option<BenchReport> = baseline.map(read_baseline).transpose()?;
     let sizes: &[usize] = if quick {
         &[500, 2000]
     } else {
@@ -378,48 +643,103 @@ fn main() {
         );
     }
 
+    let scaling = Some(run_fleet_scaling(*sizes.last().unwrap(), threads));
     let report = BenchReport {
-        schema: "ce-bench/fleet/v1".to_string(),
+        schema: "ce-bench/fleet/v2".to_string(),
         rate_per_min: RATE_PER_MIN,
         quota: QUOTA,
         job_cap: JOB_CAP,
         seed: SEED,
         chaos_spec: CHAOS_SPEC.to_string(),
+        threads,
         arms,
         speedup_2k,
+        scaling,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(&out, json + "\n").expect("write benchmark report");
-    eprintln!("wrote {out}");
+    write_report(out, json)?;
 
-    if let Some(path) = baseline {
-        let text = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-        let base: BenchReport = serde_json::from_str(&text)
-            .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
-        let base_ms = base
-            .arms
-            .iter()
-            .find(|a| a.name == format!("{REFERENCE}/heap"))
-            .map(|a| a.wall_ms)
-            .expect("baseline lacks the reference heap arm");
-        let fresh_ms = report
-            .arms
-            .iter()
-            .find(|a| a.name == format!("{REFERENCE}/heap"))
-            .map(|a| a.wall_ms)
-            .expect("fresh report lacks the reference heap arm");
-        eprintln!(
-            "threshold check: fresh {fresh_ms:.1} ms vs baseline {base_ms:.1} ms \
-             (limit {:.1} ms)",
-            base_ms * REGRESSION_FACTOR
-        );
-        if fresh_ms > base_ms * REGRESSION_FACTOR {
-            eprintln!(
-                "REGRESSION: the {REFERENCE} benchmark is more than \
-                 {REGRESSION_FACTOR}x slower than the committed baseline"
-            );
-            std::process::exit(1);
+    if let Some(base) = base {
+        let arm_ms = |r: &BenchReport| {
+            r.arms
+                .iter()
+                .find(|a| a.name == format!("{REFERENCE}/heap"))
+                .map(|a| a.wall_ms)
+        };
+        check_gate(
+            &format!("{REFERENCE}/heap"),
+            arm_ms(&base),
+            arm_ms(&report),
+            base.scaling.as_ref(),
+            report.scaling.as_ref(),
+        )?;
+    }
+    Ok(())
+}
+
+fn real_main() -> Result<(), BenchError> {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut suite = String::from("fleet");
+    let mut baseline: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    let need = |flag: &str, value: Option<String>| -> Result<String, BenchError> {
+        value.ok_or_else(|| BenchError::Usage(format!("{flag} needs a value")))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = Some(need("--out", args.next())?),
+            "--suite" => suite = need("--suite", args.next())?,
+            "--baseline" => baseline = Some(need("--baseline", args.next())?),
+            "--threads" => {
+                let raw = need("--threads", args.next())?;
+                let n = raw
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| {
+                        BenchError::Usage(format!(
+                            "--threads needs a positive integer, got {raw:?}"
+                        ))
+                    })?;
+                threads = Some(n);
+            }
+            other => {
+                return Err(BenchError::Usage(format!(
+                    "unknown flag: {other} (expected --quick, --out, --suite, --baseline, \
+                     --threads)"
+                )));
+            }
         }
+    }
+    let threads = match threads {
+        Some(n) => {
+            rayon::set_threads(n);
+            n
+        }
+        None => rayon::current_threads(),
+    };
+    eprintln!("worker threads: {threads}");
+    match suite.as_str() {
+        "fleet" => {
+            let out = out.unwrap_or_else(|| "BENCH_fleet.json".into());
+            run_fleet_suite(quick, &out, baseline.as_deref(), threads)
+        }
+        "serve" => {
+            let out = out.unwrap_or_else(|| "BENCH_serve.json".into());
+            run_serve_suite(quick, &out, baseline.as_deref(), threads)
+        }
+        other => Err(BenchError::Usage(format!(
+            "unknown suite: {other} (expected fleet or serve)"
+        ))),
+    }
+}
+
+fn main() {
+    if let Err(e) = real_main() {
+        eprintln!("ce-bench: {e}");
+        std::process::exit(e.exit_code());
     }
 }

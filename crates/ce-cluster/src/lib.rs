@@ -48,6 +48,6 @@ pub mod report;
 
 pub use arrival::{ArrivalProcess, FleetSpec, JobSpec};
 pub use contention::ContentionModel;
-pub use fleet::{ClusterSim, ClusterSpec, FleetEngine};
+pub use fleet::{run_fleet_seeds, ClusterSim, ClusterSpec, FleetEngine};
 pub use policy::{all_policies, policy_by_name, Admission, AdmissionPolicy, ClusterView, ReadyJob};
 pub use report::{dominates_point, FleetReport, JobOutcome, JobStatus};

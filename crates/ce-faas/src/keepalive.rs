@@ -282,22 +282,80 @@ impl KeepAlive for HistogramTtl {
     }
 }
 
-/// Parses a keep-alive policy name: `fixed` (600 s), `fixed:<seconds>`,
-/// `adaptive`, or `histogram`. Returns `None` for anything else.
-pub fn keep_alive_by_name(name: &str) -> Option<Box<dyn KeepAlive>> {
-    if let Some(rest) = name.strip_prefix("fixed:") {
-        let ttl: f64 = rest.parse().ok()?;
-        if !ttl.is_finite() || ttl < 0.0 {
-            return None;
+/// Why a keep-alive policy spec failed to parse. Distinguishes a TTL
+/// problem inside a recognized `fixed:<seconds>` spec from a policy
+/// name the registry has never heard of, so CLIs can print the right
+/// hint for each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeepAliveParseError {
+    /// `fixed:<seconds>` was recognized but the TTL is unusable: not a
+    /// number, NaN, infinite, or negative.
+    InvalidTtl { raw: String, reason: &'static str },
+    /// The policy name itself is unknown.
+    UnknownPolicy(String),
+}
+
+impl std::fmt::Display for KeepAliveParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeepAliveParseError::InvalidTtl { raw, reason } => {
+                write!(f, "invalid keep-alive TTL {raw:?}: {reason} (want a finite number of seconds >= 0)")
+            }
+            KeepAliveParseError::UnknownPolicy(name) => {
+                write!(
+                    f,
+                    "unknown keep-alive policy: {name} (fixed[:<ttl-s>]|adaptive|histogram)"
+                )
+            }
         }
-        return Some(Box::new(FixedTtl(ttl)));
+    }
+}
+
+impl std::error::Error for KeepAliveParseError {}
+
+/// Parses a keep-alive policy spec: `fixed` (600 s), `fixed:<seconds>`,
+/// `adaptive`, or `histogram`, with a typed error saying what is wrong
+/// with anything else. NaN, infinite, and negative TTLs are rejected —
+/// they would silently disable or immortalize instances downstream.
+pub fn parse_keep_alive(name: &str) -> Result<Box<dyn KeepAlive>, KeepAliveParseError> {
+    if let Some(rest) = name.strip_prefix("fixed:") {
+        let ttl: f64 = rest.parse().map_err(|_| KeepAliveParseError::InvalidTtl {
+            raw: rest.to_string(),
+            reason: "not a number",
+        })?;
+        if ttl.is_nan() {
+            return Err(KeepAliveParseError::InvalidTtl {
+                raw: rest.to_string(),
+                reason: "NaN",
+            });
+        }
+        if ttl.is_infinite() {
+            return Err(KeepAliveParseError::InvalidTtl {
+                raw: rest.to_string(),
+                reason: "infinite",
+            });
+        }
+        if ttl < 0.0 {
+            return Err(KeepAliveParseError::InvalidTtl {
+                raw: rest.to_string(),
+                reason: "negative",
+            });
+        }
+        return Ok(Box::new(FixedTtl(ttl)));
     }
     match name {
-        "fixed" => Some(Box::new(FixedTtl::default())),
-        "adaptive" => Some(Box::new(AdaptiveTtl::default())),
-        "histogram" => Some(Box::new(HistogramTtl::default())),
-        _ => None,
+        "fixed" => Ok(Box::new(FixedTtl::default())),
+        "adaptive" => Ok(Box::new(AdaptiveTtl::default())),
+        "histogram" => Ok(Box::new(HistogramTtl::default())),
+        other => Err(KeepAliveParseError::UnknownPolicy(other.to_string())),
     }
+}
+
+/// Parses a keep-alive policy name, `None` on any parse error. Thin
+/// wrapper over [`parse_keep_alive`] for callers that don't need the
+/// diagnostic.
+pub fn keep_alive_by_name(name: &str) -> Option<Box<dyn KeepAlive>> {
+    parse_keep_alive(name).ok()
 }
 
 #[cfg(test)]
@@ -369,6 +427,33 @@ mod tests {
         assert_eq!(keep_alive_by_name("histogram").unwrap().name(), "histogram");
         assert!(keep_alive_by_name("fixed:-3").is_none());
         assert!(keep_alive_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn bad_ttls_report_typed_errors() {
+        let invalid = |spec: &str, reason: &str| match parse_keep_alive(spec) {
+            Err(KeepAliveParseError::InvalidTtl { reason: r, .. }) => {
+                assert_eq!(r, reason, "{spec}")
+            }
+            other => panic!("{spec}: expected InvalidTtl({reason}), got {other:?}"),
+        };
+        invalid("fixed:-3", "negative");
+        invalid("fixed:-0.001", "negative");
+        invalid("fixed:NaN", "NaN");
+        invalid("fixed:inf", "infinite");
+        invalid("fixed:-inf", "infinite"); // infinity checked before sign
+        invalid("fixed:ten", "not a number");
+        invalid("fixed:", "not a number");
+        assert!(matches!(
+            parse_keep_alive("lru"),
+            Err(KeepAliveParseError::UnknownPolicy(n)) if n == "lru"
+        ));
+        // Edge TTLs that are valid: zero (reap immediately) and huge.
+        assert_eq!(parse_keep_alive("fixed:0").unwrap().name(), "fixed:0");
+        assert!(parse_keep_alive("fixed:1e9").is_ok());
+        // The error text names the offending value for CLI use.
+        let msg = parse_keep_alive("fixed:NaN").unwrap_err().to_string();
+        assert!(msg.contains("NaN"), "{msg}");
     }
 
     #[test]

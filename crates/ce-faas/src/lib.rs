@@ -63,7 +63,10 @@ pub mod stage;
 pub use billing::BillingLedger;
 pub use epoch::{ExecutionFidelity, MeasuredEpoch};
 pub use function::{FunctionId, FunctionInstance, InstancePool, PoolStats, ReapedInstance};
-pub use keepalive::{keep_alive_by_name, AdaptiveTtl, FixedTtl, HistogramTtl, KeepAlive};
+pub use keepalive::{
+    keep_alive_by_name, parse_keep_alive, AdaptiveTtl, FixedTtl, HistogramTtl, KeepAlive,
+    KeepAliveParseError,
+};
 pub use platform::{EpochError, FaasPlatform, PlatformConfig};
 pub use quota::{AccountQuota, QuotaExceeded};
 pub use restart::RestartPlan;

@@ -67,34 +67,39 @@ impl SgdTrainer {
     pub fn gradient(&self, data: &SynthDataset, batch: &[usize]) -> Vec<f32> {
         assert!(!batch.is_empty());
         let d = data.features;
+        // The expensive per-example work (dot product + loss derivative)
+        // lives in the map stage so it parallelizes across batch shards;
+        // the elementwise accumulation runs as an ordered reduce on the
+        // calling thread. Each per-example vector starts from zeros and
+        // contributions are added in batch order, so the sum sees the
+        // same f32 operands in the same association order as a single
+        // sequential accumulator — bit-identical at any thread count.
         let mut grad = batch
             .par_iter()
-            .fold(
-                || vec![0.0f32; d],
-                |mut acc, &i| {
-                    let xi = data.row(i);
-                    let yi = data.y[i];
-                    let margin: f32 = xi.iter().zip(&self.weights).map(|(x, w)| x * w).sum();
-                    match self.loss {
-                        LinearLoss::Logistic => {
-                            // d/dw log(1 + exp(-y w·x)) = -y σ(-y w·x) x
-                            let z = (-yi * margin).min(30.0);
-                            let coeff = -yi * (1.0 / (1.0 + (-z).exp()));
-                            for (a, x) in acc.iter_mut().zip(xi) {
-                                *a += coeff * x;
-                            }
+            .map(|&i| {
+                let xi = data.row(i);
+                let yi = data.y[i];
+                let margin: f32 = xi.iter().zip(&self.weights).map(|(x, w)| x * w).sum();
+                let mut g = vec![0.0f32; d];
+                match self.loss {
+                    LinearLoss::Logistic => {
+                        // d/dw log(1 + exp(-y w·x)) = -y σ(-y w·x) x
+                        let z = (-yi * margin).min(30.0);
+                        let coeff = -yi * (1.0 / (1.0 + (-z).exp()));
+                        for (a, x) in g.iter_mut().zip(xi) {
+                            *a += coeff * x;
                         }
-                        LinearLoss::Hinge => {
-                            if yi * margin < 1.0 {
-                                for (a, x) in acc.iter_mut().zip(xi) {
-                                    *a += -yi * x;
-                                }
+                    }
+                    LinearLoss::Hinge => {
+                        if yi * margin < 1.0 {
+                            for (a, x) in g.iter_mut().zip(xi) {
+                                *a += -yi * x;
                             }
                         }
                     }
-                    acc
-                },
-            )
+                }
+                g
+            })
             .reduce(
                 || vec![0.0f32; d],
                 |mut a, b| {
@@ -289,6 +294,30 @@ mod tests {
                 .collect::<Vec<f64>>()
         };
         assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn gradient_bit_identical_across_thread_counts() {
+        // f32 accumulation is non-associative, so this only holds if the
+        // parallel engine reduces in the sequential association order.
+        let data = dataset(11);
+        let mut t = SgdTrainer::new(LinearLoss::Logistic, 16, 0.1, 0.9);
+        t.set_weights(&[0.03f32; 16]);
+        let batch: Vec<usize> = (0..512).collect();
+        let seq = rayon::with_threads(1, || t.gradient(&data, &batch));
+        for threads in [2, 8] {
+            let par = rayon::with_threads(threads, || t.gradient(&data, &batch));
+            for (s, p) in seq.iter().zip(&par) {
+                assert_eq!(
+                    s.to_bits(),
+                    p.to_bits(),
+                    "gradient bits at {threads} threads"
+                );
+            }
+        }
+        let eval_seq = rayon::with_threads(1, || t.evaluate(&data));
+        let eval_par = rayon::with_threads(8, || t.evaluate(&data));
+        assert_eq!(eval_seq.to_bits(), eval_par.to_bits());
     }
 
     #[test]

@@ -137,24 +137,26 @@ impl SoftmaxTrainer {
         assert!(!batch.is_empty());
         let d = self.features;
         let k = self.classes;
+        // Per-example softmax + outer product in the parallel map stage;
+        // ordered elementwise reduce on the calling thread keeps the f32
+        // accumulation order identical to a single sequential pass, so
+        // the gradient is bit-identical at any thread count.
         let grad = batch
             .par_iter()
-            .fold(
-                || vec![0.0f32; k * d],
-                |mut acc, &i| {
-                    let xi = data.row(i);
-                    let p = self.probabilities(xi);
-                    for (c, &p_c) in p.iter().enumerate() {
-                        let indicator = f64::from(data.y[i] == c as u32);
-                        let coeff = (p_c - indicator) as f32;
-                        let row = &mut acc[c * d..(c + 1) * d];
-                        for (a, x) in row.iter_mut().zip(xi) {
-                            *a += coeff * x;
-                        }
+            .map(|&i| {
+                let xi = data.row(i);
+                let p = self.probabilities(xi);
+                let mut g = vec![0.0f32; k * d];
+                for (c, &p_c) in p.iter().enumerate() {
+                    let indicator = f64::from(data.y[i] == c as u32);
+                    let coeff = (p_c - indicator) as f32;
+                    let row = &mut g[c * d..(c + 1) * d];
+                    for (a, x) in row.iter_mut().zip(xi) {
+                        *a += coeff * x;
                     }
-                    acc
-                },
-            )
+                }
+                g
+            })
             .reduce(
                 || vec![0.0f32; k * d],
                 |mut a, b| {
@@ -232,6 +234,23 @@ mod tests {
 
     fn dataset(seed: u64) -> MulticlassDataset {
         MulticlassDataset::generate(1200, 10, 4, 3.0, &mut SimRng::new(seed))
+    }
+
+    #[test]
+    fn gradient_bit_identical_across_thread_counts() {
+        let d = dataset(7);
+        let mut t = SoftmaxTrainer::new(10, 4, 0.1, 0.9);
+        let mut rng = SimRng::new(8);
+        t.train_epoch(&d, 64, &mut rng);
+        let batch: Vec<usize> = (0..300).collect();
+        let seq = rayon::with_threads(1, || t.gradient(&d, &batch));
+        let par = rayon::with_threads(8, || t.gradient(&d, &batch));
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.to_bits(), p.to_bits());
+        }
+        let e1 = rayon::with_threads(1, || t.evaluate(&d));
+        let e8 = rayon::with_threads(8, || t.evaluate(&d));
+        assert_eq!(e1.to_bits(), e8.to_bits());
     }
 
     #[test]

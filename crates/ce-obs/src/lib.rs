@@ -23,7 +23,7 @@
 //! {"type":"counter","name":"faas.cold_starts","value":12}
 //! {"type":"gauge","name":"storage.s3.dollars","value":0.0875}
 //! {"type":"histogram","name":"faas.queue_wait_s","count":3,"sum":1.5,"min":0.1,"max":0.9,"mean":0.5}
-//! {"type":"summary","name":"serve.latency_ms","count":3,"p50":210.1,"p90":287.3,"p95":287.3,"p99":287.3}
+//! {"type":"summary","name":"serve.latency_ms","count":3,"p50":210.1,"p95":287.3,"p99":287.3}
 //! {"type":"event","at_s":12.5,"name":"stage_done","stage":1,...}
 //! ```
 //!
@@ -444,6 +444,73 @@ impl Registry {
         out
     }
 
+    /// Folds every metric and event from `other` into this registry.
+    ///
+    /// Built for deterministic fan-in: parallel sweeps give each cell a
+    /// private registry, then merge the cells **in input order** on the
+    /// calling thread, so the combined registry is a pure function of
+    /// the cell registries and the merge order — never of scheduling.
+    ///
+    /// Semantics per kind:
+    /// * **counters** — added (exact; `u64`).
+    /// * **gauges** — accumulated (`add`), matching the running-total
+    ///   gauges instrumented code emits. A `set`-style gauge should be
+    ///   read from its cell registry before merging; "last write wins"
+    ///   across cells is not reconstructible from final values.
+    /// * **histograms** — count/sum/min/max and bucket tables combined;
+    ///   quantile tracking is enabled on the target if either side had
+    ///   it.
+    /// * **events** — appended in `other`'s order after the target's.
+    pub fn merge_from(&self, other: &Registry) {
+        for (name, counter) in other.inner.counters.lock().expect("counters lock").iter() {
+            let v = counter.get();
+            if v != 0 {
+                self.counter(name).add(v);
+            }
+        }
+        for (name, gauge) in other.inner.gauges.lock().expect("gauges lock").iter() {
+            let v = gauge.get();
+            if v != 0.0 {
+                self.gauge(name).add(v);
+            }
+        }
+        for (name, histogram) in other
+            .inner
+            .histograms
+            .lock()
+            .expect("histograms lock")
+            .iter()
+        {
+            let theirs = histogram.0.lock().expect("histogram lock").clone();
+            let ours = self.histogram(name);
+            let mut state = ours.0.lock().expect("histogram lock");
+            if theirs.count > 0 {
+                if state.count == 0 {
+                    state.min = theirs.min;
+                    state.max = theirs.max;
+                } else {
+                    state.min = state.min.min(theirs.min);
+                    state.max = state.max.max(theirs.max);
+                }
+                state.count += theirs.count;
+                state.sum += theirs.sum;
+            }
+            if let Some(their_buckets) = theirs.buckets {
+                let buckets = state.buckets.get_or_insert_with(BucketTable::default);
+                buckets.zeros += their_buckets.zeros;
+                for (idx, n) in their_buckets.counts {
+                    *buckets.counts.entry(idx).or_insert(0) += n;
+                }
+            }
+        }
+        let their_events = other.inner.events.lock().expect("events lock").clone();
+        self.inner
+            .events
+            .lock()
+            .expect("events lock")
+            .extend(their_events);
+    }
+
     /// The metrics (no events) as one JSON object keyed by metric name.
     pub fn snapshot(&self) -> Value {
         let mut map = Map::new();
@@ -626,6 +693,72 @@ mod tests {
                 "v={v}: bucket middle {mid} too far"
             );
         }
+    }
+
+    #[test]
+    fn summary_record_shape_matches_module_doc() {
+        // The module doc promises exactly {type,name,count,p50,p95,p99}
+        // for summary lines — no p90. Round-trip the export through the
+        // JSON parser and check the key set, not just a substring.
+        let registry = Registry::new();
+        let h = registry.histogram("serve.latency_ms");
+        h.enable_quantiles();
+        for v in [210.1, 250.0, 287.3] {
+            h.observe(v);
+        }
+        let export = registry.export_jsonl();
+        let summary_line = export
+            .lines()
+            .find(|l| l.contains(r#""type":"summary""#))
+            .expect("summary line present");
+        let parsed: Value = serde_json::from_str(summary_line).expect("valid JSON");
+        let obj = parsed.as_object().expect("object");
+        let mut keys: Vec<&str> = obj.keys().map(String::as_str).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, ["count", "name", "p50", "p95", "p99", "type"]);
+        assert_eq!(obj.get("count").and_then(Value::as_u64), Some(3));
+    }
+
+    #[test]
+    fn merge_from_combines_all_metric_kinds_in_order() {
+        let a = Registry::new();
+        a.counter("n").add(2);
+        a.gauge("dollars").add(1.5);
+        let ha = a.histogram("wait");
+        ha.enable_quantiles();
+        ha.observe(1.0);
+        ha.observe(3.0);
+        a.event(1.0, "first", &[]);
+
+        let b = Registry::new();
+        b.counter("n").add(3);
+        b.counter("only_b").add(1);
+        b.gauge("dollars").add(0.25);
+        let hb = b.histogram("wait");
+        hb.enable_quantiles();
+        hb.observe(2.0);
+        b.event(0.5, "second", &[]);
+
+        let target = Registry::new();
+        target.merge_from(&a);
+        target.merge_from(&b);
+        assert_eq!(target.counter_value("n"), 5);
+        assert_eq!(target.counter_value("only_b"), 1);
+        assert!((target.gauge_value("dollars") - 1.75).abs() < 1e-12);
+        let h = target.histogram("wait");
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 6.0).abs() < 1e-12);
+        assert!(h.p50().is_some(), "bucket tables merged");
+        // Events keep merge order, not timestamp order: cell order is
+        // the deterministic input order.
+        let export = target.export_jsonl();
+        assert!(export.find("first").unwrap() < export.find("second").unwrap());
+
+        // Merging the same cells in the same order is byte-stable.
+        let target2 = Registry::new();
+        target2.merge_from(&a);
+        target2.merge_from(&b);
+        assert_eq!(export, target2.export_jsonl());
     }
 
     #[test]

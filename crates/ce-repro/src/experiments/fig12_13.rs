@@ -30,7 +30,10 @@ fn run_matrix(budget_mode: bool, quick: bool) -> Value {
     let workloads = context::paper_workloads();
     let seeds = context::seeds(quick);
 
-    let cells: Vec<Value> = workloads
+    // Private per-cell registries, merged in cell order after the
+    // parallel sweep, keep the global event stream deterministic at any
+    // thread count.
+    let cells: Vec<(Value, ce_obs::Registry)> = workloads
         .par_iter()
         .flat_map(|w| {
             let constraint = if budget_mode {
@@ -41,6 +44,7 @@ fn run_matrix(budget_mode: bool, quick: bool) -> Value {
             Method::TRAINING
                 .par_iter()
                 .map(|&method| {
+                    let cell_obs = ce_obs::Registry::new();
                     let mut acc = Avg {
                         jct_s: 0.0,
                         cost_usd: 0.0,
@@ -51,7 +55,9 @@ fn run_matrix(budget_mode: bool, quick: bool) -> Value {
                         runs: 0,
                     };
                     for &seed in &seeds {
-                        let job = TrainingJob::new(w.clone(), constraint).with_seed(seed);
+                        let job = TrainingJob::new(w.clone(), constraint)
+                            .with_seed(seed)
+                            .with_obs(&cell_obs);
                         if let Ok(r) = job.run(method) {
                             acc.jct_s += r.jct_s;
                             acc.cost_usd += r.cost_usd;
@@ -63,7 +69,7 @@ fn run_matrix(budget_mode: bool, quick: bool) -> Value {
                         }
                     }
                     let n = f64::from(acc.runs.max(1));
-                    json!({
+                    let cell = json!({
                         "workload": w.label(),
                         "method": method.label(),
                         "jct_s": acc.jct_s / n,
@@ -73,9 +79,17 @@ fn run_matrix(budget_mode: bool, quick: bool) -> Value {
                         "restarts": acc.restarts / n,
                         "violations": acc.violations,
                         "runs": acc.runs,
-                    })
+                    });
+                    (cell, cell_obs)
                 })
                 .collect::<Vec<_>>()
+        })
+        .collect();
+    let cells: Vec<Value> = cells
+        .into_iter()
+        .map(|(cell, obs)| {
+            ce_obs::global().merge_from(&obs);
+            cell
         })
         .collect();
 

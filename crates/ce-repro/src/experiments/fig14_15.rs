@@ -20,16 +20,19 @@ pub fn run_fig14(quick: bool) -> Value {
     let w = Workload::lr_yfcc();
     let unit_budget = context::tuning_budget(&env, &w, sha) / context::BUDGET_SCALE;
 
-    let cells: Vec<Value> = SCALES
+    // Private per-cell registries merged in cell order: see fig9_10.
+    let cells: Vec<(Value, ce_obs::Registry)> = SCALES
         .par_iter()
         .flat_map(|&scale| {
             Method::TUNING
                 .par_iter()
                 .map(|&method| {
+                    let cell_obs = ce_obs::Registry::new();
                     let job =
                         TuningJob::new(w.clone(), sha, Constraint::Budget(unit_budget * scale))
-                            .with_seed(19);
-                    match job.run(method) {
+                            .with_seed(19)
+                            .with_obs(&cell_obs);
+                    let cell = match job.run(method) {
                         Ok(r) => json!({
                             "scale": scale,
                             "method": method.label(),
@@ -41,9 +44,17 @@ pub fn run_fig14(quick: bool) -> Value {
                             "method": method.label(),
                             "error": e.to_string(),
                         }),
-                    }
+                    };
+                    (cell, cell_obs)
                 })
                 .collect::<Vec<_>>()
+        })
+        .collect();
+    let cells: Vec<Value> = cells
+        .into_iter()
+        .map(|(cell, obs)| {
+            ce_obs::global().merge_from(&obs);
+            cell
         })
         .collect();
 
@@ -77,19 +88,22 @@ pub fn run_fig15(quick: bool) -> Value {
     let unit_budget = context::training_budget(&env, &w) / context::BUDGET_SCALE;
     let seeds = context::seeds(quick);
 
-    let cells: Vec<Value> = SCALES
+    // Private per-cell registries merged in cell order: see fig9_10.
+    let cells: Vec<(Value, ce_obs::Registry)> = SCALES
         .par_iter()
         .flat_map(|&scale| {
             Method::TRAINING
                 .par_iter()
                 .map(|&method| {
+                    let cell_obs = ce_obs::Registry::new();
                     let mut jct = 0.0;
                     let mut cost = 0.0;
                     let mut runs = 0u32;
                     for &seed in &seeds {
                         let job =
                             TrainingJob::new(w.clone(), Constraint::Budget(unit_budget * scale))
-                                .with_seed(seed);
+                                .with_seed(seed)
+                                .with_obs(&cell_obs);
                         if let Ok(r) = job.run(method) {
                             jct += r.jct_s;
                             cost += r.cost_usd;
@@ -97,15 +111,23 @@ pub fn run_fig15(quick: bool) -> Value {
                         }
                     }
                     let n = f64::from(runs.max(1));
-                    json!({
+                    let cell = json!({
                         "scale": scale,
                         "method": method.label(),
                         "jct_s": jct / n,
                         "cost_usd": cost / n,
                         "runs": runs,
-                    })
+                    });
+                    (cell, cell_obs)
                 })
                 .collect::<Vec<_>>()
+        })
+        .collect();
+    let cells: Vec<Value> = cells
+        .into_iter()
+        .map(|(cell, obs)| {
+            ce_obs::global().merge_from(&obs);
+            cell
         })
         .collect();
 

@@ -19,7 +19,11 @@ fn run_matrix(budget_mode: bool, quick: bool) -> Value {
     let sha = context::bracket(quick);
     let workloads = context::paper_workloads();
 
-    let cells: Vec<Value> = workloads
+    // Each cell runs against a private registry so concurrent cells
+    // cannot interleave their events in the global sink; the registries
+    // merge below in cell (input) order, which is the same at any
+    // thread count.
+    let cells: Vec<(Value, ce_obs::Registry)> = workloads
         .par_iter()
         .flat_map(|w| {
             let constraint = if budget_mode {
@@ -30,8 +34,11 @@ fn run_matrix(budget_mode: bool, quick: bool) -> Value {
             Method::TUNING
                 .par_iter()
                 .map(|&method| {
-                    let job = TuningJob::new(w.clone(), sha, constraint).with_seed(11);
-                    match job.run(method) {
+                    let cell_obs = ce_obs::Registry::new();
+                    let job = TuningJob::new(w.clone(), sha, constraint)
+                        .with_seed(11)
+                        .with_obs(&cell_obs);
+                    let cell = match job.run(method) {
                         Ok(r) => json!({
                             "workload": w.label(),
                             "method": method.label(),
@@ -46,9 +53,17 @@ fn run_matrix(budget_mode: bool, quick: bool) -> Value {
                             "method": method.label(),
                             "error": e.to_string(),
                         }),
-                    }
+                    };
+                    (cell, cell_obs)
                 })
                 .collect::<Vec<_>>()
+        })
+        .collect();
+    let cells: Vec<Value> = cells
+        .into_iter()
+        .map(|(cell, obs)| {
+            ce_obs::global().merge_from(&obs);
+            cell
         })
         .collect();
 

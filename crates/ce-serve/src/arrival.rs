@@ -187,6 +187,25 @@ pub fn read_arrival_log(text: &str) -> Result<Vec<f64>, String> {
         }
         let rec: ArrivalRecord =
             serde_json::from_str(line).map_err(|e| format!("arrival log line {}: {e:?}", i + 1))?;
+        // The simulator's event heap assumes an ascending, finite
+        // schedule; reject anything else here rather than simulating
+        // nonsense.
+        if !rec.at_s.is_finite() || rec.at_s < 0.0 {
+            return Err(format!(
+                "arrival log line {}: at_s must be a finite timestamp >= 0, got {}",
+                i + 1,
+                rec.at_s
+            ));
+        }
+        if let Some(&prev) = out.last() {
+            if rec.at_s < prev {
+                return Err(format!(
+                    "arrival log line {}: timestamps must be non-decreasing ({} after {prev})",
+                    i + 1,
+                    rec.at_s
+                ));
+            }
+        }
         out.push(rec.at_s);
     }
     Ok(out)
@@ -264,6 +283,19 @@ mod tests {
         // And replaying the trace reproduces the schedule verbatim.
         let replay = ArrivalModel::Trace { arrival_s: back }.generate(100.0, &mut rng());
         assert_eq!(a, replay);
+    }
+
+    #[test]
+    fn arrival_log_rejects_unusable_timestamps() {
+        let err = |log: &str| read_arrival_log(log).expect_err(log);
+        assert!(err("not json").contains("line 1"));
+        assert!(err("{\"at_s\": -1.0}").contains("finite timestamp"));
+        assert!(err("{\"at_s\": 5.0}\n{\"at_s\": 1.0}").contains("non-decreasing"));
+        // Equal timestamps (a burst) are legal.
+        assert_eq!(
+            read_arrival_log("{\"at_s\": 1.0}\n{\"at_s\": 1.0}").unwrap(),
+            vec![1.0, 1.0]
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@ use ce_sim_core::event::EventQueue;
 use ce_sim_core::rng::SimRng;
 use ce_sim_core::time::SimTime;
 use ce_storage::StorageKind;
+use rayon::prelude::*;
 use std::collections::VecDeque;
 
 /// Configuration of one serving run.
@@ -162,6 +163,21 @@ struct ChaosState {
     rng: SimRng,
 }
 
+/// Pre-drawn jitter for one request index.
+///
+/// `SimRng::derive_idx("request", i)` is a pure function of the parent
+/// stream and `i`, so both the cold-path draw sequence (cold-start
+/// jitter, then service jitter) and the warm-path sequence (service
+/// jitter first, on a fresh stream) can be drawn ahead of time — in
+/// parallel across request indices — and are bit-identical to drawing
+/// them lazily inside the event loop.
+#[derive(Clone, Copy)]
+struct RequestJitter {
+    cold: f64,
+    service_cold: f64,
+    service_warm: f64,
+}
+
 /// The request-level serving simulator (see the module docs).
 pub struct ServeSim {
     spec: ServeSpec,
@@ -171,6 +187,7 @@ pub struct ServeSim {
     obs: Registry,
     rng: SimRng,
     arrivals: Vec<f64>,
+    jitter: Vec<RequestJitter>,
     chaos: Option<ChaosState>,
     // Live state during run().
     capacity: u32,
@@ -211,6 +228,7 @@ impl ServeSim {
             obs: Registry::new(),
             rng,
             arrivals,
+            jitter: Vec::new(),
             chaos,
             capacity: 1,
             inflight: 0,
@@ -277,12 +295,11 @@ impl ServeSim {
     fn dispatch(&mut self, q: &mut EventQueue<Ev>, req: u32, arrival: SimTime, now: SimTime) {
         let (fid, cold) = self.pool.acquire_one(self.spec.memory_mb, now);
         let active = self.active_faults(now);
-        let mut rng = self.rng.derive_idx("request", u64::from(req));
+        let jit = self.jitter[req as usize];
         let cold_s = if cold {
             self.tally.cold_starts += 1;
             let spike = active.cold_start_factor.max(1.0);
-            let cold_s =
-                self.spec.cold_start_s * spike * rng.lognormal_jitter(self.spec.cold_start_jitter);
+            let cold_s = self.spec.cold_start_s * spike * jit.cold;
             if let Some(h) = &self.cold_start_h {
                 h.observe(cold_s * 1e3);
             }
@@ -291,7 +308,12 @@ impl ServeSim {
             self.tally.warm_starts += 1;
             0.0
         };
-        let service_s = self.spec.service_s * rng.lognormal_jitter(self.spec.service_jitter);
+        let service_jit = if cold {
+            jit.service_cold
+        } else {
+            jit.service_warm
+        };
+        let service_s = self.spec.service_s * service_jit;
         let mut busy_s = cold_s + service_s;
         let mut failed = false;
         // Mid-request crash: the instance dies at a uniform fraction of
@@ -390,6 +412,28 @@ impl ServeSim {
         if self.arrivals.is_empty() {
             return self.finalize(SimTime::ZERO);
         }
+        // Pre-draw every request's jitter pair off the sequential event
+        // loop. Each index derives its own stream, so the batch shards
+        // freely across threads; see [`RequestJitter`] for why the
+        // values are bit-identical to lazy in-loop draws.
+        let base = &self.rng;
+        let cold_sigma = self.spec.cold_start_jitter;
+        let service_sigma = self.spec.service_jitter;
+        self.jitter = (0..self.arrivals.len() as u64)
+            .into_par_iter()
+            .map(|req| {
+                let mut cold_path = base.derive_idx("request", req);
+                let cold = cold_path.lognormal_jitter(cold_sigma);
+                let service_cold = cold_path.lognormal_jitter(service_sigma);
+                let mut warm_path = base.derive_idx("request", req);
+                let service_warm = warm_path.lognormal_jitter(service_sigma);
+                RequestJitter {
+                    cold,
+                    service_cold,
+                    service_warm,
+                }
+            })
+            .collect();
         let latency_h = self.obs.histogram("serve.latency_ms");
         latency_h.enable_quantiles();
         let queue_wait_h = self.obs.histogram("serve.queue_wait_ms");

@@ -541,11 +541,12 @@ fn cmd_serve(opts: &Opts) {
         std::process::exit(2);
     };
     let keepalive_name = opts.keepalive.as_deref().unwrap_or("fixed");
-    let Some(keep_alive) = ce_scaling::faas::keep_alive_by_name(keepalive_name) else {
-        eprintln!(
-            "unknown keep-alive policy: {keepalive_name} (fixed[:<ttl-s>]|adaptive|histogram)"
-        );
-        std::process::exit(2);
+    let keep_alive = match ce_scaling::faas::parse_keep_alive(keepalive_name) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
     };
     let mut spec = ServeSpec::new(arrivals, duration, opts.seed.unwrap_or(42))
         .with_slo_ms(opts.slo_ms.unwrap_or(500.0));

@@ -1,0 +1,136 @@
+//! Bad user input must exit non-zero with a one-line diagnostic, never
+//! a panic: malformed trace files, bogus keep-alive TTLs, unwritable
+//! output paths. A panic in these paths is a bug (and `RUST_BACKTRACE`
+//! noise for the user), so every assertion here checks stderr for the
+//! panic marker too.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run(args: &[&str]) -> (Option<i32>, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ce-scaling"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// Asserts the invocation fails with `code`, prints something
+/// containing `needle`, and does not panic.
+fn assert_graceful(args: &[&str], code: i32, needle: &str) {
+    let (status, stderr) = run(args);
+    assert_eq!(status, Some(code), "ce-scaling {args:?}:\n{stderr}");
+    assert!(
+        !stderr.contains("panicked"),
+        "ce-scaling {args:?} panicked:\n{stderr}"
+    );
+    assert!(
+        stderr.contains(needle),
+        "ce-scaling {args:?}: stderr lacks {needle:?}:\n{stderr}"
+    );
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    p.push(name);
+    p
+}
+
+#[test]
+fn missing_arrival_trace_is_a_clean_error() {
+    assert_graceful(
+        &["serve", "--arrivals", "trace:/no/such/arrivals.jsonl"],
+        2,
+        "cannot read arrival log",
+    );
+}
+
+#[test]
+fn malformed_arrival_trace_is_a_clean_error() {
+    let path = tmp("malformed_arrivals.jsonl");
+    std::fs::write(&path, "{\"at_s\": 1.0}\nnot json at all\n").unwrap();
+    let arg = format!("trace:{}", path.display());
+    assert_graceful(&["serve", "--arrivals", &arg], 2, "bad arrival log");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn out_of_order_arrival_trace_is_a_clean_error() {
+    let path = tmp("unsorted_arrivals.jsonl");
+    std::fs::write(&path, "{\"at_s\": 5.0}\n{\"at_s\": 1.0}\n").unwrap();
+    let arg = format!("trace:{}", path.display());
+    assert_graceful(&["serve", "--arrivals", &arg], 2, "bad arrival log");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bogus_keep_alive_ttls_are_typed_errors() {
+    for (spec, why) in [
+        ("fixed:-3", "negative"),
+        ("fixed:NaN", "NaN"),
+        ("fixed:inf", "infinite"),
+        ("fixed:ten", "not a number"),
+    ] {
+        assert_graceful(&["serve", "--duration", "1", "--keepalive", spec], 2, why);
+    }
+    assert_graceful(
+        &["serve", "--duration", "1", "--keepalive", "lru"],
+        2,
+        "unknown keep-alive policy",
+    );
+}
+
+#[test]
+fn unwritable_metrics_path_is_a_clean_error() {
+    assert_graceful(
+        &[
+            "serve",
+            "--duration",
+            "10",
+            "--metrics",
+            "/no/such/dir/metrics.jsonl",
+        ],
+        1,
+        "cannot write",
+    );
+}
+
+#[test]
+fn unwritable_arrival_log_path_is_a_clean_error() {
+    assert_graceful(
+        &[
+            "serve",
+            "--duration",
+            "10",
+            "--arrival-log",
+            "/no/such/dir/arrivals.jsonl",
+        ],
+        1,
+        "cannot write",
+    );
+}
+
+#[test]
+fn unknown_flags_and_values_are_usage_errors() {
+    assert_graceful(&["serve", "--no-such-flag"], 2, "unknown option");
+    assert_graceful(&["serve", "--rps"], 2, "missing value");
+    assert_graceful(&["serve", "--rps", "fast"], 2, "invalid value");
+    assert_graceful(&["cluster", "--policy", "magic"], 2, "unknown policy");
+    assert_graceful(&["cluster", "--engine", "quantum"], 2, "unknown engine");
+    assert_graceful(&["serve", "--chaos", "gremlins"], 2, "invalid --chaos");
+}
+
+#[test]
+fn run_config_errors_are_clean() {
+    assert_graceful(&["run-config"], 2, "usage");
+    assert_graceful(&["run-config", "/no/such/scenario.json"], 2, "cannot read");
+    let path = tmp("bad_scenario.json");
+    std::fs::write(&path, "{ definitely not a scenario").unwrap();
+    let (status, stderr) = run(&["run-config", path.to_str().unwrap()]);
+    assert_eq!(status, Some(2), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    std::fs::remove_file(&path).ok();
+}

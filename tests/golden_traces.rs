@@ -33,9 +33,18 @@ fn fixture_path(scenario: &str, seed: u64) -> PathBuf {
 /// Runs the binary with `args` plus `--metrics <tmp>` and returns the
 /// metrics bytes.
 fn run_metrics(args: &[String], tag: &str) -> Vec<u8> {
+    run_metrics_with_threads(args, tag, None)
+}
+
+/// Same, pinning the parallel engine's worker count via `CE_THREADS`.
+fn run_metrics_with_threads(args: &[String], tag: &str, threads: Option<usize>) -> Vec<u8> {
     let mut path = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
     path.push(format!("golden_{tag}.jsonl"));
-    let out = Command::new(env!("CARGO_BIN_EXE_ce-scaling"))
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ce-scaling"));
+    if let Some(n) = threads {
+        cmd.env("CE_THREADS", n.to_string());
+    }
+    let out = cmd
         .args(args)
         .arg("--metrics")
         .arg(&path)
@@ -176,6 +185,47 @@ fn cluster_traces_match_golden_fixtures_on_both_engines() {
             &format!("cluster_naive_{seed}"),
         );
         check_golden("cluster", seed, &naive);
+    }
+}
+
+/// The determinism contract of the parallel engine: the committed
+/// fixtures — authored before the engine existed — must reproduce
+/// byte-for-byte at *any* worker count, not just sequentially. One seed
+/// per scenario keeps the sweep affordable; the seq ≡ par property test
+/// in `properties.rs` covers randomized configurations.
+#[test]
+fn golden_fixtures_are_thread_count_invariant() {
+    const SEED: u64 = 42;
+    for threads in [1, 2, 8] {
+        let tag = |s: &str| format!("{s}_{SEED}_t{threads}");
+        check_golden(
+            "train",
+            SEED,
+            &run_metrics_with_threads(&train_args(SEED), &tag("train"), Some(threads)),
+        );
+        check_golden(
+            "serve",
+            SEED,
+            &run_metrics_with_threads(&serve_args(SEED), &tag("serve"), Some(threads)),
+        );
+        check_golden(
+            "cluster",
+            SEED,
+            &run_metrics_with_threads(
+                &cluster_args(SEED, false, "heap"),
+                &tag("cluster"),
+                Some(threads),
+            ),
+        );
+        check_golden(
+            "cluster_chaos",
+            SEED,
+            &run_metrics_with_threads(
+                &cluster_args(SEED, true, "heap"),
+                &tag("cluster_chaos"),
+                Some(threads),
+            ),
+        );
     }
 }
 

@@ -525,3 +525,103 @@ fn fleet_engines_are_differentially_identical() {
         assert_eq!(heap_jsonl, naive_jsonl, "metrics diverge: {label}");
     });
 }
+
+/// The parallel engine's determinism contract, extended from the PR 4
+/// differential-oracle pattern: over random configurations — policy ×
+/// chaos × fleet engine for clusters, arrival model × autoscaler ×
+/// keep-alive for serving — a run at 1 worker thread and a run at 8
+/// must produce identical reports and byte-identical metric exports.
+#[test]
+fn sequential_and_parallel_runs_are_bit_identical() {
+    use ce_scaling::chaos::FaultSchedule;
+    use ce_scaling::cluster::{policy_by_name, ClusterSim, ClusterSpec, FleetEngine, FleetSpec};
+    use ce_scaling::obs::Registry;
+    use ce_scaling::workflow::RecoveryPolicy;
+
+    let chaos_pool = [
+        "",
+        "crash:0.1@0..inf",
+        "outage:s3@300..900;crash:0.05@0..inf",
+    ];
+    let policies = ["fifo", "edf", "cost-greedy", "reject-on-overload"];
+    prop("seq_par_cluster", 3, |rng| {
+        let jobs = 6 + rng.gen_index(12);
+        let rate = rng.uniform_range(5.0, 40.0);
+        let seed = rng.next_u64();
+        let quota = 20 + rng.gen_index(100) as u32;
+        let policy = policies[rng.gen_index(policies.len())];
+        let chaos = chaos_pool[rng.gen_index(chaos_pool.len())];
+        let engine = [FleetEngine::Heap, FleetEngine::Naive][rng.gen_index(2)];
+
+        let run = || {
+            let mut spec = ClusterSpec::new(FleetSpec::poisson(jobs, rate, seed), quota)
+                .with_job_cap(6)
+                .with_recovery(RecoveryPolicy::CheckpointResume)
+                .with_checkpoint_every(5)
+                .with_engine(engine);
+            if !chaos.is_empty() {
+                spec = spec.with_chaos(FaultSchedule::parse(chaos).expect("pool specs parse"));
+            }
+            let registry = Registry::new();
+            let report = ClusterSim::new(spec, policy_by_name(policy).expect("known policy"))
+                .with_obs(&registry)
+                .run();
+            (report, registry.export_jsonl())
+        };
+        let (seq_report, seq_jsonl) = rayon::with_threads(1, run);
+        let (par_report, par_jsonl) = rayon::with_threads(8, run);
+        let label = format!("jobs={jobs} policy={policy} chaos=`{chaos}` engine={engine:?}");
+        assert_eq!(
+            seq_report, par_report,
+            "reports diverge at 8 threads: {label}"
+        );
+        assert_eq!(
+            seq_jsonl, par_jsonl,
+            "metrics diverge at 8 threads: {label}"
+        );
+    });
+
+    use ce_scaling::serve::{autoscaler_by_name, ArrivalModel, ServeSim, ServeSpec};
+    let autoscalers = ["target", "prewarm", "fixed:32"];
+    let keep_alives = ["adaptive", "histogram", "fixed:120"];
+    prop("seq_par_serve", 3, |rng| {
+        let rps = rng.uniform_range(10.0, 40.0);
+        let duration = rng.uniform_range(120.0, 400.0);
+        let seed = rng.next_u64();
+        let arrivals = match rng.gen_index(3) {
+            0 => ArrivalModel::Poisson { rps },
+            1 => ArrivalModel::Diurnal {
+                base_rps: rps,
+                amplitude: 0.8,
+                period_s: duration / 2.0,
+            },
+            _ => ArrivalModel::Bursty {
+                low_rps: rps / 4.0,
+                high_rps: rps * 4.0,
+                mean_dwell_s: 60.0,
+            },
+        };
+        let autoscaler = autoscalers[rng.gen_index(autoscalers.len())];
+        let keep_alive = keep_alives[rng.gen_index(keep_alives.len())];
+
+        let run = || {
+            let registry = Registry::new();
+            let sim = ServeSim::new(
+                ServeSpec::new(arrivals.clone(), duration, seed).with_slo_ms(800.0),
+                autoscaler_by_name(autoscaler).expect("known autoscaler"),
+                ce_scaling::faas::keep_alive_by_name(keep_alive).expect("known keep-alive"),
+            )
+            .with_obs(&registry);
+            let report = sim.run();
+            (
+                report.completed,
+                report.dollars.to_bits(),
+                registry.export_jsonl(),
+            )
+        };
+        let seq = rayon::with_threads(1, run);
+        let par = rayon::with_threads(8, run);
+        let label = format!("autoscaler={autoscaler} keep_alive={keep_alive}");
+        assert_eq!(seq, par, "serve run diverges at 8 threads: {label}");
+    });
+}

@@ -1,46 +1,119 @@
-//! Sequential stand-in for rayon's parallel-iterator API.
+//! Deterministic parallel stand-in for rayon's parallel-iterator API.
 //!
 //! The offline build cannot fetch rayon, so this shim exposes the same
 //! combinator surface (`par_iter`, `into_par_iter`, `map`, `flat_map`,
 //! `fold`/`reduce` with rayon's identity-closure signatures, `sum`,
-//! `collect`, ...) executed sequentially. That trade is deliberate beyond
-//! the build constraint: sequential execution makes every reduction order —
-//! including float accumulation — deterministic, which the observability
-//! layer's byte-identical-export guarantee relies on.
+//! `collect`, ...) over a sharded executor built from `std::thread` +
+//! channels. Unlike real rayon, the output is **bit-identical at every
+//! thread count** — including float accumulation — which the
+//! observability layer's byte-identical-export guarantee relies on.
+//!
+//! # How determinism survives parallelism
+//!
+//! Only the element-wise stages (`map`, `filter`, `filter_map`,
+//! `flat_map`) run in parallel. The source is partitioned into
+//! contiguous, fixed-order shards; each worker runs the staged closures
+//! over its shard and the results are reassembled **in shard order**
+//! (see [`pool::run_sharded`]). Element-wise stages preserve relative
+//! order within a shard, so the merged sequence is exactly the sequence
+//! the sequential shim would produce.
+//!
+//! Every order-sensitive terminal step — `fold`, `reduce`, `sum`,
+//! `for_each`, `min`/`max`, `collect` — then runs sequentially on the
+//! calling thread over that merged sequence. Floating-point reductions
+//! therefore see the same operands in the same association order no
+//! matter how many workers ran the map stages, so `CE_THREADS=8` is
+//! byte-for-byte equal to `CE_THREADS=1`, which is byte-for-byte equal
+//! to the old sequential shim.
+//!
+//! Thread count comes from `--threads`/[`set_threads`], `CE_THREADS`,
+//! or `available_parallelism()`, with a thread-local [`with_threads`]
+//! override for in-process A/B tests; see [`pool`].
 
 use std::cmp::Ordering;
+use std::sync::Arc;
+
+pub mod pool;
+
+pub use pool::{current_threads, set_threads, with_threads};
 
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
 }
 
-/// The "parallel" iterator adapter: a newtype over a std iterator.
+/// A staged computation: a finite source plus element-wise stages, ready
+/// to be split into contiguous shards for parallel execution.
 ///
-/// A distinct type (rather than a re-export of `Iterator`) is required
-/// because rayon's `fold`/`reduce` take identity *closures*, which would
-/// collide with `Iterator::fold`'s seed-value signature.
-pub struct ParIter<I>(I);
+/// `split` must partition the source into `shards` contiguous pieces in
+/// source order; concatenating the shard iterators' outputs must equal
+/// running the whole pipeline sequentially. Every adapter in this module
+/// preserves that invariant structurally (each shard applies the same
+/// pure closure to a contiguous slice of its input).
+pub trait Pipeline: Sized {
+    type Item;
+    type Shard: Iterator<Item = Self::Item>;
+    /// Upper bound on the number of source elements (used only to pick a
+    /// shard count; correctness never depends on it).
+    fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Partitions into at most `shards` contiguous, in-order shards.
+    fn split(self, shards: usize) -> Vec<Self::Shard>;
+}
+
+/// The universal source: an owned, already-ordered `Vec`.
+pub struct VecSource<T>(Vec<T>);
+
+impl<T> Pipeline for VecSource<T> {
+    type Item = T;
+    type Shard = std::vec::IntoIter<T>;
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn split(mut self, shards: usize) -> Vec<Self::Shard> {
+        let len = self.0.len();
+        let n = shards.max(1).min(len.max(1));
+        // Balanced contiguous partition: the first `len % n` shards get
+        // one extra element. Boundaries depend only on (len, n), and the
+        // merge step erases even that dependence from the output.
+        let base = len / n;
+        let extra = len % n;
+        let mut starts = Vec::with_capacity(n);
+        let mut at = 0usize;
+        for i in 0..n {
+            starts.push(at);
+            at += base + usize::from(i < extra);
+        }
+        let mut parts: Vec<Vec<T>> = Vec::with_capacity(n);
+        for &start in starts.iter().skip(1).rev() {
+            parts.push(self.0.split_off(start));
+        }
+        parts.push(self.0);
+        parts.reverse();
+        parts.into_iter().map(Vec::into_iter).collect()
+    }
+}
 
 /// By-value conversion, mirroring `rayon::iter::IntoParallelIterator`.
 pub trait IntoParallelIterator {
-    type Iter: Iterator<Item = Self::Item>;
     type Item;
-    fn into_par_iter(self) -> ParIter<Self::Iter>;
+    fn into_par_iter(self) -> ParIter<VecSource<Self::Item>>;
 }
 
 impl<T: IntoIterator> IntoParallelIterator for T {
-    type Iter = T::IntoIter;
     type Item = T::Item;
-    fn into_par_iter(self) -> ParIter<T::IntoIter> {
-        ParIter(self.into_iter())
+    fn into_par_iter(self) -> ParIter<VecSource<T::Item>> {
+        ParIter(VecSource(self.into_iter().collect()))
     }
 }
 
 /// By-reference conversion, mirroring `rayon::iter::IntoParallelRefIterator`.
 pub trait IntoParallelRefIterator<'data> {
-    type Iter: Iterator<Item = Self::Item>;
     type Item;
-    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+    fn par_iter(&'data self) -> ParIter<VecSource<Self::Item>>;
 }
 
 impl<'data, T: ?Sized> IntoParallelRefIterator<'data> for T
@@ -48,110 +121,389 @@ where
     &'data T: IntoIterator,
     T: 'data,
 {
-    type Iter = <&'data T as IntoIterator>::IntoIter;
     type Item = <&'data T as IntoIterator>::Item;
-    fn par_iter(&'data self) -> ParIter<Self::Iter> {
-        ParIter(self.into_iter())
+    fn par_iter(&'data self) -> ParIter<VecSource<Self::Item>> {
+        ParIter(VecSource(self.into_iter().collect()))
     }
 }
 
-impl<I: Iterator> ParIter<I> {
-    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-        ParIter(self.0.map(f))
+// ---------------------------------------------------------------------
+// Element-wise stage adapters. Closures are shared across shards via
+// Arc, hence the Fn + Send + Sync bounds: a stage closure may run on any
+// worker, possibly on several at once.
+// ---------------------------------------------------------------------
+
+pub struct MapPipe<P, F> {
+    inner: P,
+    f: Arc<F>,
+}
+
+pub struct MapShard<S, F> {
+    inner: S,
+    f: Arc<F>,
+}
+
+impl<P, U, F> Pipeline for MapPipe<P, F>
+where
+    P: Pipeline,
+    F: Fn(P::Item) -> U + Send + Sync,
+{
+    type Item = U;
+    type Shard = MapShard<P::Shard, F>;
+
+    fn len(&self) -> usize {
+        self.inner.len()
     }
 
-    pub fn flat_map<U: IntoIterator, F: FnMut(I::Item) -> U>(
-        self,
-        f: F,
-    ) -> ParIter<std::iter::FlatMap<I, U, F>> {
-        ParIter(self.0.flat_map(f))
+    fn split(self, shards: usize) -> Vec<Self::Shard> {
+        let f = self.f;
+        self.inner
+            .split(shards)
+            .into_iter()
+            .map(|s| MapShard {
+                inner: s,
+                f: Arc::clone(&f),
+            })
+            .collect()
+    }
+}
+
+impl<S: Iterator, U, F: Fn(S::Item) -> U> Iterator for MapShard<S, F> {
+    type Item = U;
+    fn next(&mut self) -> Option<U> {
+        self.inner.next().map(|x| (self.f)(x))
+    }
+}
+
+pub struct FilterPipe<P, F> {
+    inner: P,
+    f: Arc<F>,
+}
+
+pub struct FilterShard<S, F> {
+    inner: S,
+    f: Arc<F>,
+}
+
+impl<P, F> Pipeline for FilterPipe<P, F>
+where
+    P: Pipeline,
+    F: Fn(&P::Item) -> bool + Send + Sync,
+{
+    type Item = P::Item;
+    type Shard = FilterShard<P::Shard, F>;
+
+    fn len(&self) -> usize {
+        self.inner.len()
     }
 
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
-        ParIter(self.0.filter(f))
+    fn split(self, shards: usize) -> Vec<Self::Shard> {
+        let f = self.f;
+        self.inner
+            .split(shards)
+            .into_iter()
+            .map(|s| FilterShard {
+                inner: s,
+                f: Arc::clone(&f),
+            })
+            .collect()
+    }
+}
+
+impl<S: Iterator, F: Fn(&S::Item) -> bool> Iterator for FilterShard<S, F> {
+    type Item = S::Item;
+    fn next(&mut self) -> Option<S::Item> {
+        self.inner.by_ref().find(|x| (self.f)(x))
+    }
+}
+
+pub struct FilterMapPipe<P, F> {
+    inner: P,
+    f: Arc<F>,
+}
+
+pub struct FilterMapShard<S, F> {
+    inner: S,
+    f: Arc<F>,
+}
+
+impl<P, U, F> Pipeline for FilterMapPipe<P, F>
+where
+    P: Pipeline,
+    F: Fn(P::Item) -> Option<U> + Send + Sync,
+{
+    type Item = U;
+    type Shard = FilterMapShard<P::Shard, F>;
+
+    fn len(&self) -> usize {
+        self.inner.len()
     }
 
-    pub fn filter_map<U, F: FnMut(I::Item) -> Option<U>>(
-        self,
-        f: F,
-    ) -> ParIter<std::iter::FilterMap<I, F>> {
-        ParIter(self.0.filter_map(f))
+    fn split(self, shards: usize) -> Vec<Self::Shard> {
+        let f = self.f;
+        self.inner
+            .split(shards)
+            .into_iter()
+            .map(|s| FilterMapShard {
+                inner: s,
+                f: Arc::clone(&f),
+            })
+            .collect()
+    }
+}
+
+impl<S: Iterator, U, F: Fn(S::Item) -> Option<U>> Iterator for FilterMapShard<S, F> {
+    type Item = U;
+    fn next(&mut self) -> Option<U> {
+        for x in self.inner.by_ref() {
+            if let Some(y) = (self.f)(x) {
+                return Some(y);
+            }
+        }
+        None
+    }
+}
+
+pub struct FlatMapPipe<P, F> {
+    inner: P,
+    f: Arc<F>,
+}
+
+pub struct FlatMapShard<S, F, U: IntoIterator> {
+    inner: S,
+    f: Arc<F>,
+    cur: Option<U::IntoIter>,
+}
+
+impl<P, U, F> Pipeline for FlatMapPipe<P, F>
+where
+    P: Pipeline,
+    U: IntoIterator,
+    F: Fn(P::Item) -> U + Send + Sync,
+{
+    type Item = U::Item;
+    type Shard = FlatMapShard<P::Shard, F, U>;
+
+    fn len(&self) -> usize {
+        self.inner.len()
     }
 
-    /// Rayon-style fold: seeds with `identity()` and folds every item into
-    /// one accumulator, yielding a single-item iterator (rayon yields one
-    /// accumulator per split; sequentially there is exactly one split).
-    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    fn split(self, shards: usize) -> Vec<Self::Shard> {
+        let f = self.f;
+        self.inner
+            .split(shards)
+            .into_iter()
+            .map(|s| FlatMapShard {
+                inner: s,
+                f: Arc::clone(&f),
+                cur: None,
+            })
+            .collect()
+    }
+}
+
+impl<S: Iterator, U: IntoIterator, F: Fn(S::Item) -> U> Iterator for FlatMapShard<S, F, U> {
+    type Item = U::Item;
+    fn next(&mut self) -> Option<U::Item> {
+        loop {
+            if let Some(cur) = &mut self.cur {
+                if let Some(x) = cur.next() {
+                    return Some(x);
+                }
+            }
+            match self.inner.next() {
+                Some(v) => self.cur = Some((self.f)(v).into_iter()),
+                None => return None,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution: parallel map stages, sequential order-preserving terminals.
+// ---------------------------------------------------------------------
+
+/// The pipeline's output sequence: either the lazy single-shard iterator
+/// (sequential path, identical to the pre-parallel shim, including
+/// short-circuit behaviour of `any`/`all`) or the merged, order-restored
+/// items from the worker pool.
+enum Items<P: Pipeline> {
+    Seq(P::Shard),
+    Par(std::vec::IntoIter<P::Item>),
+}
+
+impl<P: Pipeline> Iterator for Items<P> {
+    type Item = P::Item;
+    fn next(&mut self) -> Option<P::Item> {
+        match self {
+            Items::Seq(s) => s.next(),
+            Items::Par(v) => v.next(),
+        }
+    }
+}
+
+/// The "parallel" iterator adapter over a staged [`Pipeline`].
+///
+/// A distinct type (rather than a re-export of `Iterator`) is required
+/// because rayon's `fold`/`reduce` take identity *closures*, which would
+/// collide with `Iterator::fold`'s seed-value signature.
+pub struct ParIter<P>(P);
+
+impl<P: Pipeline> ParIter<P>
+where
+    P::Shard: Send,
+    P::Item: Send,
+{
+    /// Runs the staged stages — in parallel when the resolved thread
+    /// count and input size warrant it — and returns the output sequence
+    /// in canonical (source) order.
+    fn run(self) -> Items<P> {
+        let threads = pool::current_threads();
+        let len = self.0.len();
+        if threads <= 1 || len < 2 {
+            let mut shards = self.0.split(1);
+            let only = shards.pop().expect("split(1) yields one shard");
+            debug_assert!(shards.is_empty());
+            Items::Seq(only)
+        } else {
+            // More shards than workers keeps the pool busy when per-item
+            // cost is skewed; boundaries never affect output order.
+            let shard_count = len.min(threads.saturating_mul(4));
+            let parts = pool::run_sharded(self.0.split(shard_count), threads);
+            let mut merged = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+            for part in parts {
+                merged.extend(part);
+            }
+            Items::Par(merged.into_iter())
+        }
+    }
+
+    pub fn map<U, F>(self, f: F) -> ParIter<MapPipe<P, F>>
+    where
+        F: Fn(P::Item) -> U + Send + Sync,
+    {
+        ParIter(MapPipe {
+            inner: self.0,
+            f: Arc::new(f),
+        })
+    }
+
+    pub fn flat_map<U, F>(self, f: F) -> ParIter<FlatMapPipe<P, F>>
+    where
+        U: IntoIterator,
+        F: Fn(P::Item) -> U + Send + Sync,
+    {
+        ParIter(FlatMapPipe {
+            inner: self.0,
+            f: Arc::new(f),
+        })
+    }
+
+    pub fn filter<F>(self, f: F) -> ParIter<FilterPipe<P, F>>
+    where
+        F: Fn(&P::Item) -> bool + Send + Sync,
+    {
+        ParIter(FilterPipe {
+            inner: self.0,
+            f: Arc::new(f),
+        })
+    }
+
+    pub fn filter_map<U, F>(self, f: F) -> ParIter<FilterMapPipe<P, F>>
+    where
+        F: Fn(P::Item) -> Option<U> + Send + Sync,
+    {
+        ParIter(FilterMapPipe {
+            inner: self.0,
+            f: Arc::new(f),
+        })
+    }
+
+    /// Rayon-style fold: runs the staged stages (in parallel), then
+    /// seeds with `identity()` and folds every item — in canonical
+    /// order, on the calling thread — into one accumulator, yielding a
+    /// single-item pipeline. Sequential association makes float
+    /// accumulation bit-identical at any thread count.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<VecSource<T>>
     where
         ID: Fn() -> T,
-        F: FnMut(T, I::Item) -> T,
+        F: FnMut(T, P::Item) -> T,
     {
-        ParIter(std::iter::once(self.0.fold(identity(), fold_op)))
+        ParIter(VecSource(vec![self.run().fold(identity(), fold_op)]))
     }
 
-    /// Rayon-style reduce: folds items onto `identity()`.
-    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I::Item
+    /// Rayon-style reduce: folds the canonical-order items onto
+    /// `identity()` on the calling thread.
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> P::Item
     where
-        ID: Fn() -> I::Item,
-        F: FnMut(I::Item, I::Item) -> I::Item,
+        ID: Fn() -> P::Item,
+        F: FnMut(P::Item, P::Item) -> P::Item,
     {
-        self.0.fold(identity(), op)
+        self.run().fold(identity(), op)
     }
 
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
+    pub fn for_each<F: FnMut(P::Item)>(self, f: F) {
+        self.run().for_each(f)
     }
 
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
+    pub fn sum<S: std::iter::Sum<P::Item>>(self) -> S {
+        self.run().sum()
     }
 
     pub fn count(self) -> usize {
-        self.0.count()
+        self.run().count()
     }
 
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
+    pub fn collect<C: FromIterator<P::Item>>(self) -> C {
+        self.run().collect()
     }
 
-    pub fn max_by<F: FnMut(&I::Item, &I::Item) -> Ordering>(self, f: F) -> Option<I::Item> {
-        self.0.max_by(f)
+    pub fn max_by<F: FnMut(&P::Item, &P::Item) -> Ordering>(self, f: F) -> Option<P::Item> {
+        self.run().max_by(f)
     }
 
-    pub fn min_by<F: FnMut(&I::Item, &I::Item) -> Ordering>(self, f: F) -> Option<I::Item> {
-        self.0.min_by(f)
+    pub fn min_by<F: FnMut(&P::Item, &P::Item) -> Ordering>(self, f: F) -> Option<P::Item> {
+        self.run().min_by(f)
     }
 
-    pub fn max_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
-        self.0.max_by_key(f)
+    pub fn max_by_key<K: Ord, F: FnMut(&P::Item) -> K>(self, f: F) -> Option<P::Item> {
+        self.run().max_by_key(f)
     }
 
-    pub fn min_by_key<K: Ord, F: FnMut(&I::Item) -> K>(self, f: F) -> Option<I::Item> {
-        self.0.min_by_key(f)
+    pub fn min_by_key<K: Ord, F: FnMut(&P::Item) -> K>(self, f: F) -> Option<P::Item> {
+        self.run().min_by_key(f)
     }
 
-    pub fn any<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
-        let mut it = self.0;
-        it.any(f)
+    pub fn any<F: FnMut(P::Item) -> bool>(self, f: F) -> bool {
+        self.run().any(f)
     }
 
-    pub fn all<F: FnMut(I::Item) -> bool>(self, f: F) -> bool {
-        let mut it = self.0;
-        it.all(f)
+    pub fn all<F: FnMut(P::Item) -> bool>(self, f: F) -> bool {
+        self.run().all(f)
     }
 
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-        ParIter(self.0.enumerate())
+    /// Indexes items in canonical order. Materializes the pipeline (the
+    /// index is inherently a global, order-sensitive property), but
+    /// stages chained *after* `enumerate` still parallelize.
+    pub fn enumerate(self) -> ParIter<VecSource<(usize, P::Item)>> {
+        ParIter(VecSource(self.run().enumerate().collect()))
     }
 
-    pub fn zip<J: IntoParallelIterator>(self, other: J) -> ParIter<std::iter::Zip<I, J::Iter>> {
-        ParIter(self.0.zip(other.into_par_iter().0))
+    /// Pairs items positionally with `other`, both in canonical order.
+    /// Materializes both sides; downstream stages still parallelize.
+    pub fn zip<J>(self, other: J) -> ParIter<VecSource<(P::Item, J::Item)>>
+    where
+        J: IntoParallelIterator,
+    {
+        let rhs = other.into_par_iter().0 .0;
+        ParIter(VecSource(self.run().zip(rhs).collect()))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{pool, with_threads};
 
     #[test]
     fn fold_reduce_matches_sequential() {
@@ -169,5 +521,139 @@ mod tests {
         assert_eq!(squares, vec![0, 1, 4, 9, 16]);
         let n: usize = (0..10usize).into_par_iter().filter(|&i| i % 2 == 0).count();
         assert_eq!(n, 5);
+    }
+
+    /// Float accumulation is non-associative, so this only passes if the
+    /// parallel path reduces in exactly the sequential association order.
+    #[test]
+    fn float_sum_bit_identical_across_thread_counts() {
+        let data: Vec<f64> = (0..10_000)
+            .map(|i| ((i as f64) * 0.7312).sin() * 1e-3 + 1.0)
+            .collect();
+        let seq: f64 = with_threads(1, || data.par_iter().map(|&x| x * x).sum());
+        for threads in [2, 3, 8, 17] {
+            let par: f64 = with_threads(threads, || data.par_iter().map(|&x| x * x).sum());
+            assert_eq!(
+                seq.to_bits(),
+                par.to_bits(),
+                "sum diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_reduce_bit_identical_across_thread_counts() {
+        let data: Vec<f32> = (0..5_000).map(|i| (i as f32).sqrt() * 0.01).collect();
+        let run = || -> f32 {
+            data.par_iter()
+                .map(|&x| x * 1.000_1)
+                .fold(|| 0.0f32, |acc, x| acc + x)
+                .reduce(|| 0.0f32, |a, b| a + b)
+        };
+        let seq = with_threads(1, run);
+        let par = with_threads(8, run);
+        assert_eq!(seq.to_bits(), par.to_bits());
+    }
+
+    #[test]
+    fn ordering_preserved_by_parallel_map_filter_flat_map() {
+        let run = || -> Vec<usize> {
+            (0..1_000usize)
+                .into_par_iter()
+                .map(|i| i * 3)
+                .filter(|&x| x % 2 == 0)
+                .flat_map(|x| vec![x, x + 1])
+                .collect()
+        };
+        let seq = with_threads(1, run);
+        for threads in [2, 5, 8] {
+            assert_eq!(
+                seq,
+                with_threads(threads, run),
+                "order at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn for_each_observes_canonical_order() {
+        let run = || {
+            let mut seen = Vec::new();
+            (0..500usize)
+                .into_par_iter()
+                .map(|i| i * i)
+                .for_each(|x| seen.push(x));
+            seen
+        };
+        assert_eq!(with_threads(1, run), with_threads(8, run));
+    }
+
+    #[test]
+    fn enumerate_and_zip_are_canonical() {
+        let words = ["a", "b", "c", "d", "e", "f", "g", "h"];
+        let run = || -> Vec<(usize, String)> {
+            words
+                .par_iter()
+                .map(|w| w.to_uppercase())
+                .enumerate()
+                .map(|(i, w)| (i * 2, w))
+                .collect()
+        };
+        assert_eq!(with_threads(1, run), with_threads(4, run));
+        let zipped: Vec<(usize, usize)> = with_threads(4, || {
+            (0..100usize)
+                .into_par_iter()
+                .zip(100..200usize)
+                .map(|(a, b)| (a, b))
+                .collect()
+        });
+        assert_eq!(zipped[0], (0, 100));
+        assert_eq!(zipped[99], (99, 199));
+    }
+
+    #[test]
+    fn min_max_match_sequential_tiebreak() {
+        let data = vec![3u32, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                (
+                    data.par_iter().enumerate().max_by_key(|(_, &v)| v),
+                    data.par_iter().enumerate().min_by_key(|(_, &v)| v),
+                )
+            })
+        };
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn panic_in_map_stage_propagates() {
+        let res = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                (0..100usize)
+                    .into_par_iter()
+                    .map(|i| if i == 57 { panic!("stage panic") } else { i })
+                    .sum::<usize>()
+            })
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn empty_and_single_item_pipelines() {
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(
+            with_threads(8, || empty.par_iter().map(|&x| x * 2).count()),
+            0
+        );
+        let one = [41u64];
+        let v: Vec<u64> = with_threads(8, || one.par_iter().map(|&x| x + 1).collect());
+        assert_eq!(v, vec![42]);
+    }
+
+    #[test]
+    fn current_threads_reflects_override() {
+        let outer = pool::current_threads();
+        with_threads(3, || assert_eq!(pool::current_threads(), 3));
+        assert_eq!(pool::current_threads(), outer);
     }
 }

@@ -1,0 +1,185 @@
+//! Sharded work-stealing executor backing the parallel-iterator shim.
+//!
+//! The pool is deliberately minimal: scoped `std::thread` workers pull
+//! shard indices off a shared atomic cursor (dynamic assignment doubles
+//! as work stealing — a worker that finishes a cheap shard immediately
+//! claims the next unclaimed one) and stream `(shard_index, items)`
+//! results back over an mpsc channel. The caller reassembles results in
+//! shard order, so nothing about scheduling — thread count, claim order,
+//! completion order — can leak into the output sequence.
+//!
+//! Thread-count resolution, in priority order:
+//!
+//! 1. a thread-local [`with_threads`] override (used by tests to compare
+//!    thread counts in-process, and by workers to force nested pipelines
+//!    sequential),
+//! 2. the process-wide value from [`set_threads`] (the `--threads` CLI
+//!    flag lands here),
+//! 3. the `CE_THREADS` environment variable,
+//! 4. `std::thread::available_parallelism()`.
+//!
+//! An unparsable or zero `CE_THREADS` resolves to 1 (sequential), never
+//! to a guess: determinism does not depend on the resolved count, but
+//! surprising a user with parallel execution on a malformed knob would
+//! still be wrong.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+/// Process-wide configured thread count; 0 means "not yet resolved".
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override; 0 means "no override".
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Resolves the default thread count from the environment.
+fn env_default() -> usize {
+    match std::env::var("CE_THREADS") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            // Malformed or zero: fall back to sequential, the one mode
+            // whose behaviour the user can always predict.
+            _ => 1,
+        },
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// The thread count parallel pipelines will use on this thread.
+pub fn current_threads() -> usize {
+    let over = OVERRIDE.with(Cell::get);
+    if over != 0 {
+        return over;
+    }
+    let cfg = CONFIGURED.load(Ordering::Relaxed);
+    if cfg != 0 {
+        return cfg;
+    }
+    let n = env_default();
+    // Benign race: every loser computed the same value.
+    CONFIGURED.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Sets the process-wide thread count (clamped to at least 1).
+pub fn set_threads(n: usize) {
+    CONFIGURED.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Runs `f` with the thread count overridden to `n` on this thread only.
+///
+/// The override is restored even if `f` panics, so property tests can
+/// compare thread counts back to back without cross-contamination.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|c| c.replace(n.max(1))));
+    f()
+}
+
+/// Executes `shards` on up to `threads` scoped workers and returns each
+/// shard's collected items, **indexed by shard** — position `i` of the
+/// result always holds shard `i`'s output regardless of which worker ran
+/// it or when it finished.
+///
+/// A panic inside a shard closure propagates to the caller (via scope
+/// join) after the remaining workers drain, exactly as the sequential
+/// path would propagate it — no result is silently dropped.
+pub fn run_sharded<S>(shards: Vec<S>, threads: usize) -> Vec<Vec<S::Item>>
+where
+    S: Iterator + Send,
+    S::Item: Send,
+{
+    let n_shards = shards.len();
+    let queue: Vec<Mutex<Option<S>>> = shards.into_iter().map(|s| Mutex::new(Some(s))).collect();
+    let cursor = AtomicUsize::new(0);
+    let workers = threads.min(n_shards).max(1);
+    let (tx, rx) = mpsc::channel::<(usize, Vec<S::Item>)>();
+    let mut slots: Vec<Option<Vec<S::Item>>> = Vec::with_capacity(n_shards);
+    slots.resize_with(n_shards, || None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let queue = &queue;
+            let cursor = &cursor;
+            scope.spawn(move || {
+                // Nested pipelines inside a shard run sequentially: the
+                // outer pool already owns the hardware, and a nested
+                // spawn storm would add overhead without changing output
+                // (order is restored at every level anyway).
+                with_threads(1, || loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n_shards {
+                        break;
+                    }
+                    let shard = queue[idx]
+                        .lock()
+                        .expect("shard queue lock")
+                        .take()
+                        .expect("each shard is claimed exactly once");
+                    let items: Vec<S::Item> = shard.collect();
+                    if tx.send((idx, items)).is_err() {
+                        break;
+                    }
+                });
+            });
+        }
+        drop(tx);
+        // Drain while workers run; ends when the last sender drops. If a
+        // worker panicked its slot stays None, but the scope re-raises
+        // the panic before the expect below can ever observe it.
+        for (idx, items) in rx {
+            slots[idx] = Some(items);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every shard completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_sharded_preserves_shard_order() {
+        let shards: Vec<std::vec::IntoIter<usize>> = (0..16)
+            .map(|i| (i * 10..i * 10 + 3).collect::<Vec<_>>().into_iter())
+            .collect();
+        let out = run_sharded(shards, 8);
+        for (i, part) in out.iter().enumerate() {
+            assert_eq!(part, &vec![i * 10, i * 10 + 1, i * 10 + 2]);
+        }
+    }
+
+    #[test]
+    fn with_threads_restores_on_panic() {
+        let before = current_threads();
+        let res = std::panic::catch_unwind(|| with_threads(7, || panic!("boom")));
+        assert!(res.is_err());
+        assert_eq!(current_threads(), before);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let shards: Vec<_> = (0..4)
+            .map(|i| {
+                vec![i]
+                    .into_iter()
+                    .map(|x: usize| if x == 2 { panic!("shard panic") } else { x })
+            })
+            .collect();
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_sharded(shards, 4)));
+        assert!(res.is_err(), "shard panic must reach the caller");
+    }
+}
