@@ -38,7 +38,16 @@
 //!     # serving suite: 10k/100k/1M requests -> BENCH_serve.json
 //! cargo run --release -p ce-bench -- --suite serve --quick --baseline BENCH_serve.json
 //!     # CI smoke: 10k/100k arms plus the 2x gate on serve/100000/target/adaptive
+//! cargo run --release -p ce-bench -- --suite lifecycle
+//!     # co-located train+serve fleets across priority policies -> BENCH_lifecycle.json
+//! cargo run --release -p ce-bench -- --suite lifecycle --quick --baseline BENCH_lifecycle.json
+//!     # CI smoke: 4-tenant arms plus the 2x gate on lifecycle/4/serve-first
 //! ```
+//!
+//! `--autoscaler`, `--keepalive`, and `--priority` override the
+//! registry names the serve and lifecycle arms use. Override names are
+//! validated against the registries before any arm runs; an unknown
+//! name is a usage error (exit 2) listing the valid names.
 
 use ce_chaos::FaultSchedule;
 use ce_cluster::{
@@ -357,12 +366,43 @@ fn serve_spec(target_requests: u64, seed: u64) -> ce_serve::ServeSpec {
     .with_slo_ms(SERVE_SLO_MS)
 }
 
-fn run_serve_arm(target_requests: u64, autoscaler: &str, keep_alive: &str) -> ServeArmResult {
-    use ce_serve::{autoscaler_by_name, ServeSim};
+/// Resolves an autoscaler name to a typed usage error (exit 2) instead
+/// of a panic — override flags make these names user input.
+fn resolve_autoscaler(name: &str) -> Result<Box<dyn ce_serve::Autoscaler>, BenchError> {
+    ce_serve::autoscaler_by_name(name).ok_or_else(|| {
+        BenchError::Usage(format!(
+            "unknown autoscaler: {name} ({})",
+            ce_serve::autoscaler_names().join("|")
+        ))
+    })
+}
+
+/// Resolves a keep-alive name, forwarding the parser's own message
+/// (which lists the valid policies) as a usage error.
+fn resolve_keep_alive(name: &str) -> Result<Box<dyn ce_faas::KeepAlive>, BenchError> {
+    ce_faas::parse_keep_alive(name).map_err(|e| BenchError::Usage(e.to_string()))
+}
+
+/// Resolves a lifecycle priority-policy name the same way.
+fn resolve_priority(name: &str) -> Result<Box<dyn ce_lifecycle::PriorityPolicy>, BenchError> {
+    ce_lifecycle::priority_by_name(name).ok_or_else(|| {
+        BenchError::Usage(format!(
+            "unknown priority policy: {name} ({})",
+            ce_lifecycle::priority_names().join("|")
+        ))
+    })
+}
+
+fn run_serve_arm(
+    target_requests: u64,
+    autoscaler: &str,
+    keep_alive: &str,
+) -> Result<ServeArmResult, BenchError> {
+    use ce_serve::ServeSim;
     let sim = ServeSim::new(
         serve_spec(target_requests, SEED),
-        autoscaler_by_name(autoscaler).expect("known autoscaler"),
-        ce_faas::keep_alive_by_name(keep_alive).expect("known keep-alive"),
+        resolve_autoscaler(autoscaler)?,
+        resolve_keep_alive(keep_alive)?,
     );
     let start = Instant::now();
     let report = sim.run();
@@ -386,15 +426,24 @@ fn run_serve_arm(target_requests: u64, autoscaler: &str, keep_alive: &str) -> Se
         arm.violation_rate * 100.0,
         arm.dollars
     );
-    arm
+    Ok(arm)
 }
 
 /// Times the `requests`-request target/adaptive serve arm as a batch of
 /// independent seeds, sequentially and at `threads` workers, asserting
 /// metric exports byte-equal before reporting the ratio.
-fn run_serve_scaling(requests: u64, threads: usize) -> ScalingResult {
-    use ce_serve::{autoscaler_by_name, ServeSim};
+fn run_serve_scaling(
+    requests: u64,
+    threads: usize,
+    autoscaler: &str,
+    keep_alive: &str,
+) -> Result<ScalingResult, BenchError> {
+    use ce_serve::ServeSim;
     use rayon::prelude::*;
+    // Resolve once, eagerly: a bad override name must fail as a usage
+    // error before any timing starts.
+    resolve_autoscaler(autoscaler)?;
+    resolve_keep_alive(keep_alive)?;
     let seeds: Vec<u64> = (0..SCALING_SEEDS).map(|i| SEED + i).collect();
     let batch = || -> Vec<(u64, u64, u64, String)> {
         seeds
@@ -403,8 +452,8 @@ fn run_serve_scaling(requests: u64, threads: usize) -> ScalingResult {
                 let obs = Registry::new();
                 let sim = ServeSim::new(
                     serve_spec(requests, seed),
-                    autoscaler_by_name("target").expect("known autoscaler"),
-                    ce_faas::keep_alive_by_name("adaptive").expect("known keep-alive"),
+                    resolve_autoscaler(autoscaler).expect("resolved above"),
+                    resolve_keep_alive(keep_alive).expect("resolved above"),
                 )
                 .with_obs(&obs);
                 let r = sim.run();
@@ -435,7 +484,7 @@ fn run_serve_scaling(requests: u64, threads: usize) -> ScalingResult {
         wall_ms_nt,
     );
     result.log();
-    result
+    Ok(result)
 }
 
 fn write_report(out: &str, json: String) -> Result<(), BenchError> {
@@ -513,6 +562,7 @@ fn run_serve_suite(
     out: &str,
     baseline: Option<&str>,
     threads: usize,
+    overrides: &Overrides,
 ) -> Result<(), BenchError> {
     // Load the baseline up front: a missing or malformed file should
     // fail in milliseconds, not after minutes of benchmarking.
@@ -522,18 +572,34 @@ fn run_serve_suite(
     } else {
         &[10_000, 100_000, 1_000_000]
     };
-    let pairs = [
-        ("target", "adaptive"),
-        ("fixed:64", "fixed:600"),
-        ("prewarm", "histogram"),
-    ];
+    // An --autoscaler/--keepalive override narrows the matrix to that
+    // single pair (either half defaults to the reference pair's).
+    let pairs: Vec<(&str, &str)> =
+        if overrides.autoscaler.is_some() || overrides.keep_alive.is_some() {
+            vec![(
+                overrides.autoscaler.as_deref().unwrap_or("target"),
+                overrides.keep_alive.as_deref().unwrap_or("adaptive"),
+            )]
+        } else {
+            vec![
+                ("target", "adaptive"),
+                ("fixed:64", "fixed:600"),
+                ("prewarm", "histogram"),
+            ]
+        };
     let mut arms = Vec::new();
     for &requests in scales {
-        for (autoscaler, keep_alive) in pairs {
-            arms.push(run_serve_arm(requests, autoscaler, keep_alive));
+        for &(autoscaler, keep_alive) in &pairs {
+            arms.push(run_serve_arm(requests, autoscaler, keep_alive)?);
         }
     }
-    let scaling = Some(run_serve_scaling(*scales.last().unwrap(), threads));
+    let (scale_as, scale_ka) = pairs[0];
+    let scaling = Some(run_serve_scaling(
+        *scales.last().unwrap(),
+        threads,
+        scale_as,
+        scale_ka,
+    )?);
     let report = ServeBenchReport {
         schema: "ce-bench/serve/v2".to_string(),
         rps: SERVE_RPS,
@@ -677,12 +743,220 @@ fn run_fleet_suite(
     Ok(())
 }
 
+/// Per-tenant mean request rate for the lifecycle arms.
+const LIFECYCLE_RPS: f64 = 4.0;
+/// Serve-arrival window for the lifecycle arms (seconds).
+const LIFECYCLE_DURATION_S: f64 = 300.0;
+/// Shared account quota for the lifecycle arms.
+const LIFECYCLE_QUOTA: u32 = 32;
+/// Training wave-width cap for the lifecycle arms.
+const LIFECYCLE_JOB_CAP: u32 = 8;
+/// Mean drift interval for the lifecycle arms (seconds).
+const LIFECYCLE_DRIFT_S: f64 = 150.0;
+/// The lifecycle reference arm for the CI threshold.
+const LIFECYCLE_REFERENCE: &str = "lifecycle/4/serve-first";
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LifecycleArmResult {
+    /// `lifecycle/<tenants>/<priority>`.
+    name: String,
+    tenants: u32,
+    priority: String,
+    wall_ms: f64,
+    /// Outcome checksums: equal-config arms must agree exactly.
+    requests: u64,
+    serve_violation_rate: f64,
+    train_miss_rate: f64,
+    preemptions: u64,
+    dollars: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct LifecycleBenchReport {
+    schema: String,
+    rps: f64,
+    duration_s: f64,
+    quota: u32,
+    job_cap: u32,
+    seed: u64,
+    /// Resolved worker thread count for this run.
+    #[serde(default)]
+    threads: usize,
+    arms: Vec<LifecycleArmResult>,
+    #[serde(default)]
+    scaling: Option<ScalingResult>,
+}
+
+fn lifecycle_spec(tenants: u32, seed: u64, overrides: &Overrides) -> ce_lifecycle::LifecycleSpec {
+    let mut spec = ce_lifecycle::LifecycleSpec::new(tenants, LIFECYCLE_DURATION_S, seed)
+        .with_quota(LIFECYCLE_QUOTA)
+        .with_job_cap(LIFECYCLE_JOB_CAP)
+        .with_rps(LIFECYCLE_RPS)
+        .with_drift_mean_s(LIFECYCLE_DRIFT_S);
+    if let Some(name) = &overrides.autoscaler {
+        spec = spec.with_autoscaler(name);
+    }
+    if let Some(name) = &overrides.keep_alive {
+        spec = spec.with_keep_alive(name);
+    }
+    spec
+}
+
+fn run_lifecycle_arm(
+    tenants: u32,
+    priority: &str,
+    overrides: &Overrides,
+) -> Result<LifecycleArmResult, BenchError> {
+    let policy = resolve_priority(priority)?;
+    let sim = ce_lifecycle::LifecycleSim::new(lifecycle_spec(tenants, SEED, overrides), policy);
+    let start = Instant::now();
+    let report = sim.run();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let arm = LifecycleArmResult {
+        name: format!("lifecycle/{tenants}/{priority}"),
+        tenants,
+        priority: priority.to_string(),
+        wall_ms,
+        requests: report.requests(),
+        serve_violation_rate: report.serve_violation_rate(),
+        train_miss_rate: report.train_miss_rate(),
+        preemptions: report.preemptions(),
+        dollars: report.total_dollars(),
+    };
+    eprintln!(
+        "{:<38} {:>9.1} ms  ({:.2}% viol, {:.0}% miss, {} preempt, ${:.4})",
+        arm.name,
+        arm.wall_ms,
+        arm.serve_violation_rate * 100.0,
+        arm.train_miss_rate * 100.0,
+        arm.preemptions,
+        arm.dollars
+    );
+    Ok(arm)
+}
+
+/// Times the `tenants`-tenant lifecycle as a batch of independent
+/// seeds, sequentially and at `threads` workers, asserting reports and
+/// metric exports byte-equal before reporting the ratio.
+fn run_lifecycle_scaling(
+    tenants: u32,
+    priority: &str,
+    threads: usize,
+    overrides: &Overrides,
+) -> Result<ScalingResult, BenchError> {
+    resolve_priority(priority)?;
+    let seeds: Vec<u64> = (0..SCALING_SEEDS).map(|i| SEED + i).collect();
+    let batch = || {
+        ce_lifecycle::run_lifecycle_seeds(&seeds, |seed| {
+            ce_lifecycle::LifecycleSim::new(
+                lifecycle_spec(tenants, seed, overrides),
+                resolve_priority(priority).expect("resolved above"),
+            )
+        })
+    };
+    let start = Instant::now();
+    let seq = rayon::with_threads(1, batch);
+    let wall_ms_1t = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let par = rayon::with_threads(threads, batch);
+    let wall_ms_nt = start.elapsed().as_secs_f64() * 1e3;
+    for ((r1, o1), (r2, o2)) in seq.iter().zip(&par) {
+        assert_eq!(
+            r1, r2,
+            "parallel lifecycle batch diverged from sequential on lifecycle/{tenants}"
+        );
+        assert_eq!(
+            o1.export_jsonl(),
+            o2.export_jsonl(),
+            "metric export diverged on lifecycle/{tenants}"
+        );
+    }
+    let result = ScalingResult::from_walls(
+        format!("lifecycle-batch/{tenants}x{SCALING_SEEDS}"),
+        threads,
+        seeds,
+        wall_ms_1t,
+        wall_ms_nt,
+    );
+    result.log();
+    Ok(result)
+}
+
+fn run_lifecycle_suite(
+    quick: bool,
+    out: &str,
+    baseline: Option<&str>,
+    threads: usize,
+    overrides: &Overrides,
+) -> Result<(), BenchError> {
+    // Load the baseline up front: a missing or malformed file should
+    // fail in milliseconds, not after minutes of benchmarking.
+    let base: Option<LifecycleBenchReport> = baseline.map(read_baseline).transpose()?;
+    let sizes: &[u32] = if quick { &[4] } else { &[4, 8] };
+    let priorities: Vec<&str> = match &overrides.priority {
+        Some(name) => vec![name.as_str()],
+        None => ce_lifecycle::priority_names().to_vec(),
+    };
+    let mut arms = Vec::new();
+    for &tenants in sizes {
+        for &priority in &priorities {
+            arms.push(run_lifecycle_arm(tenants, priority, overrides)?);
+        }
+    }
+    let scaling = Some(run_lifecycle_scaling(
+        *sizes.last().unwrap(),
+        priorities[0],
+        threads,
+        overrides,
+    )?);
+    let report = LifecycleBenchReport {
+        schema: "ce-bench/lifecycle/v1".to_string(),
+        rps: LIFECYCLE_RPS,
+        duration_s: LIFECYCLE_DURATION_S,
+        quota: LIFECYCLE_QUOTA,
+        job_cap: LIFECYCLE_JOB_CAP,
+        seed: SEED,
+        threads,
+        arms,
+        scaling,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    write_report(out, json)?;
+
+    if let Some(base) = base {
+        let arm_ms = |r: &LifecycleBenchReport| {
+            r.arms
+                .iter()
+                .find(|a| a.name == LIFECYCLE_REFERENCE)
+                .map(|a| a.wall_ms)
+        };
+        check_gate(
+            LIFECYCLE_REFERENCE,
+            arm_ms(&base),
+            arm_ms(&report),
+            base.scaling.as_ref(),
+            report.scaling.as_ref(),
+        )?;
+    }
+    Ok(())
+}
+
+/// User-selected registry-name overrides, validated eagerly in
+/// `real_main` so a typo fails before any arm runs.
+#[derive(Debug, Default)]
+struct Overrides {
+    autoscaler: Option<String>,
+    keep_alive: Option<String>,
+    priority: Option<String>,
+}
+
 fn real_main() -> Result<(), BenchError> {
     let mut quick = false;
     let mut out: Option<String> = None;
     let mut suite = String::from("fleet");
     let mut baseline: Option<String> = None;
     let mut threads: Option<usize> = None;
+    let mut overrides = Overrides::default();
     let mut args = std::env::args().skip(1);
     let need = |flag: &str, value: Option<String>| -> Result<String, BenchError> {
         value.ok_or_else(|| BenchError::Usage(format!("{flag} needs a value")))
@@ -706,10 +980,27 @@ fn real_main() -> Result<(), BenchError> {
                     })?;
                 threads = Some(n);
             }
+            // Registry-name overrides are validated right here, before
+            // any suite starts: a typo must fail in milliseconds.
+            "--autoscaler" => {
+                let name = need("--autoscaler", args.next())?;
+                resolve_autoscaler(&name)?;
+                overrides.autoscaler = Some(name);
+            }
+            "--keepalive" => {
+                let name = need("--keepalive", args.next())?;
+                resolve_keep_alive(&name)?;
+                overrides.keep_alive = Some(name);
+            }
+            "--priority" => {
+                let name = need("--priority", args.next())?;
+                resolve_priority(&name)?;
+                overrides.priority = Some(name);
+            }
             other => {
                 return Err(BenchError::Usage(format!(
                     "unknown flag: {other} (expected --quick, --out, --suite, --baseline, \
-                     --threads)"
+                     --threads, --autoscaler, --keepalive, --priority)"
                 )));
             }
         }
@@ -729,10 +1020,14 @@ fn real_main() -> Result<(), BenchError> {
         }
         "serve" => {
             let out = out.unwrap_or_else(|| "BENCH_serve.json".into());
-            run_serve_suite(quick, &out, baseline.as_deref(), threads)
+            run_serve_suite(quick, &out, baseline.as_deref(), threads, &overrides)
+        }
+        "lifecycle" => {
+            let out = out.unwrap_or_else(|| "BENCH_lifecycle.json".into());
+            run_lifecycle_suite(quick, &out, baseline.as_deref(), threads, &overrides)
         }
         other => Err(BenchError::Usage(format!(
-            "unknown suite: {other} (expected fleet or serve)"
+            "unknown suite: {other} (expected fleet, serve, or lifecycle)"
         ))),
     }
 }

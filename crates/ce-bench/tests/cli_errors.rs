@@ -35,6 +35,30 @@ fn flag_errors_exit_2_without_panicking() {
 }
 
 #[test]
+fn unknown_override_names_exit_2_listing_the_registry() {
+    // Overrides are validated at parse time, so the error lands before
+    // any suite runs — and it names every valid alternative.
+    assert_graceful(
+        &["--autoscaler", "psychic"],
+        "unknown autoscaler: psychic (fixed:<n>|target|prewarm)",
+    );
+    assert_graceful(
+        &["--keepalive", "lru"],
+        "unknown keep-alive policy: lru (fixed[:<ttl-s>]|adaptive|histogram)",
+    );
+    assert_graceful(
+        &["--priority", "yolo"],
+        "unknown priority policy: yolo (serve-first|train-first|fair-share|deadline)",
+    );
+    assert_graceful(&["--autoscaler"], "--autoscaler needs a value");
+    assert_graceful(&["--keepalive"], "--keepalive needs a value");
+    assert_graceful(&["--priority"], "--priority needs a value");
+    // A malformed fixed-pool TTL is the typed keep-alive error, not a
+    // panic inside an arm.
+    assert_graceful(&["--keepalive", "fixed:NaN"], "NaN");
+}
+
+#[test]
 fn missing_baseline_fails_fast() {
     // The baseline loads before any arm runs, so this returns in
     // milliseconds even though it names the full fleet suite.

@@ -49,5 +49,7 @@ pub mod report;
 pub use arrival::{ArrivalProcess, FleetSpec, JobSpec};
 pub use contention::ContentionModel;
 pub use fleet::{run_fleet_seeds, ClusterSim, ClusterSpec, FleetEngine};
-pub use policy::{all_policies, policy_by_name, Admission, AdmissionPolicy, ClusterView, ReadyJob};
-pub use report::{dominates_point, FleetReport, JobOutcome, JobStatus};
+pub use policy::{
+    all_policies, policy_by_name, policy_names, Admission, AdmissionPolicy, ClusterView, ReadyJob,
+};
+pub use report::{dominates_point, dominates_point3, FleetReport, JobOutcome, JobStatus};

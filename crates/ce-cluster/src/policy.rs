@@ -184,6 +184,13 @@ pub fn all_policies() -> Vec<Box<dyn AdmissionPolicy>> {
     ]
 }
 
+/// The registry names `policy_by_name` accepts, in presentation order.
+/// CLI error messages list these so a typo'd `--policy` shows the user
+/// what would have worked.
+pub fn policy_names() -> &'static [&'static str] {
+    &["fifo", "edf", "cost-greedy", "reject-on-overload"]
+}
+
 /// Builds a policy by name (CLI surface).
 pub fn policy_by_name(name: &str) -> Option<Box<dyn AdmissionPolicy>> {
     match name {

@@ -12,6 +12,14 @@ pub fn dominates_point(a: (f64, f64), b: (f64, f64)) -> bool {
     v1 <= v2 && c1 <= c2 && (v1 < v2 || c1 < c2)
 }
 
+/// Three-axis Pareto dominance, used by ce-lifecycle's combined frontier
+/// (serve SLO violation rate, train deadline-miss rate, total dollars):
+/// `a` dominates `b` when it is no worse on every axis and strictly
+/// better on at least one.
+pub fn dominates_point3(a: (f64, f64, f64), b: (f64, f64, f64)) -> bool {
+    a.0 <= b.0 && a.1 <= b.1 && a.2 <= b.2 && (a.0 < b.0 || a.1 < b.1 || a.2 < b.2)
+}
+
 /// How a job's stay at the cluster ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum JobStatus {

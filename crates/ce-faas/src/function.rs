@@ -188,6 +188,16 @@ impl InstancePool {
         reaped
     }
 
+    /// Evicts every idle instance *now* — a new model version was
+    /// deployed and the old warm sandboxes can no longer serve. Each is
+    /// billed as warm until `min(idle_since + ttl, now)`, the same
+    /// honest accounting as [`InstancePool::drain_remaining`]; executing
+    /// instances finish their in-flight request (a rolling deploy) and
+    /// are recycled on release.
+    pub fn flush_idle(&mut self, now: SimTime) -> Vec<ReapedInstance> {
+        self.drain_remaining(now)
+    }
+
     /// Force-kills executing instances (a chaos crash, not idle expiry)
     /// and returns them. Panics if an id is missing or not executing.
     pub fn retire(&mut self, ids: &[FunctionId]) -> Vec<FunctionInstance> {

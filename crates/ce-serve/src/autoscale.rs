@@ -244,6 +244,13 @@ impl Autoscaler for PrewarmAhead {
     }
 }
 
+/// The spellings `autoscaler_by_name` accepts, in presentation order.
+/// CLI error messages list these so a typo'd `--autoscaler` shows the
+/// user what would have worked.
+pub fn autoscaler_names() -> &'static [&'static str] {
+    &["fixed:<n>", "target", "prewarm"]
+}
+
 /// Parses an autoscaler name: `fixed:<size>`, `target`, or `prewarm`.
 /// Returns `None` for anything else.
 pub fn autoscaler_by_name(name: &str) -> Option<Box<dyn Autoscaler>> {

@@ -51,8 +51,8 @@ pub mod sim;
 
 pub use arrival::{read_arrival_log, write_arrival_log, ArrivalModel, ArrivalRecord};
 pub use autoscale::{
-    autoscaler_by_name, Autoscaler, ConcurrencyTarget, FixedPool, LoadObservation, PrewarmAhead,
-    ScaleDecision,
+    autoscaler_by_name, autoscaler_names, Autoscaler, ConcurrencyTarget, FixedPool,
+    LoadObservation, PrewarmAhead, ScaleDecision,
 };
 pub use report::ServeReport;
 pub use sim::{ServeSim, ServeSpec};

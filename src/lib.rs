@@ -28,6 +28,10 @@
 //!   seed-derived schedules for crash/outage/throttle/degrade chaos.
 //! * [`serve`] — request-level inference serving: open-loop arrivals,
 //!   SLO-aware autoscaling, and keep-alive policy economics.
+//! * [`lifecycle`] — training and serving co-located on one shared
+//!   account quota: priority/preemption policies, drift-triggered
+//!   retrain→publish→redeploy DAGs, and the combined three-axis
+//!   QoS/cost frontier.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +57,7 @@ pub use ce_baselines as baselines;
 pub use ce_chaos as chaos;
 pub use ce_cluster as cluster;
 pub use ce_faas as faas;
+pub use ce_lifecycle as lifecycle;
 pub use ce_ml as ml;
 pub use ce_models as models;
 pub use ce_obs as obs;
@@ -74,6 +79,7 @@ pub mod prelude {
     pub use ce_cluster::{ClusterSim, ClusterSpec, FleetReport, FleetSpec};
     pub use ce_faas::platform::{EpochError, FaasPlatform, PlatformConfig};
     pub use ce_faas::quota::{AccountQuota, QuotaExceeded};
+    pub use ce_lifecycle::{LifecycleReport, LifecycleSim, LifecycleSpec, PriorityPolicy};
     pub use ce_ml::{
         curve::LossCurve,
         dataset::DatasetSpec,

@@ -8,6 +8,7 @@
 //! ce-scaling storage      --model lr --dataset higgs -n 10
 //! ce-scaling cluster      --jobs 40 --rate 12 --policy edf --quota 60
 //! ce-scaling serve        --arrivals diurnal --rps 25 --duration 600 --autoscaler target
+//! ce-scaling lifecycle    --tenants 4 --duration 300 --quota 32 --policy fair-share
 //! ```
 
 use ce_scaling::chaos::FaultSchedule;
@@ -27,14 +28,18 @@ fn main() {
         // run-config takes a file path, not flag options.
         "run-config" => cmd_run_config(&args[1..]),
         "help" | "--help" | "-h" => usage_and_exit(None),
-        "profile" | "plan-tuning" | "train" | "storage" | "cluster" | "serve" => {
+        "profile" | "plan-tuning" | "train" | "storage" | "cluster" | "serve" | "lifecycle" => {
             let opts = Opts::parse(&args[1..]);
+            if let Some(n) = opts.threads {
+                rayon::set_threads(n);
+            }
             match command.as_str() {
                 "profile" => cmd_profile(&opts),
                 "plan-tuning" => cmd_plan_tuning(&opts),
                 "train" => cmd_train(&opts),
                 "cluster" => cmd_cluster(&opts),
                 "serve" => cmd_serve(&opts),
+                "lifecycle" => cmd_lifecycle(&opts),
                 _ => cmd_storage(&opts),
             }
             if let Some(path) = &opts.metrics {
@@ -94,6 +99,7 @@ fn usage_and_exit(unknown: Option<&str>) -> ! {
            storage      compare external storage services for a workload\n  \
            cluster      simulate a multi-tenant fleet sharing one account quota\n  \
            serve        simulate request-level inference serving against an SLO\n  \
+           lifecycle    co-locate training and serving on one shared quota\n  \
            run-config   run a declarative JSON scenario (see workflow::scenario)\n\n\
          options:\n  \
            --model lr|svm|mobilenet|resnet50|bert     (default lr)\n  \
@@ -121,8 +127,14 @@ fn usage_and_exit(unknown: Option<&str>) -> ! {
            --duration S      arrival window for `serve`, seconds (default 600)\n  \
            --autoscaler A    fixed:<n>|target|prewarm (serve; default target)\n  \
            --keepalive K     fixed[:<ttl-s>]|adaptive|histogram (serve; default fixed)\n  \
-           --slo-ms X        latency SLO for `serve`, milliseconds (default 500)\n  \
-           --arrival-log P   write the generated arrival schedule as JSONL (serve)\n"
+           --slo-ms X        latency SLO for `serve`/`lifecycle`, ms (default 500)\n  \
+           --arrival-log P   write the generated arrival schedule as JSONL (serve)\n  \
+           --tenants N       lifecycle tenants, each trains and serves (default 4)\n  \
+           --drift-every S   mean seconds between drift events (lifecycle; 0 = off)\n  \
+           --threads N       fix the deterministic worker-pool width (any subcommand)\n\n\
+         lifecycle reuses --duration, --rps, --quota, --job-cap, --seed, --chaos,\n\
+         --autoscaler, --keepalive, and --metrics; its --policy is a priority\n\
+         policy: serve-first|train-first|fair-share|deadline (default serve-first)\n"
     );
     std::process::exit(2);
 }
@@ -155,6 +167,9 @@ struct Opts {
     keepalive: Option<String>,
     slo_ms: Option<f64>,
     arrival_log: Option<String>,
+    tenants: Option<u32>,
+    drift_every: Option<f64>,
+    threads: Option<usize>,
 }
 
 impl Opts {
@@ -197,6 +212,16 @@ impl Opts {
                 "--keepalive" => opts.keepalive = Some(value()),
                 "--slo-ms" => opts.slo_ms = Some(parse_or_exit(&value(), flag)),
                 "--arrival-log" => opts.arrival_log = Some(value()),
+                "--tenants" => opts.tenants = Some(parse_or_exit(&value(), flag)),
+                "--drift-every" => opts.drift_every = Some(parse_or_exit(&value(), flag)),
+                "--threads" => {
+                    let n: usize = parse_or_exit(&value(), flag);
+                    if n == 0 {
+                        eprintln!("invalid value for --threads: the pool needs at least 1 thread");
+                        std::process::exit(2);
+                    }
+                    opts.threads = Some(n);
+                }
                 other => {
                     eprintln!("unknown option: {other}");
                     std::process::exit(2);
@@ -427,14 +452,17 @@ fn cmd_train(opts: &Opts) {
 
 fn cmd_cluster(opts: &Opts) {
     use ce_scaling::cluster::{
-        policy_by_name, ClusterSim, ClusterSpec, FleetEngine, FleetSpec, JobStatus,
+        policy_by_name, policy_names, ClusterSim, ClusterSpec, FleetEngine, FleetSpec, JobStatus,
     };
     let jobs = opts.jobs.unwrap_or(40);
     let rate = opts.rate.unwrap_or(12.0);
     let quota = opts.quota.unwrap_or(60);
     let policy_name = opts.policy.as_deref().unwrap_or("fifo");
     let Some(policy) = policy_by_name(policy_name) else {
-        eprintln!("unknown policy: {policy_name} (fifo|edf|cost-greedy|reject-on-overload)");
+        eprintln!(
+            "unknown policy: {policy_name} ({})",
+            policy_names().join("|")
+        );
         std::process::exit(2);
     };
     let fleet = FleetSpec::poisson(jobs, rate, opts.seed.unwrap_or(42));
@@ -502,7 +530,9 @@ fn cmd_cluster(opts: &Opts) {
 }
 
 fn cmd_serve(opts: &Opts) {
-    use ce_scaling::serve::{autoscaler_by_name, ArrivalModel, ServeSim, ServeSpec};
+    use ce_scaling::serve::{
+        autoscaler_by_name, autoscaler_names, ArrivalModel, ServeSim, ServeSpec,
+    };
     let rps = opts.rps.unwrap_or(20.0);
     let duration = opts.duration.unwrap_or(600.0);
     let arrivals = match opts.arrivals.as_deref().unwrap_or("poisson") {
@@ -537,7 +567,10 @@ fn cmd_serve(opts: &Opts) {
     };
     let autoscaler_name = opts.autoscaler.as_deref().unwrap_or("target");
     let Some(autoscaler) = autoscaler_by_name(autoscaler_name) else {
-        eprintln!("unknown autoscaler: {autoscaler_name} (fixed:<n>|target|prewarm)");
+        eprintln!(
+            "unknown autoscaler: {autoscaler_name} ({})",
+            autoscaler_names().join("|")
+        );
         std::process::exit(2);
     };
     let keepalive_name = opts.keepalive.as_deref().unwrap_or("fixed");
@@ -593,6 +626,124 @@ fn cmd_serve(opts: &Opts) {
         r.dollars,
         r.cost_per_million()
     );
+}
+
+fn cmd_lifecycle(opts: &Opts) {
+    use ce_scaling::lifecycle::{priority_by_name, priority_names, LifecycleSim, LifecycleSpec};
+    use ce_scaling::serve::{autoscaler_by_name, autoscaler_names};
+    let tenants = opts.tenants.unwrap_or(4);
+    let duration = opts.duration.unwrap_or(300.0);
+    let policy_name = opts.policy.as_deref().unwrap_or("serve-first");
+    let Some(policy) = priority_by_name(policy_name) else {
+        eprintln!(
+            "unknown priority policy: {policy_name} ({})",
+            priority_names().join("|")
+        );
+        std::process::exit(2);
+    };
+    let mut spec = LifecycleSpec::new(tenants, duration, opts.seed.unwrap_or(42));
+    if let Some(q) = opts.quota {
+        if q == 0 {
+            eprintln!("invalid value for --quota: the shared quota needs at least 1 worker");
+            std::process::exit(2);
+        }
+        spec = spec.with_quota(q);
+    }
+    if let Some(cap) = opts.job_cap {
+        if cap == 0 {
+            eprintln!("invalid value for --job-cap: a wave needs at least 1 worker");
+            std::process::exit(2);
+        }
+        spec = spec.with_job_cap(cap);
+    }
+    if let Some(rps) = opts.rps {
+        spec = spec.with_rps(rps);
+    }
+    if let Some(slo) = opts.slo_ms {
+        spec = spec.with_slo_ms(slo);
+    }
+    if let Some(drift) = opts.drift_every {
+        spec = spec.with_drift_mean_s(drift);
+    }
+    if let Some(name) = &opts.autoscaler {
+        if autoscaler_by_name(name).is_none() {
+            eprintln!(
+                "unknown autoscaler: {name} ({})",
+                autoscaler_names().join("|")
+            );
+            std::process::exit(2);
+        }
+        spec = spec.with_autoscaler(name);
+    }
+    if let Some(name) = &opts.keepalive {
+        if let Err(e) = ce_scaling::faas::parse_keep_alive(name) {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        spec = spec.with_keep_alive(name);
+    }
+    if let Some(schedule) = opts.chaos() {
+        spec = spec.with_chaos(schedule);
+    }
+    let quota = spec.quota;
+    let r = LifecycleSim::new(spec, policy)
+        .with_obs(ce_scaling::obs::global())
+        .run();
+    let sum = |f: fn(&ce_scaling::lifecycle::TenantOutcome) -> u64| -> u64 {
+        r.tenants.iter().map(f).sum()
+    };
+    println!(
+        "{tenants} tenants over {duration:.0}s on a {quota}-worker shared quota, policy {}:\n",
+        r.policy
+    );
+    println!(
+        "  requests       {} ({} completed, {} failed, {} shed)",
+        r.requests(),
+        sum(|t| t.completed),
+        sum(|t| t.failed),
+        sum(|t| t.shed_throttled + t.shed_overload + t.shed_outage),
+    );
+    println!(
+        "  latency        p50 {:.0}ms  p95 {:.0}ms  p99 {:.0}ms",
+        r.p50_ms, r.p95_ms, r.p99_ms
+    );
+    println!(
+        "  serve QoS      {:.2}% of requests violated",
+        r.serve_violation_rate() * 100.0
+    );
+    println!(
+        "  training       {} runs: {} completed, {} failed, {} deadline misses",
+        r.train_jobs(),
+        sum(|t| t.jobs_completed),
+        sum(|t| t.jobs_failed),
+        r.train_misses(),
+    );
+    println!(
+        "  epochs         {} dispatched, {} preempted, {} cold resumes",
+        sum(|t| t.epochs),
+        r.preemptions(),
+        sum(|t| t.cold_resumes),
+    );
+    println!(
+        "  lifecycle      {} drift events ({} skipped), {} redeploys",
+        sum(|t| t.drift_events),
+        sum(|t| t.drift_skipped),
+        sum(|t| t.redeploys),
+    );
+    println!(
+        "  quota          {:.1}% mean, {} peak of {quota}, {} head-of-line stalls",
+        r.quota_utilization * 100.0,
+        r.quota_peak,
+        r.quota_stalls,
+    );
+    println!(
+        "  cost           ${:.4} serving + ${:.4} training = ${:.4}",
+        r.serve_dollars(),
+        r.train_dollars(),
+        r.total_dollars(),
+    );
+    let (sv, miss, usd) = r.frontier_point();
+    println!("  frontier       ({sv:.4}, {miss:.4}, ${usd:.4})");
 }
 
 fn cmd_storage(opts: &Opts) {

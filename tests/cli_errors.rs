@@ -124,6 +124,51 @@ fn unknown_flags_and_values_are_usage_errors() {
 }
 
 #[test]
+fn unknown_registry_names_list_the_valid_ones() {
+    // An unknown name must name every valid alternative, so the user
+    // can fix the typo without opening the docs.
+    assert_graceful(
+        &["cluster", "--policy", "magic"],
+        2,
+        "fifo|edf|cost-greedy|reject-on-overload",
+    );
+    assert_graceful(
+        &["serve", "--autoscaler", "psychic"],
+        2,
+        "fixed:<n>|target|prewarm",
+    );
+    assert_graceful(
+        &["serve", "--keepalive", "lru"],
+        2,
+        "fixed[:<ttl-s>]|adaptive|histogram",
+    );
+    assert_graceful(
+        &["lifecycle", "--policy", "yolo"],
+        2,
+        "serve-first|train-first|fair-share|deadline",
+    );
+    assert_graceful(
+        &["lifecycle", "--autoscaler", "psychic"],
+        2,
+        "fixed:<n>|target|prewarm",
+    );
+    assert_graceful(
+        &["lifecycle", "--keepalive", "lru"],
+        2,
+        "fixed[:<ttl-s>]|adaptive|histogram",
+    );
+}
+
+#[test]
+fn lifecycle_bad_inputs_are_usage_errors() {
+    assert_graceful(&["lifecycle", "--chaos", "gremlins"], 2, "invalid --chaos");
+    assert_graceful(&["lifecycle", "--threads", "0"], 2, "at least 1 thread");
+    assert_graceful(&["lifecycle", "--threads", "many"], 2, "--threads");
+    assert_graceful(&["lifecycle", "--quota", "0"], 2, "at least 1 worker");
+    assert_graceful(&["lifecycle", "--job-cap", "0"], 2, "at least 1 worker");
+}
+
+#[test]
 fn run_config_errors_are_clean() {
     assert_graceful(&["run-config"], 2, "usage");
     assert_graceful(&["run-config", "/no/such/scenario.json"], 2, "cannot read");

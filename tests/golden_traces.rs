@@ -120,6 +120,30 @@ fn serve_args(seed: u64) -> Vec<String> {
     .collect()
 }
 
+fn lifecycle_args(seed: u64) -> Vec<String> {
+    [
+        "lifecycle",
+        "--tenants",
+        "3",
+        "--duration",
+        "120",
+        "--rps",
+        "3",
+        "--quota",
+        "24",
+        "--job-cap",
+        "8",
+        "--policy",
+        "serve-first",
+        "--drift-every",
+        "60",
+    ]
+    .into_iter()
+    .map(String::from)
+    .chain(["--seed".into(), seed.to_string()])
+    .collect()
+}
+
 /// Compares `actual` against the committed fixture, or rewrites the
 /// fixture when `UPDATE_GOLDEN=1` is set.
 fn check_golden(scenario: &str, seed: u64, actual: &[u8]) {
@@ -166,6 +190,39 @@ fn serve_traces_match_golden_fixtures() {
             "serve metrics must include the latency quantile summary"
         );
         check_golden("serve", seed, &bytes);
+    }
+}
+
+#[test]
+fn lifecycle_traces_match_golden_fixtures() {
+    for seed in SEEDS {
+        let bytes = run_metrics(&lifecycle_args(seed), &format!("lifecycle_{seed}"));
+        assert!(!bytes.is_empty());
+        let text = String::from_utf8_lossy(&bytes);
+        assert!(
+            text.contains(r#""name":"lifecycle.redeploys""#),
+            "lifecycle metrics must include the redeploy counter"
+        );
+        check_golden("lifecycle", seed, &bytes);
+    }
+}
+
+/// The lifecycle fleet shares the golden thread-invariance contract:
+/// one metrics export per seed, byte-identical at 1 and 8 workers.
+#[test]
+fn lifecycle_fixtures_are_thread_count_invariant() {
+    for seed in SEEDS {
+        for threads in [1, 8] {
+            check_golden(
+                "lifecycle",
+                seed,
+                &run_metrics_with_threads(
+                    &lifecycle_args(seed),
+                    &format!("lifecycle_{seed}_t{threads}"),
+                    Some(threads),
+                ),
+            );
+        }
     }
 }
 

@@ -625,3 +625,63 @@ fn sequential_and_parallel_runs_are_bit_identical() {
         assert_eq!(seq, par, "serve run diverges at 8 threads: {label}");
     });
 }
+
+/// The lifecycle fleet joins the seq ≡ par contract: over random tenant
+/// counts × priority policies × chaos schedules, a run at 1 worker
+/// thread and a run at 8 must produce identical reports and
+/// byte-identical metric exports — preemption rollbacks, drift retrains,
+/// and redeploys included.
+#[test]
+fn lifecycle_runs_are_thread_count_invariant() {
+    use ce_scaling::chaos::FaultSchedule;
+    use ce_scaling::lifecycle::{priority_by_name, priority_names, LifecycleSim, LifecycleSpec};
+    use ce_scaling::obs::Registry;
+
+    let chaos_pool = [
+        "",
+        "crash:0.1@0..inf",
+        "outage:s3@30..90;throttle:0.2@0..inf",
+    ];
+    prop("seq_par_lifecycle", 3, |rng| {
+        let tenants = 1 + rng.gen_index(3) as u32;
+        let duration = rng.uniform_range(60.0, 150.0);
+        let seed = rng.next_u64();
+        let quota = 8 + rng.gen_index(25) as u32;
+        let job_cap = 2 + rng.gen_index(7) as u32;
+        let priority = priority_names()[rng.gen_index(priority_names().len())];
+        let chaos = chaos_pool[rng.gen_index(chaos_pool.len())];
+
+        let run = || {
+            let mut spec = LifecycleSpec::new(tenants, duration, seed)
+                .with_quota(quota)
+                .with_job_cap(job_cap)
+                .with_rps(rng_free_rps(tenants))
+                .with_drift_mean_s(60.0);
+            if !chaos.is_empty() {
+                spec = spec.with_chaos(FaultSchedule::parse(chaos).expect("pool specs parse"));
+            }
+            let registry = Registry::new();
+            let report = LifecycleSim::new(spec, priority_by_name(priority).expect("known"))
+                .with_obs(&registry)
+                .run();
+            (report, registry.export_jsonl())
+        };
+        let (seq_report, seq_jsonl) = rayon::with_threads(1, run);
+        let (par_report, par_jsonl) = rayon::with_threads(8, run);
+        let label = format!("tenants={tenants} quota={quota} priority={priority} chaos=`{chaos}`");
+        assert_eq!(
+            seq_report, par_report,
+            "lifecycle reports diverge at 8 threads: {label}"
+        );
+        assert_eq!(
+            seq_jsonl, par_jsonl,
+            "lifecycle metrics diverge at 8 threads: {label}"
+        );
+    });
+}
+
+/// Keeps the randomized lifecycle cases affordable: request load shrinks
+/// as the tenant count grows, so total arrivals stay roughly constant.
+fn rng_free_rps(tenants: u32) -> f64 {
+    12.0 / tenants as f64
+}
