@@ -42,6 +42,10 @@
 //!     # co-located train+serve fleets across priority policies -> BENCH_lifecycle.json
 //! cargo run --release -p ce-bench -- --suite lifecycle --quick --baseline BENCH_lifecycle.json
 //!     # CI smoke: 4-tenant arms plus the 2x gate on lifecycle/4/serve-first
+//! cargo run --release -p ce-bench -- --suite resilience
+//!     # per-mechanism resilience arms under chaos -> BENCH_resilience.json
+//! cargo run --release -p ce-bench -- --suite resilience --quick --baseline BENCH_resilience.json
+//!     # CI smoke: 100k-request arms plus the 2x gate on resilience/100000/full
 //! ```
 //!
 //! `--autoscaler`, `--keepalive`, and `--priority` override the
@@ -743,6 +747,247 @@ fn run_fleet_suite(
     Ok(())
 }
 
+/// Chaos schedule for the resilience arms: steady crashes plus cold
+/// spikes so retries, hedges, timeouts, and the breaker all exercise.
+const RESILIENCE_CHAOS: &str = "crash:0.2@0..inf;coldspike:x4@0..inf";
+/// The resilience reference arm for the CI threshold.
+const RESILIENCE_REFERENCE: &str = "resilience/100000/full";
+/// Per-mechanism configurations benchmarked at every scale.
+const RESILIENCE_CONFIGS: [&str; 6] = ["off", "timeout", "retry", "hedge", "breaker", "full"];
+
+/// The breaker the bench arms run. Under coldspike chaos, crashes
+/// resolve long before cold successes, so the first outcome window is
+/// crash-dominated and trips at any threshold (fast-fail survivorship
+/// bias); a threshold above the ambient 20% crash rate plus a short
+/// cooldown keeps the arm timing the window-feed hot path instead of
+/// spending the whole run shedding.
+fn bench_breaker() -> ce_resilience::BreakerSpec {
+    ce_resilience::BreakerSpec {
+        failure_threshold: 0.8,
+        window: 20,
+        min_samples: 10,
+        cooldown_s: 5.0,
+    }
+}
+
+fn resilience_config(name: &str) -> ce_resilience::ResilienceSpec {
+    use ce_resilience::{BrownoutSpec, HedgePolicy, ResilienceSpec, RetryPolicy};
+    let mut spec = ResilienceSpec::disabled();
+    match name {
+        "off" => {}
+        "timeout" => spec.timeout_ms = Some(2000.0),
+        "retry" => {
+            spec.retry = Some(RetryPolicy::new(2));
+            spec.retry_budget = Some(0.5);
+        }
+        "hedge" => spec.hedge = Some(HedgePolicy::P95),
+        "breaker" => spec.breaker = Some(bench_breaker()),
+        "full" => {
+            spec.timeout_ms = Some(2000.0);
+            spec.retry = Some(RetryPolicy::new(2));
+            spec.retry_budget = Some(0.5);
+            spec.hedge = Some(HedgePolicy::P95);
+            spec.breaker = Some(bench_breaker());
+            spec.brownout = Some(BrownoutSpec::new(0.6));
+        }
+        other => unreachable!("internal config name: {other}"),
+    }
+    spec
+}
+
+/// The serve spec for one resilience arm: the standard diurnal load
+/// under [`RESILIENCE_CHAOS`], with `config`'s mechanisms switched on.
+fn resilient_spec(target_requests: u64, seed: u64, config: &str) -> ce_serve::ServeSpec {
+    let mut spec = serve_spec(target_requests, seed)
+        .with_chaos(FaultSchedule::parse(RESILIENCE_CHAOS).expect("chaos spec parses"));
+    let res = resilience_config(config);
+    if res.enabled() {
+        spec = spec.with_resilience(res);
+    }
+    spec
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ResilienceArmResult {
+    /// `resilience/<requests>/<config>`.
+    name: String,
+    requests: u64,
+    config: String,
+    wall_ms: f64,
+    /// Simulated requests processed per wall-clock second.
+    reqs_per_sec: f64,
+    /// Outcome checksums: equal-config arms must agree exactly.
+    completed: u64,
+    failed: u64,
+    attempts: u64,
+    violation_rate: f64,
+    dollars: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ResilienceBenchReport {
+    schema: String,
+    rps: f64,
+    slo_ms: f64,
+    chaos_spec: String,
+    seed: u64,
+    /// Resolved worker thread count for this run.
+    #[serde(default)]
+    threads: usize,
+    arms: Vec<ResilienceArmResult>,
+    #[serde(default)]
+    scaling: Option<ScalingResult>,
+}
+
+fn run_resilience_arm(
+    target_requests: u64,
+    config: &str,
+) -> Result<ResilienceArmResult, BenchError> {
+    use ce_serve::ServeSim;
+    // Prewarm absorbs bursts into cold starts, which is exactly the
+    // variance hedges and timeouts act on — the interesting regime.
+    let sim = ServeSim::new(
+        resilient_spec(target_requests, SEED, config),
+        resolve_autoscaler("prewarm")?,
+        resolve_keep_alive("fixed:60")?,
+    );
+    let start = Instant::now();
+    let report = sim.run();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let arm = ResilienceArmResult {
+        name: format!("resilience/{target_requests}/{config}"),
+        requests: report.requests,
+        config: config.to_string(),
+        wall_ms,
+        reqs_per_sec: report.requests as f64 / (wall_ms / 1e3).max(1e-9),
+        completed: report.completed,
+        failed: report.failed,
+        attempts: report.attempts,
+        violation_rate: report.violation_rate(),
+        dollars: report.dollars,
+    };
+    eprintln!(
+        "{:<38} {:>9.1} ms  ({:.0} req/s, {} attempts, {:.2}% viol, ${:.4})",
+        arm.name,
+        arm.wall_ms,
+        arm.reqs_per_sec,
+        arm.attempts,
+        arm.violation_rate * 100.0,
+        arm.dollars
+    );
+    Ok(arm)
+}
+
+/// Times the full-pipeline resilience arm as a batch of independent
+/// seeds, sequentially and at `threads` workers, asserting metric
+/// exports byte-equal before reporting the ratio.
+fn run_resilience_scaling(requests: u64, threads: usize) -> Result<ScalingResult, BenchError> {
+    use ce_serve::ServeSim;
+    use rayon::prelude::*;
+    let seeds: Vec<u64> = (0..SCALING_SEEDS).map(|i| SEED + i).collect();
+    let batch = || -> Vec<(u64, u64, u64, String)> {
+        seeds
+            .par_iter()
+            .map(|&seed| {
+                let obs = Registry::new();
+                let sim = ServeSim::new(
+                    resilient_spec(requests, seed, "full"),
+                    resolve_autoscaler("prewarm").expect("known autoscaler"),
+                    resolve_keep_alive("fixed:60").expect("known keep-alive"),
+                )
+                .with_obs(&obs);
+                let r = sim.run();
+                (
+                    r.requests,
+                    r.attempts,
+                    r.dollars.to_bits(),
+                    obs.export_jsonl(),
+                )
+            })
+            .collect()
+    };
+    let start = Instant::now();
+    let seq = rayon::with_threads(1, batch);
+    let wall_ms_1t = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let par = rayon::with_threads(threads, batch);
+    let wall_ms_nt = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        seq, par,
+        "parallel resilience batch diverged from sequential on resilience/{requests}"
+    );
+    let result = ScalingResult::from_walls(
+        format!("resilience-batch/{requests}x{SCALING_SEEDS}"),
+        threads,
+        seeds,
+        wall_ms_1t,
+        wall_ms_nt,
+    );
+    result.log();
+    Ok(result)
+}
+
+fn run_resilience_suite(
+    quick: bool,
+    out: &str,
+    baseline: Option<&str>,
+    threads: usize,
+) -> Result<(), BenchError> {
+    // Load the baseline up front: a missing or malformed file should
+    // fail in milliseconds, not after minutes of benchmarking.
+    let base: Option<ResilienceBenchReport> = baseline.map(read_baseline).transpose()?;
+    let scales: &[u64] = if quick {
+        &[100_000]
+    } else {
+        &[10_000, 100_000]
+    };
+    let mut arms = Vec::new();
+    for &requests in scales {
+        for config in RESILIENCE_CONFIGS {
+            arms.push(run_resilience_arm(requests, config)?);
+        }
+    }
+    // Cheap sanity check that the pipeline actually ran: every settled
+    // request took at least one billed attempt.
+    for arm in &arms {
+        assert!(
+            arm.attempts >= arm.completed + arm.failed,
+            "attempts undercount settled requests on {}",
+            arm.name
+        );
+    }
+    let scaling = Some(run_resilience_scaling(*scales.last().unwrap(), threads)?);
+    let report = ResilienceBenchReport {
+        schema: "ce-bench/resilience/v1".to_string(),
+        rps: SERVE_RPS,
+        slo_ms: SERVE_SLO_MS,
+        chaos_spec: RESILIENCE_CHAOS.to_string(),
+        seed: SEED,
+        threads,
+        arms,
+        scaling,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    write_report(out, json)?;
+
+    if let Some(base) = base {
+        let arm_ms = |r: &ResilienceBenchReport| {
+            r.arms
+                .iter()
+                .find(|a| a.name == RESILIENCE_REFERENCE)
+                .map(|a| a.wall_ms)
+        };
+        check_gate(
+            RESILIENCE_REFERENCE,
+            arm_ms(&base),
+            arm_ms(&report),
+            base.scaling.as_ref(),
+            report.scaling.as_ref(),
+        )?;
+    }
+    Ok(())
+}
+
 /// Per-tenant mean request rate for the lifecycle arms.
 const LIFECYCLE_RPS: f64 = 4.0;
 /// Serve-arrival window for the lifecycle arms (seconds).
@@ -1026,8 +1271,12 @@ fn real_main() -> Result<(), BenchError> {
             let out = out.unwrap_or_else(|| "BENCH_lifecycle.json".into());
             run_lifecycle_suite(quick, &out, baseline.as_deref(), threads, &overrides)
         }
+        "resilience" => {
+            let out = out.unwrap_or_else(|| "BENCH_resilience.json".into());
+            run_resilience_suite(quick, &out, baseline.as_deref(), threads)
+        }
         other => Err(BenchError::Usage(format!(
-            "unknown suite: {other} (expected fleet, serve, or lifecycle)"
+            "unknown suite: {other} (expected fleet, serve, lifecycle, or resilience)"
         ))),
     }
 }

@@ -18,12 +18,21 @@ pub struct TenantOutcome {
     pub completed: u64,
     /// Requests whose instance crashed mid-flight.
     pub failed: u64,
+    /// Requests whose every attempt was killed at the request timeout.
+    #[serde(default)]
+    pub timed_out: u64,
     /// Requests shed by a chaos throttle storm.
     pub shed_throttled: u64,
     /// Requests shed because the admission queue was full.
     pub shed_overload: u64,
     /// Requests shed by a backing-store outage.
     pub shed_outage: u64,
+    /// Requests fast-shed by an open circuit breaker.
+    #[serde(default)]
+    pub shed_breaker: u64,
+    /// Requests still parked (no outage in force) when the run ended.
+    #[serde(default)]
+    pub truncated: u64,
     /// Dispatches that cold-started an instance.
     pub cold_starts: u64,
     /// Dispatches served by a warm instance.
@@ -32,6 +41,23 @@ pub struct TenantOutcome {
     pub slo_violations: u64,
     /// Requests served while the deployed model was drift-degraded.
     pub drifted_served: u64,
+    /// Attempts dispatched (requests plus retries and hedges; every
+    /// one leases a quota worker and pays the invocation fee).
+    #[serde(default)]
+    pub attempts: u64,
+    /// Retry attempts scheduled by the resilience layer.
+    #[serde(default)]
+    pub retries: u64,
+    /// Hedge attempts launched (on spare quota only — a hedge never
+    /// preempts training).
+    #[serde(default)]
+    pub hedges: u64,
+    /// Requests settled by their hedge attempt finishing first.
+    #[serde(default)]
+    pub hedge_wins: u64,
+    /// Attempts dispatched on the degraded (brownout) profile.
+    #[serde(default)]
+    pub degraded: u64,
     /// Serving bill: invocations + busy GB-s + keep-warm GB-s.
     pub serve_dollars: f64,
     // --- Training ---
@@ -98,7 +124,14 @@ impl LifecycleReport {
         self.tenants
             .iter()
             .map(|t| {
-                t.slo_violations + t.failed + t.shed_throttled + t.shed_overload + t.shed_outage
+                t.slo_violations
+                    + t.failed
+                    + t.timed_out
+                    + t.shed_throttled
+                    + t.shed_overload
+                    + t.shed_outage
+                    + t.shed_breaker
+                    + t.truncated
             })
             .sum()
     }
@@ -181,13 +214,21 @@ mod tests {
             requests: 100,
             completed: 90,
             failed: 2,
+            timed_out: 0,
             shed_throttled: 0,
             shed_overload: 5,
             shed_outage: 3,
+            shed_breaker: 0,
+            truncated: 0,
             cold_starts: 10,
             warm_starts: 82,
             slo_violations: 10,
             drifted_served: 4,
+            attempts: 92,
+            retries: 0,
+            hedges: 0,
+            hedge_wins: 0,
+            degraded: 0,
             serve_dollars: 0.5,
             jobs_started: 2,
             jobs_completed: 1,

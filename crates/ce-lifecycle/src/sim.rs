@@ -22,6 +22,19 @@
 //! schedule. Model-version profiles are keyed by version index on the
 //! tenant's `model_seed`, so *when* a retrain finishes never changes
 //! *what* it deploys.
+//!
+//! # Resilience
+//!
+//! The request-level resilience layer (`ce_resilience`) threads through
+//! each tenant's serving loop exactly as in `ce_serve::sim`: attempt 0
+//! replays the pre-drawn jitter and base chaos streams draw-for-draw, and
+//! attempts `k >= 1` fork fresh streams keyed by (tenant, request,
+//! attempt), so a disabled spec is bit-identical to a build without the
+//! layer. The lifecycle twist is the shared quota: every retry leases a
+//! worker through the same preemption-capable path as a first attempt
+//! (a retry can evict a training epoch under `serve-first`), while
+//! hedges are opportunistic — they take spare quota but never preempt.
+//! Every attempt, including hedge losers, pays the invocation fee.
 
 use crate::priority::{PriorityPolicy, QuotaView, VictimView};
 use crate::report::{LifecycleReport, TenantOutcome};
@@ -29,6 +42,7 @@ use crate::spec::{LifecycleSpec, TenantSpec};
 use ce_chaos::{ActiveFaults, CompiledSchedule};
 use ce_faas::{parse_keep_alive, AccountQuota, FunctionId, InstancePool};
 use ce_obs::{Histogram, Registry};
+use ce_resilience::{AttemptOutcome, BreakerState, CircuitBreaker, HedgePolicy, RetryBudget};
 use ce_serve::{autoscaler_by_name, Autoscaler, LoadObservation, ScaleDecision};
 use ce_sim_core::event::EventQueue;
 use ce_sim_core::rng::SimRng;
@@ -50,8 +64,6 @@ const COLD_START_S: f64 = 1.8;
 const COLD_START_JITTER: f64 = 0.25;
 /// Serving instance memory.
 const MEMORY_MB: u32 = 1769;
-/// Per-tenant admission-queue capacity.
-const QUEUE_CAP: usize = 10_000;
 /// Autoscaler control-loop period, seconds.
 const SCALE_TICK_S: f64 = 2.0;
 /// $ per invocation (AWS Lambda).
@@ -76,14 +88,21 @@ const IDLE_EXPIRY_S: f64 = 600.0;
 enum Ev {
     /// Request `req` of `tenant`'s arrival schedule arrives.
     Arrival { tenant: u32, req: u32 },
-    /// A dispatched request finishes (successfully or crashed).
+    /// A dispatched attempt finishes (ok, crashed, or timeout-killed).
     Done {
         tenant: u32,
+        req: u32,
+        attempt: u32,
         fid: FunctionId,
         arrival: SimTime,
         busy_s: f64,
-        failed: bool,
+        outcome: AttemptOutcome,
     },
+    /// The hedge of (`tenant`, `req`) launches if the primary is still
+    /// outstanding.
+    HedgeFire { tenant: u32, req: u32 },
+    /// A backed-off retry of (`tenant`, `req`) relaunches.
+    Retry { tenant: u32, req: u32 },
     /// Global autoscaler tick (tenants planned in id order).
     ScaleTick,
     /// `tenant`'s initial training job arrives.
@@ -140,14 +159,44 @@ struct ChaosState {
     attempts: u64,
 }
 
+/// Resilience bookkeeping for one in-flight request (allocated only
+/// when the spec enables the layer).
+#[derive(Debug, Default, Clone, Copy)]
+struct ReqState {
+    /// Attempts dispatched so far (primary + retries + hedge).
+    attempts: u32,
+    /// Retries scheduled so far.
+    retries: u32,
+    /// Attempts currently executing.
+    outstanding: u32,
+    /// The request has a final verdict.
+    settled: bool,
+    /// The one-shot hedge has launched.
+    hedged: bool,
+    /// Which attempt index the hedge got (to credit hedge wins).
+    hedge_attempt: Option<u32>,
+    /// Admitted as the half-open breaker's probe.
+    probe: bool,
+    /// The most recent failure was a timeout (types the final verdict).
+    timed_out_last: bool,
+}
+
 /// Per-tenant counters accumulated inline and flushed once.
 #[derive(Debug, Default, Clone)]
 struct Tally {
     completed: u64,
     failed: u64,
+    timed_out: u64,
     shed_throttled: u64,
     shed_overload: u64,
     shed_outage: u64,
+    shed_breaker: u64,
+    truncated: u64,
+    attempts: u64,
+    retries: u64,
+    hedges: u64,
+    hedge_wins: u64,
+    degraded: u64,
     cold_starts: u64,
     warm_starts: u64,
     slo_violations: u64,
@@ -179,6 +228,9 @@ struct TenantState {
     arrivals_since_tick: u32,
     arrived: usize,
     jitter: Vec<RequestJitter>,
+    rstate: Vec<ReqState>,
+    breaker: Option<CircuitBreaker>,
+    budget: Option<RetryBudget>,
     version: u32,
     drifted: bool,
     service_factor: f64,
@@ -233,6 +285,7 @@ pub struct LifecycleSim {
     quota_stalls: u64,
     latency_h: Option<Histogram>,
     queue_wait_h: Option<Histogram>,
+    attempts_h: Option<Histogram>,
 }
 
 impl LifecycleSim {
@@ -267,6 +320,9 @@ impl LifecycleSim {
                     arrivals_since_tick: 0,
                     arrived: 0,
                     jitter: Vec::new(),
+                    rstate: Vec::new(),
+                    breaker: spec.resilience.breaker.map(CircuitBreaker::new),
+                    budget: spec.resilience.budget(),
                     version: 0,
                     drifted: false,
                     service_factor: STALE_SERVICE_FACTOR,
@@ -297,6 +353,7 @@ impl LifecycleSim {
             quota_stalls: 0,
             latency_h: None,
             queue_wait_h: None,
+            attempts_h: None,
             spec,
             policy,
         }
@@ -348,6 +405,91 @@ impl LifecycleSim {
         let st = &mut self.tenants[tenant];
         for r in st.pool.reap_detailed(now) {
             st.tally.idle_gb_s += r.warm_idle_s() * gb;
+        }
+    }
+
+    /// Whether the resilience layer is live this run.
+    fn resilient(&self) -> bool {
+        self.spec.resilience.enabled()
+    }
+
+    /// Jitter for attempt `attempt >= 1` of (`tenant`, `req`): the same
+    /// draw shape as the pre-drawn attempt-0 jitter, on a fresh stream
+    /// forked per (tenant, request, attempt) so it is independent of
+    /// event order and of every base stream.
+    fn attempt_jitter(&self, tenant: usize, req: u32, attempt: u32) -> RequestJitter {
+        let key = self
+            .rng
+            .derive_idx("tenant-serve", tenant as u64)
+            .derive_idx("request", u64::from(req))
+            .derive_idx("attempt", u64::from(attempt));
+        let mut cold_path = key.clone();
+        let cold = cold_path.lognormal_jitter(COLD_START_JITTER);
+        let service_cold = cold_path.lognormal_jitter(SERVICE_JITTER);
+        let mut warm_path = key;
+        let service_warm = warm_path.lognormal_jitter(SERVICE_JITTER);
+        RequestJitter {
+            cold,
+            service_cold,
+            service_warm,
+        }
+    }
+
+    /// Seconds after a primary dispatch at which its hedge launches:
+    /// the live fleet-wide p95 of completed end-to-end latency (the SLO
+    /// before any completions exist), or the fixed configured delay.
+    fn hedge_delay_s(&self, policy: HedgePolicy) -> f64 {
+        match policy {
+            HedgePolicy::FixedMs(ms) => ms / 1e3,
+            HedgePolicy::P95 => {
+                self.latency_h
+                    .as_ref()
+                    .and_then(|h| h.quantile(0.95))
+                    .unwrap_or(self.spec.slo_ms)
+                    .max(1e-3)
+                    / 1e3
+            }
+        }
+    }
+
+    /// Emits a tenant's breaker transition event and state gauge.
+    fn note_breaker_transition(
+        &self,
+        tenant_id: u32,
+        from: BreakerState,
+        to: BreakerState,
+        t: f64,
+    ) {
+        self.obs.event(
+            t,
+            "resilience.breaker",
+            &[
+                ("tenant", json!(tenant_id)),
+                ("from", json!(from.name())),
+                ("to", json!(to.name())),
+            ],
+        );
+        self.obs
+            .gauge(&format!("resilience.breaker_state.t{tenant_id}"))
+            .set(to.as_gauge());
+    }
+
+    /// Feeds one attempt outcome to `tenant`'s circuit breaker.
+    fn feed_breaker(&mut self, tenant: usize, ok: bool, probe: bool, t: f64) {
+        let tenant_id = self.tenants[tenant].spec.id;
+        let tr = self.tenants[tenant]
+            .breaker
+            .as_mut()
+            .and_then(|br| br.on_outcome(ok, probe, t));
+        if let Some(tr) = tr {
+            self.note_breaker_transition(tenant_id, tr.from, tr.to, t);
+        }
+    }
+
+    /// Records a settled request's attempt count.
+    fn observe_attempts(&self, attempts: u32) {
+        if let Some(h) = &self.attempts_h {
+            h.observe(f64::from(attempts));
         }
     }
 
@@ -712,6 +854,9 @@ impl LifecycleSim {
         now: SimTime,
     ) {
         let t = now.as_secs();
+        if let Some(b) = &mut self.tenants[tenant].budget {
+            b.deposit();
+        }
         let active = self.active_faults(t);
         if !active.is_quiet() && active.throttle_rate > 0.0 {
             let chaos = self.chaos.as_ref().expect("non-quiet implies a schedule");
@@ -724,6 +869,26 @@ impl LifecycleSim {
                 return;
             }
         }
+        // Circuit breaker: while open, doomed dispatches become fast
+        // sheds; the first admission after the cooldown is the probe.
+        let tenant_id = self.tenants[tenant].spec.id;
+        let gate = self.tenants[tenant].breaker.as_mut().map(|br| {
+            let before = br.state();
+            let admitted = br.allow(t);
+            (before, br.state(), admitted)
+        });
+        if let Some((before, after, admitted)) = gate {
+            if before != after {
+                self.note_breaker_transition(tenant_id, before, after, t);
+            }
+            if !admitted {
+                self.tenants[tenant].tally.shed_breaker += 1;
+                return;
+            }
+            if after == BreakerState::HalfOpen {
+                self.tenants[tenant].rstate[req as usize].probe = true;
+            }
+        }
         if let Some(resumes_at_s) = active.outage_until(BACKING) {
             // An outage that outlasts the run can never serve the
             // request.
@@ -731,7 +896,7 @@ impl LifecycleSim {
                 self.tenants[tenant].tally.shed_outage += 1;
                 return;
             }
-            if self.tenants[tenant].queue.len() >= QUEUE_CAP {
+            if self.tenants[tenant].queue.len() >= self.spec.queue_cap {
                 self.tenants[tenant].tally.shed_overload += 1;
                 return;
             }
@@ -742,16 +907,19 @@ impl LifecycleSim {
             }
             return;
         }
+        let queue_cap = self.spec.queue_cap;
         let st = &mut self.tenants[tenant];
-        if st.queue.len() >= QUEUE_CAP {
+        if st.queue.len() >= queue_cap {
             st.tally.shed_overload += 1;
         } else {
             st.queue.push_back((req, now));
         }
     }
 
-    /// Starts request `req` executing at `now` (its worker lease is
-    /// already held) and schedules its completion.
+    /// Starts the next attempt of request `req` executing at `now` (its
+    /// worker lease is already held) and schedules its resolution.
+    /// Attempt 0 replays the pre-drawn jitter and base chaos streams;
+    /// later attempts fork fresh ones.
     fn dispatch_request(
         &mut self,
         events: &mut EventQueue<Ev>,
@@ -762,9 +930,20 @@ impl LifecycleSim {
     ) {
         let t = now.as_secs();
         let active = self.active_faults(t);
+        let attempt = if self.resilient() {
+            self.tenants[tenant].rstate[req as usize].attempts
+        } else {
+            0
+        };
+        let jit = if attempt == 0 {
+            self.tenants[tenant].jitter[req as usize]
+        } else {
+            self.attempt_jitter(tenant, req, attempt)
+        };
+        let queue_cap = self.spec.queue_cap;
+        let brownout = self.spec.resilience.brownout;
         let st = &mut self.tenants[tenant];
         let (fid, cold) = st.pool.acquire_one(MEMORY_MB, now);
-        let jit = st.jitter[req as usize];
         let cold_s = if cold {
             st.tally.cold_starts += 1;
             COLD_START_S * st.cold_factor * active.cold_start_factor.max(1.0) * jit.cold
@@ -780,32 +959,80 @@ impl LifecycleSim {
         } else {
             jit.service_warm
         };
-        let service_s = SERVICE_S * st.effective_service_factor() * service_jit;
+        let mut service_s = SERVICE_S * st.effective_service_factor() * service_jit;
+        // Brownout: above the queue-depth threshold this attempt serves
+        // the degraded (cheaper, faster) profile instead of letting the
+        // backlog overflow into sheds.
+        if let Some(b) = brownout {
+            if b.active(st.queue.len(), queue_cap) {
+                service_s *= b.degrade_factor;
+                st.tally.degraded += 1;
+            }
+        }
         let mut busy_s = cold_s + service_s;
-        let mut failed = false;
+        let mut outcome = AttemptOutcome::Ok;
+        // Mid-request crash: attempt 0 draws on the chaos stream keyed
+        // by (tenant, request) — exactly the pre-resilience sequence;
+        // attempt k >= 1 forks that stream again by attempt index.
         if !active.is_quiet() && active.crash_rate > 0.0 {
             let chaos = self.chaos.as_ref().expect("non-quiet implies a schedule");
-            let mut draw = chaos
+            let base = chaos
                 .rng
                 .derive_idx("tenant", tenant as u64)
                 .derive_idx("request-crash", u64::from(req));
+            let mut draw = if attempt == 0 {
+                base
+            } else {
+                base.derive_idx("attempt", u64::from(attempt))
+            };
             if draw.bernoulli(active.crash_rate) {
-                failed = true;
+                outcome = AttemptOutcome::Crashed;
                 busy_s *= draw.uniform();
             }
         }
-        if let Some(h) = &self.queue_wait_h {
-            h.observe((now - arrival) * 1e3);
+        // Timeout: the attempt is killed at the deadline. A crash that
+        // would land past the deadline never happens — the kill wins.
+        if let Some(tmo_s) = self.spec.resilience.timeout_s() {
+            if busy_s > tmo_s {
+                busy_s = tmo_s;
+                outcome = AttemptOutcome::TimedOut;
+            }
+        }
+        if attempt == 0 {
+            if let Some(h) = &self.queue_wait_h {
+                h.observe((now - arrival) * 1e3);
+            }
         }
         self.tenants[tenant].inflight += 1;
+        self.tenants[tenant].tally.attempts += 1;
+        if self.resilient() {
+            let rs = &mut self.tenants[tenant].rstate[req as usize];
+            rs.attempts += 1;
+            rs.outstanding += 1;
+            // Hedge the primary attempt: the hedge launches once, after
+            // the hedge delay, unless the request settles first.
+            if attempt == 0 {
+                if let Some(policy) = self.spec.resilience.hedge {
+                    events.schedule_at(
+                        now + self.hedge_delay_s(policy),
+                        Ev::HedgeFire {
+                            tenant: tenant as u32,
+                            req,
+                        },
+                    );
+                }
+            }
+        }
         events.schedule_at(
             now + busy_s,
             Ev::Done {
                 tenant: tenant as u32,
+                req,
+                attempt,
                 fid,
                 arrival,
                 busy_s,
-                failed,
+                outcome,
             },
         );
     }
@@ -815,9 +1042,17 @@ impl LifecycleSim {
     fn drain_serve(&mut self, t: f64, events: &mut EventQueue<Ev>) {
         let active = self.active_faults(t);
         if let Some(resumes_at_s) = active.outage_until(BACKING) {
+            // Same rule as admission: an overlapping outage window that
+            // outlasts the run can never serve the parked requests.
+            if resumes_at_s > self.spec.duration_s.max(t) {
+                for st in &mut self.tenants {
+                    st.tally.shed_outage += st.queue.len() as u64;
+                    st.queue.clear();
+                }
+                return;
+            }
             let any_parked = self.tenants.iter().any(|st| !st.queue.is_empty());
-            if any_parked && !self.outage_end_pending && resumes_at_s <= self.spec.duration_s.max(t)
-            {
+            if any_parked && !self.outage_end_pending {
                 events.schedule_at(SimTime::from_secs(resumes_at_s), Ev::OutageEnd);
                 self.outage_end_pending = true;
             }
@@ -856,6 +1091,162 @@ impl LifecycleSim {
         }
     }
 
+    /// Resolves attempt `attempt` of (`tenant`, `req`) under resilience:
+    /// settles the request, lets a sibling attempt race on, or schedules
+    /// a budgeted retry.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_attempt(
+        &mut self,
+        events: &mut EventQueue<Ev>,
+        tenant: usize,
+        req: u32,
+        attempt: u32,
+        arrival: SimTime,
+        outcome: AttemptOutcome,
+        t: f64,
+    ) {
+        let probe = self.tenants[tenant].rstate[req as usize].probe;
+        self.feed_breaker(tenant, outcome.is_ok(), probe, t);
+        self.tenants[tenant].rstate[req as usize].outstanding -= 1;
+        if outcome.is_ok() {
+            let rs = self.tenants[tenant].rstate[req as usize];
+            if rs.settled {
+                return; // a hedge loser finishing after the winner
+            }
+            self.tenants[tenant].rstate[req as usize].settled = true;
+            let st = &mut self.tenants[tenant];
+            if rs.hedge_attempt == Some(attempt) {
+                st.tally.hedge_wins += 1;
+            }
+            st.tally.completed += 1;
+            let latency_ms = (SimTime::from_secs(t) - arrival) * 1e3;
+            if let Some(h) = &self.latency_h {
+                h.observe(latency_ms);
+            }
+            if latency_ms > self.spec.slo_ms {
+                self.tenants[tenant].tally.slo_violations += 1;
+            }
+            self.observe_attempts(rs.attempts);
+            return;
+        }
+        self.tenants[tenant].rstate[req as usize].timed_out_last =
+            outcome == AttemptOutcome::TimedOut;
+        let rs = self.tenants[tenant].rstate[req as usize];
+        if rs.settled || rs.outstanding > 0 {
+            return; // a sibling attempt may still save the request
+        }
+        // Retry when the policy has attempts left and the tenant's
+        // token-bucket budget funds one; otherwise the failure stands.
+        let wants_retry = self
+            .spec
+            .resilience
+            .retry
+            .is_some_and(|p| rs.retries < p.max_retries);
+        let funded = wants_retry
+            && self.tenants[tenant]
+                .budget
+                .as_mut()
+                .is_none_or(RetryBudget::try_withdraw);
+        if funded {
+            let policy = self.spec.resilience.retry.expect("checked above");
+            let retry_no = rs.retries + 1;
+            self.tenants[tenant].rstate[req as usize].retries = retry_no;
+            self.tenants[tenant].tally.retries += 1;
+            // Backoff jitter on a stream forked per (tenant, request,
+            // retry): independent of event order and every base stream.
+            let mut jrng = self
+                .rng
+                .derive_idx("tenant-backoff", tenant as u64)
+                .derive_idx("request", u64::from(req))
+                .derive_idx("retry", u64::from(retry_no));
+            let backoff_s = policy.backoff_ms(retry_no, jrng.uniform_range(0.5, 1.5)) / 1e3;
+            events.schedule_at(
+                SimTime::from_secs(t + backoff_s),
+                Ev::Retry {
+                    tenant: tenant as u32,
+                    req,
+                },
+            );
+        } else {
+            self.settle_exhausted(tenant, req);
+        }
+    }
+
+    /// Settles (`tenant`, `req`) with its last failure mode as the
+    /// verdict.
+    fn settle_exhausted(&mut self, tenant: usize, req: u32) {
+        let rs = self.tenants[tenant].rstate[req as usize];
+        self.tenants[tenant].rstate[req as usize].settled = true;
+        if rs.timed_out_last {
+            self.tenants[tenant].tally.timed_out += 1;
+        } else {
+            self.tenants[tenant].tally.failed += 1;
+        }
+        self.observe_attempts(rs.attempts);
+    }
+
+    /// Launches the hedge attempt of (`tenant`, `req`) if the primary is
+    /// still outstanding, the backing store is up, and the shared quota
+    /// has a spare worker. Hedges are opportunistic duplicates: they
+    /// never preempt a training epoch, and their compute is billed like
+    /// any other attempt.
+    fn hedge_fire(&mut self, events: &mut EventQueue<Ev>, tenant: usize, req: u32, now: SimTime) {
+        let rs = self.tenants[tenant].rstate[req as usize];
+        if rs.settled || rs.hedged || rs.outstanding == 0 {
+            return; // already decided, or a retry owns recovery now
+        }
+        if self
+            .active_faults(now.as_secs())
+            .outage_until(BACKING)
+            .is_some()
+        {
+            return; // the hedge could not read model state anyway
+        }
+        if self.quota.try_acquire(1).is_err() {
+            return; // no spare worker, and hedges never preempt
+        }
+        self.serve_held += 1;
+        self.tenants[tenant].rstate[req as usize].hedged = true;
+        self.tenants[tenant].rstate[req as usize].hedge_attempt = Some(rs.attempts);
+        self.tenants[tenant].tally.hedges += 1;
+        let arrival = SimTime::from_secs(self.tenants[tenant].spec.arrival_s[req as usize]);
+        self.dispatch_request(events, tenant, req, arrival, now);
+    }
+
+    /// Relaunches (`tenant`, `req`) after its backoff: dispatch within
+    /// capacity and quota (retries may preempt training, like any
+    /// admission), park behind an outage or a busy pool, or let the
+    /// failure stand when the queue is full too.
+    fn launch_retry(&mut self, events: &mut EventQueue<Ev>, tenant: usize, req: u32, now: SimTime) {
+        let t = now.as_secs();
+        let arrival = SimTime::from_secs(self.tenants[tenant].spec.arrival_s[req as usize]);
+        let active = self.active_faults(t);
+        if let Some(resumes_at_s) = active.outage_until(BACKING) {
+            if resumes_at_s > self.spec.duration_s.max(t)
+                || self.tenants[tenant].queue.len() >= self.spec.queue_cap
+            {
+                // The retry can never launch: the last failure stands.
+                self.settle_exhausted(tenant, req);
+                return;
+            }
+            self.tenants[tenant].queue.push_back((req, arrival));
+            if !self.outage_end_pending {
+                events.schedule_at(SimTime::from_secs(resumes_at_s), Ev::OutageEnd);
+                self.outage_end_pending = true;
+            }
+            return;
+        }
+        if self.tenants[tenant].inflight < self.tenants[tenant].capacity
+            && self.acquire_serve_worker(t, events)
+        {
+            self.dispatch_request(events, tenant, req, arrival, now);
+        } else if self.tenants[tenant].queue.len() < self.spec.queue_cap {
+            self.tenants[tenant].queue.push_back((req, arrival));
+        } else {
+            self.settle_exhausted(tenant, req);
+        }
+    }
+
     /// Runs the simulation to completion and returns the aggregate
     /// report.
     pub fn run(mut self) -> LifecycleReport {
@@ -889,6 +1280,14 @@ impl LifecycleSim {
         queue_wait_h.enable_quantiles();
         self.latency_h = Some(latency_h);
         self.queue_wait_h = Some(queue_wait_h);
+        if self.spec.resilience.enabled() {
+            for st in &mut self.tenants {
+                st.rstate = vec![ReqState::default(); st.spec.arrival_s.len()];
+            }
+            let attempts_h = self.obs.histogram("resilience.attempts");
+            attempts_h.enable_quantiles();
+            self.attempts_h = Some(attempts_h);
+        }
 
         let mut q: EventQueue<Ev> = EventQueue::with_capacity(1024);
         for tenant in 0..self.tenants.len() {
@@ -948,10 +1347,12 @@ impl LifecycleSim {
                 }
                 Ev::Done {
                     tenant,
+                    req,
+                    attempt,
                     fid,
                     arrival,
                     busy_s,
-                    failed,
+                    outcome,
                 } => {
                     let tenant = tenant as usize;
                     self.reap_warm(tenant, now);
@@ -961,24 +1362,48 @@ impl LifecycleSim {
                     let st = &mut self.tenants[tenant];
                     st.inflight -= 1;
                     st.tally.busy_gb_s += busy_s * gb;
-                    if failed {
+                    if outcome == AttemptOutcome::Crashed {
                         // The instance died mid-request: remove it and
                         // bill its keep-warm time up to the crash.
                         let inst = st.pool.retire(&[fid]).pop().expect("retired instance");
                         let idle_s = ((now - inst.created_at) - inst.busy_s - busy_s).max(0.0);
                         st.tally.idle_gb_s += idle_s * gb;
-                        st.tally.failed += 1;
                     } else {
+                        // Ok and timeout-killed attempts hand back a
+                        // warm instance.
                         st.pool.release(&[fid], busy_s, now);
-                        st.tally.completed += 1;
-                        let latency_ms = (now - arrival) * 1e3;
-                        if let Some(h) = &self.latency_h {
-                            h.observe(latency_ms);
-                        }
-                        if latency_ms > self.spec.slo_ms {
-                            self.tenants[tenant].tally.slo_violations += 1;
-                        }
                     }
+                    if !self.resilient() {
+                        // The pre-resilience lifecycle: one attempt per
+                        // request, its outcome is the verdict.
+                        let st = &mut self.tenants[tenant];
+                        if outcome == AttemptOutcome::Crashed {
+                            st.tally.failed += 1;
+                        } else {
+                            st.tally.completed += 1;
+                            let latency_ms = (now - arrival) * 1e3;
+                            if let Some(h) = &self.latency_h {
+                                h.observe(latency_ms);
+                            }
+                            if latency_ms > self.spec.slo_ms {
+                                self.tenants[tenant].tally.slo_violations += 1;
+                            }
+                        }
+                    } else {
+                        self.resolve_attempt(&mut q, tenant, req, attempt, arrival, outcome, t);
+                    }
+                    self.drain_all(t, &mut q);
+                }
+                Ev::HedgeFire { tenant, req } => {
+                    let tenant = tenant as usize;
+                    self.reap_warm(tenant, now);
+                    self.hedge_fire(&mut q, tenant, req, now);
+                    self.drain_all(t, &mut q);
+                }
+                Ev::Retry { tenant, req } => {
+                    let tenant = tenant as usize;
+                    self.reap_warm(tenant, now);
+                    self.launch_retry(&mut q, tenant, req, now);
                     self.drain_all(t, &mut q);
                 }
                 Ev::ScaleTick => {
@@ -1102,10 +1527,19 @@ impl LifecycleSim {
                 }
             }
         }
-        // Anything still parked saw its outage outlast every later
-        // event.
+        // The heap ran dry with requests still parked: under an outage
+        // still in force they could never have served (shed_outage);
+        // otherwise the run simply ended first (truncated).
+        let outage_at_end = self
+            .active_faults(q.now().as_secs())
+            .outage_until(BACKING)
+            .is_some();
         for st in &mut self.tenants {
-            st.tally.shed_outage += st.queue.len() as u64;
+            if outage_at_end {
+                st.tally.shed_outage += st.queue.len() as u64;
+            } else {
+                st.tally.truncated += st.queue.len() as u64;
+            }
             st.queue.clear();
         }
         let horizon = SimTime::max(q.now(), SimTime::from_secs(self.spec.duration_s));
@@ -1132,8 +1566,10 @@ impl LifecycleSim {
             }
             let ta = &st.tally;
             let requests = st.spec.arrival_s.len() as u64;
-            let dispatched = ta.completed + ta.failed;
-            let serve_dollars = PER_INVOCATION * dispatched as f64
+            // Every attempt — hedge losers and failed retries included —
+            // pays the invocation fee; attempts == completed + failed
+            // when resilience is off.
+            let serve_dollars = PER_INVOCATION * ta.attempts as f64
                 + ta.busy_gb_s * PER_GB_SECOND
                 + ta.idle_gb_s * KEEP_WARM_PER_GB_S;
             outcomes.push(TenantOutcome {
@@ -1142,13 +1578,21 @@ impl LifecycleSim {
                 requests,
                 completed: ta.completed,
                 failed: ta.failed,
+                timed_out: ta.timed_out,
                 shed_throttled: ta.shed_throttled,
                 shed_overload: ta.shed_overload,
                 shed_outage: ta.shed_outage,
+                shed_breaker: ta.shed_breaker,
+                truncated: ta.truncated,
                 cold_starts: ta.cold_starts,
                 warm_starts: ta.warm_starts,
                 slo_violations: ta.slo_violations,
                 drifted_served: ta.drifted_served,
+                attempts: ta.attempts,
+                retries: ta.retries,
+                hedges: ta.hedges,
+                hedge_wins: ta.hedge_wins,
+                degraded: ta.degraded,
                 serve_dollars,
                 jobs_started: ta.jobs_started,
                 jobs_completed: ta.jobs_completed,
@@ -1224,6 +1668,43 @@ impl LifecycleSim {
             self.obs
                 .counter("lifecycle.drift_skipped")
                 .add(sum(|t| t.drift_skipped));
+            // Truncation can occur without resilience (it replaces the
+            // old mislabelled shed_outage); emitted only when non-zero
+            // so pre-resilience goldens keep their exact bytes.
+            let truncated = sum(|t| t.truncated);
+            if truncated > 0 {
+                self.obs.counter("lifecycle.truncated").add(truncated);
+            }
+            // The resilience group is emitted whenever the spec is on,
+            // so resilient runs export a stable metric set.
+            if self.spec.resilience.enabled() {
+                self.obs
+                    .counter("lifecycle.timed_out")
+                    .add(sum(|t| t.timed_out));
+                self.obs
+                    .counter("lifecycle.shed_breaker")
+                    .add(sum(|t| t.shed_breaker));
+                self.obs
+                    .counter("resilience.attempts_total")
+                    .add(sum(|t| t.attempts));
+                self.obs
+                    .counter("resilience.retries")
+                    .add(sum(|t| t.retries));
+                self.obs.counter("resilience.hedges").add(sum(|t| t.hedges));
+                self.obs
+                    .counter("resilience.hedge_wins")
+                    .add(sum(|t| t.hedge_wins));
+                self.obs
+                    .counter("resilience.degraded")
+                    .add(sum(|t| t.degraded));
+                for st in &self.tenants {
+                    if let Some(br) = &st.breaker {
+                        self.obs
+                            .gauge(&format!("resilience.breaker_state.t{}", st.spec.id))
+                            .set(br.state().as_gauge());
+                    }
+                }
+            }
             self.obs
                 .counter("lifecycle.quota_stalls")
                 .add(self.quota_stalls);
@@ -1277,6 +1758,7 @@ mod tests {
     use super::*;
     use crate::priority::{all_priorities, priority_by_name};
     use ce_chaos::FaultSchedule;
+    use ce_resilience::{BreakerSpec, ResilienceSpec, RetryPolicy};
 
     /// A small, genuinely contended spec: 3 tenants on 12 workers.
     fn tight_spec(seed: u64) -> LifecycleSpec {
@@ -1285,6 +1767,28 @@ mod tests {
             .with_job_cap(8)
             .with_rps(6.0)
             .with_drift_mean_s(60.0)
+    }
+
+    /// Every request ends in exactly one verdict, and every dispatch is
+    /// an attempt.
+    fn assert_partition(t: &TenantOutcome) {
+        assert_eq!(
+            t.completed
+                + t.failed
+                + t.timed_out
+                + t.shed_throttled
+                + t.shed_overload
+                + t.shed_outage
+                + t.shed_breaker
+                + t.truncated,
+            t.requests,
+            "verdicts partition arrivals: {t:?}"
+        );
+        assert_eq!(
+            t.cold_starts + t.warm_starts,
+            t.attempts,
+            "every attempt cold- or warm-starts: {t:?}"
+        );
     }
 
     fn run_with(spec: LifecycleSpec, policy: &str) -> (LifecycleReport, String) {
@@ -1429,6 +1933,123 @@ mod tests {
             let (seq, m) = run_with(tight_spec(seed), "serve-first");
             assert_eq!(par[i].0, seq);
             assert_eq!(par[i].1.export_jsonl(), m);
+        }
+    }
+
+    #[test]
+    fn timeouts_type_the_verdict_per_tenant() {
+        let spec = tight_spec(42).with_resilience(ResilienceSpec {
+            timeout_ms: Some(100.0),
+            ..ResilienceSpec::disabled()
+        });
+        let (r, metrics) = run_with(spec, "serve-first");
+        for t in &r.tenants {
+            assert_partition(t);
+        }
+        let timed_out: u64 = r.tenants.iter().map(|t| t.timed_out).sum();
+        assert!(
+            timed_out > r.requests() / 2,
+            "a 100 ms deadline kills most ~250 ms requests: {r:?}"
+        );
+        assert!(metrics.contains(r#""name":"lifecycle.timed_out""#));
+        assert!(
+            r.total_dollars() > 0.0,
+            "killed attempts still bill their truncated busy time"
+        );
+    }
+
+    #[test]
+    fn retries_cut_failures_under_a_crash_storm_at_higher_cost() {
+        let storm = || FaultSchedule::parse("crash:0.5@10..60").unwrap();
+        let (base, _) = run_with(tight_spec(5).with_chaos(storm()), "serve-first");
+        let spec = tight_spec(5)
+            .with_chaos(storm())
+            .with_resilience(ResilienceSpec {
+                retry: Some(RetryPolicy::new(2)),
+                ..ResilienceSpec::disabled()
+            });
+        let (r, _) = run_with(spec, "serve-first");
+        for t in &r.tenants {
+            assert_partition(t);
+        }
+        let failed = |rep: &LifecycleReport| -> u64 { rep.tenants.iter().map(|t| t.failed).sum() };
+        let retries: u64 = r.tenants.iter().map(|t| t.retries).sum();
+        assert!(retries > 0, "the storm must trigger retries: {r:?}");
+        assert!(
+            failed(&r) < failed(&base),
+            "retries must save requests: {} vs {}",
+            failed(&r),
+            failed(&base)
+        );
+        assert!(
+            r.serve_dollars() > base.serve_dollars(),
+            "every extra attempt is billed: {} vs {}",
+            r.serve_dollars(),
+            base.serve_dollars()
+        );
+    }
+
+    #[test]
+    fn hedges_take_spare_quota_but_never_preempt_training() {
+        // A generous quota leaves spare workers for hedges; train-first
+        // structurally never preempts, so any preemption would be ours.
+        let spec = LifecycleSpec::new(2, 120.0, 9)
+            .with_quota(64)
+            .with_rps(4.0)
+            .with_resilience(ResilienceSpec {
+                hedge: Some(ce_resilience::HedgePolicy::FixedMs(100.0)),
+                ..ResilienceSpec::disabled()
+            });
+        let (r, _) = run_with(spec, "train-first");
+        for t in &r.tenants {
+            assert_partition(t);
+        }
+        let hedges: u64 = r.tenants.iter().map(|t| t.hedges).sum();
+        let completed: u64 = r.tenants.iter().map(|t| t.completed).sum();
+        let attempts: u64 = r.tenants.iter().map(|t| t.attempts).sum();
+        assert!(
+            hedges > 0,
+            "a 100 ms delay under ~250 ms service hedges: {r:?}"
+        );
+        assert!(
+            attempts > completed,
+            "hedge losers are real billed attempts"
+        );
+        assert_eq!(r.preemptions(), 0, "hedges never evict an epoch");
+        assert!(r.quota_peak <= 64, "hedges stay within the shared quota");
+    }
+
+    #[test]
+    fn breaker_sheds_fast_during_a_total_crash_storm() {
+        let storm = FaultSchedule::parse("crash:1@20..80").unwrap();
+        let spec = tight_spec(7)
+            .with_chaos(storm)
+            .with_resilience(ResilienceSpec {
+                breaker: Some(BreakerSpec::new(0.5)),
+                ..ResilienceSpec::disabled()
+            });
+        let (r, metrics) = run_with(spec, "serve-first");
+        for t in &r.tenants {
+            assert_partition(t);
+        }
+        let shed: u64 = r.tenants.iter().map(|t| t.shed_breaker).sum();
+        let failed: u64 = r.tenants.iter().map(|t| t.failed).sum();
+        assert!(shed > 0, "every tenant's breaker must trip: {r:?}");
+        assert!(
+            shed > failed,
+            "most doomed dispatches become fast sheds: {shed} vs {failed}"
+        );
+        assert!(metrics.contains(r#""name":"resilience.breaker""#));
+    }
+
+    #[test]
+    fn tiny_queue_cap_sheds_overload_instead_of_queueing() {
+        let spec = tight_spec(3).with_quota(4).with_queue_cap(2);
+        let (r, _) = run_with(spec, "train-first");
+        let overload: u64 = r.tenants.iter().map(|t| t.shed_overload).sum();
+        assert!(overload > 0, "a 2-slot queue under 6 rps must shed: {r:?}");
+        for t in &r.tenants {
+            assert_partition(t);
         }
     }
 

@@ -14,6 +14,7 @@ use ce_chaos::FaultSchedule;
 use ce_ml::curve::CurveParams;
 use ce_models::{AllocationSpace, Environment, Workload};
 use ce_pareto::ParetoProfiler;
+use ce_resilience::ResilienceSpec;
 use ce_serve::ArrivalModel;
 use ce_sim_core::rng::SimRng;
 use serde::{Deserialize, Serialize};
@@ -52,6 +53,13 @@ pub struct LifecycleSpec {
     pub keep_alive: String,
     /// Optional fault schedule shared by both halves of the lifecycle.
     pub chaos: Option<FaultSchedule>,
+    /// Per-tenant admission-queue capacity (requests).
+    pub queue_cap: usize,
+    /// Request-level resilience policies (timeouts, retries, hedging,
+    /// circuit breaking, brownout), applied per tenant. Disabled by
+    /// default, in which case the run is bit-identical to one built
+    /// before the resilience layer existed.
+    pub resilience: ResilienceSpec,
     /// The environment training jobs run in.
     pub env: Environment,
 }
@@ -74,6 +82,8 @@ impl LifecycleSpec {
             autoscaler: "target".to_string(),
             keep_alive: "fixed".to_string(),
             chaos: None,
+            queue_cap: 10_000,
+            resilience: ResilienceSpec::disabled(),
             env: Environment::aws_default(),
         }
     }
@@ -125,6 +135,19 @@ impl LifecycleSpec {
     /// Attaches a fault schedule.
     pub fn with_chaos(mut self, chaos: FaultSchedule) -> Self {
         self.chaos = Some(chaos);
+        self
+    }
+
+    /// Sets the per-tenant admission-queue capacity.
+    pub fn with_queue_cap(mut self, queue_cap: usize) -> Self {
+        assert!(queue_cap >= 1, "the admission queue needs at least 1 slot");
+        self.queue_cap = queue_cap;
+        self
+    }
+
+    /// Attaches request-level resilience policies.
+    pub fn with_resilience(mut self, resilience: ResilienceSpec) -> Self {
+        self.resilience = resilience;
         self
     }
 

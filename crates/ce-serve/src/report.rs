@@ -8,9 +8,13 @@ use serde::{Deserialize, Serialize};
 ///
 /// Every request ends in exactly one verdict:
 /// `completed` (within or over SLO), `failed` (instance crashed
-/// mid-request), `shed_throttled` (rejected by an injected throttle
-/// storm), `shed_overload` (admission queue full), or `shed_outage`
-/// (parked on a backing-store outage that outlasted the run).
+/// mid-request, retries exhausted), `timed_out` (every attempt was
+/// killed at the request deadline), `shed_throttled` (rejected by an
+/// injected throttle storm), `shed_overload` (admission queue full),
+/// `shed_outage` (a backing-store outage that outlasted the run),
+/// `shed_breaker` (fast-shed by an open circuit breaker), or
+/// `truncated` (still parked when the run ended, with no outage in
+/// force).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServeReport {
     /// Autoscaler display name.
@@ -25,15 +29,24 @@ pub struct ServeReport {
     pub completed: u64,
     /// Requests lost to a mid-request instance crash.
     pub failed: u64,
+    /// Requests whose every attempt was killed at the request timeout.
+    #[serde(default)]
+    pub timed_out: u64,
     /// Requests rejected by an injected throttle storm.
     pub shed_throttled: u64,
     /// Requests dropped because the admission queue was full.
     pub shed_overload: u64,
     /// Requests dropped because a backing-store outage outlasted the run.
     pub shed_outage: u64,
-    /// Completed requests that cold-started.
+    /// Requests fast-shed by an open circuit breaker.
+    #[serde(default)]
+    pub shed_breaker: u64,
+    /// Requests still parked (no outage in force) when the run ended.
+    #[serde(default)]
+    pub truncated: u64,
+    /// Dispatched attempts that cold-started.
     pub cold_starts: u64,
-    /// Completed requests served by a warm instance.
+    /// Dispatched attempts served by a warm instance.
     pub warm_starts: u64,
     /// Completed requests whose end-to-end latency broke the SLO.
     pub slo_violations: u64,
@@ -41,6 +54,22 @@ pub struct ServeReport {
     pub prewarmed: u64,
     /// Instances reclaimed by keep-alive expiry.
     pub expired: u64,
+    /// Attempts dispatched (requests plus retries and hedges; every
+    /// one pays the invocation fee).
+    #[serde(default)]
+    pub attempts: u64,
+    /// Retry attempts scheduled by the resilience layer.
+    #[serde(default)]
+    pub retries: u64,
+    /// Hedge attempts launched.
+    #[serde(default)]
+    pub hedges: u64,
+    /// Requests settled by their hedge attempt finishing first.
+    #[serde(default)]
+    pub hedge_wins: u64,
+    /// Attempts dispatched on the degraded (brownout) profile.
+    #[serde(default)]
+    pub degraded: u64,
     /// End-to-end latency quantiles over completed requests (ms).
     pub p50_ms: f64,
     /// 95th-percentile latency (ms).
@@ -69,9 +98,12 @@ impl ServeReport {
         }
         let bad = self.slo_violations
             + self.failed
+            + self.timed_out
             + self.shed_throttled
             + self.shed_overload
-            + self.shed_outage;
+            + self.shed_outage
+            + self.shed_breaker
+            + self.truncated;
         bad as f64 / self.requests as f64
     }
 
@@ -107,14 +139,22 @@ mod tests {
             requests: 1000,
             completed: 990,
             failed: 4,
+            timed_out: 0,
             shed_throttled: 3,
             shed_overload: 2,
             shed_outage: 1,
+            shed_breaker: 0,
+            truncated: 0,
             cold_starts: 10,
             warm_starts: 980,
             slo_violations,
             prewarmed: 5,
             expired: 5,
+            attempts: 994,
+            retries: 0,
+            hedges: 0,
+            hedge_wins: 0,
+            degraded: 0,
             p50_ms: 250.0,
             p95_ms: 400.0,
             p99_ms: 900.0,

@@ -23,6 +23,21 @@
 //!   (keyed `"request-throttle"/i`, `"request-crash"/i`), drawn only in
 //!   non-quiet instants, so a zero-fault schedule is bit-identical to no
 //!   schedule.
+//!
+//! # Resilience
+//!
+//! A [`ce_resilience::ResilienceSpec`] adds per-request timeouts,
+//! budgeted retries, hedging, circuit breaking, and brownout serving on
+//! top of the base lifecycle. Attempt 0 of every request uses exactly
+//! the streams above; attempt `k >= 1` (a retry or hedge) draws its
+//! jitter, crash fate, and backoff on fresh streams forked per
+//! (request, attempt) — `"request"/i` chained with `"attempt"/k` — so
+//! the extra draws never perturb the base sequences. With the spec
+//! disabled (the default) no resilience state is allocated, no extra
+//! draws happen, and runs are byte-identical to pre-resilience goldens.
+//! Every attempt — including hedge losers and failed retries — is
+//! billed: an invocation fee plus its GB-seconds up to the instant it
+//! completed, crashed, or was killed by the timeout.
 
 use crate::arrival::ArrivalModel;
 use crate::autoscale::{Autoscaler, LoadObservation, ScaleDecision};
@@ -30,11 +45,15 @@ use crate::report::ServeReport;
 use ce_chaos::{ActiveFaults, CompiledSchedule, FaultSchedule};
 use ce_faas::{FunctionId, InstancePool, KeepAlive};
 use ce_obs::{Histogram, Registry};
+use ce_resilience::{
+    AttemptOutcome, BreakerState, CircuitBreaker, HedgePolicy, ResilienceSpec, RetryBudget,
+};
 use ce_sim_core::event::EventQueue;
 use ce_sim_core::rng::SimRng;
 use ce_sim_core::time::SimTime;
 use ce_storage::StorageKind;
 use rayon::prelude::*;
+use serde_json::json;
 use std::collections::VecDeque;
 
 /// Configuration of one serving run.
@@ -73,6 +92,8 @@ pub struct ServeSpec {
     pub backing: StorageKind,
     /// Optional fault schedule.
     pub chaos: Option<FaultSchedule>,
+    /// Request-level resilience configuration (disabled by default).
+    pub resilience: ResilienceSpec,
 }
 
 impl ServeSpec {
@@ -96,6 +117,7 @@ impl ServeSpec {
             keep_warm_per_gb_s: 4.1667e-6,
             backing: StorageKind::S3,
             chaos: None,
+            resilience: ResilienceSpec::disabled(),
         }
     }
 
@@ -122,23 +144,42 @@ impl ServeSpec {
         self.chaos = Some(chaos);
         self
     }
+
+    /// Sets the admission-queue capacity.
+    pub fn with_queue_cap(mut self, queue_cap: usize) -> Self {
+        assert!(queue_cap >= 1, "the admission queue needs at least 1 slot");
+        self.queue_cap = queue_cap;
+        self
+    }
+
+    /// Attaches a resilience configuration.
+    pub fn with_resilience(mut self, resilience: ResilienceSpec) -> Self {
+        self.resilience = resilience;
+        self
+    }
 }
 
 /// Simulation events (heap-ordered by time, FIFO on ties).
 enum Ev {
     /// Request `i` of the arrival schedule arrives.
     Arrival(u32),
-    /// A dispatched request finishes (successfully or crashed).
+    /// A dispatched attempt resolves (response, crash, or timeout kill).
     Done {
+        req: u32,
+        attempt: u32,
         fid: FunctionId,
         arrival: SimTime,
         busy_s: f64,
-        failed: bool,
+        outcome: AttemptOutcome,
     },
     /// Autoscaler control-loop tick.
     ScaleTick,
     /// A backing-store outage window ends; parked requests dispatch.
     OutageEnd,
+    /// The hedge delay of request `i`'s primary attempt elapsed.
+    HedgeFire(u32),
+    /// Request `i`'s retry backoff elapsed; relaunch it.
+    Retry(u32),
 }
 
 /// Per-run counters accumulated inline and flushed to ce-obs once.
@@ -146,15 +187,45 @@ enum Ev {
 struct Tally {
     completed: u64,
     failed: u64,
+    timed_out: u64,
     shed_throttled: u64,
     shed_overload: u64,
     shed_outage: u64,
+    shed_breaker: u64,
+    truncated: u64,
     cold_starts: u64,
     warm_starts: u64,
     slo_violations: u64,
     prewarmed: u64,
+    attempts: u64,
+    retries: u64,
+    hedges: u64,
+    hedge_wins: u64,
+    degraded: u64,
     busy_gb_s: f64,
     idle_gb_s: f64,
+}
+
+/// Live resilience state of one request, allocated only when the spec
+/// enables any mechanism (index = request index).
+#[derive(Clone, Copy, Debug, Default)]
+struct ReqState {
+    /// Attempts launched so far (attempt indices 0..attempts).
+    attempts: u32,
+    /// Retries among those attempts (bounded by the policy).
+    retries: u32,
+    /// Attempts currently in flight.
+    outstanding: u32,
+    /// The request already has a verdict; later completions are losers.
+    settled: bool,
+    /// A hedge attempt was launched (at most one per request).
+    hedged: bool,
+    /// Attempt index of the hedge, when one launched.
+    hedge_attempt: Option<u32>,
+    /// This request is the circuit breaker's half-open probe.
+    probe: bool,
+    /// The most recent failure was a timeout (types the final verdict).
+    timed_out_last: bool,
 }
 
 /// Per-run chaos state: the compiled schedule plus its dedicated stream.
@@ -200,6 +271,11 @@ pub struct ServeSim {
     latency_h: Option<Histogram>,
     queue_wait_h: Option<Histogram>,
     cold_start_h: Option<Histogram>,
+    // Resilience state; all empty/None when the spec is disabled.
+    rstate: Vec<ReqState>,
+    breaker: Option<CircuitBreaker>,
+    budget: Option<RetryBudget>,
+    attempts_h: Option<Histogram>,
 }
 
 impl ServeSim {
@@ -240,6 +316,10 @@ impl ServeSim {
             latency_h: None,
             queue_wait_h: None,
             cold_start_h: None,
+            rstate: Vec::new(),
+            breaker: spec.resilience.breaker.map(CircuitBreaker::new),
+            budget: spec.resilience.budget(),
+            attempts_h: None,
             spec,
         }
     }
@@ -290,12 +370,101 @@ impl ServeSim {
         }
     }
 
-    /// Starts request `req` executing at `now` and schedules its
-    /// completion.
+    /// Whether any resilience mechanism is active this run.
+    fn resilient(&self) -> bool {
+        !self.rstate.is_empty()
+    }
+
+    /// The arrival instant of request `req` (the schedule is immutable,
+    /// so hedges and retries can reconstruct it instead of carrying it).
+    fn req_arrival(&self, req: u32) -> SimTime {
+        SimTime::from_secs(self.arrivals[req as usize])
+    }
+
+    /// Jitter for attempt `attempt >= 1` of `req`: the same draw shape
+    /// as the pre-drawn attempt-0 jitter, on a fresh stream forked per
+    /// (request, attempt) so it is independent of event order and of
+    /// every base stream.
+    fn attempt_jitter(&self, req: u32, attempt: u32) -> RequestJitter {
+        let key = self
+            .rng
+            .derive_idx("request", u64::from(req))
+            .derive_idx("attempt", u64::from(attempt));
+        let mut cold_path = key.clone();
+        let cold = cold_path.lognormal_jitter(self.spec.cold_start_jitter);
+        let service_cold = cold_path.lognormal_jitter(self.spec.service_jitter);
+        let mut warm_path = key;
+        let service_warm = warm_path.lognormal_jitter(self.spec.service_jitter);
+        RequestJitter {
+            cold,
+            service_cold,
+            service_warm,
+        }
+    }
+
+    /// Seconds after a primary dispatch at which its hedge launches:
+    /// the live p95 of completed end-to-end latency (SLO before any
+    /// completions exist), or the fixed configured delay.
+    fn hedge_delay_s(&self, policy: HedgePolicy) -> f64 {
+        match policy {
+            HedgePolicy::FixedMs(ms) => ms / 1e3,
+            HedgePolicy::P95 => {
+                self.latency_h
+                    .as_ref()
+                    .and_then(|h| h.quantile(0.95))
+                    .unwrap_or(self.spec.slo_ms)
+                    .max(1e-3)
+                    / 1e3
+            }
+        }
+    }
+
+    /// Emits the breaker transition event and state gauge.
+    fn note_breaker_transition(&self, from: BreakerState, to: BreakerState, now: SimTime) {
+        self.obs.event(
+            now.as_secs(),
+            "resilience.breaker",
+            &[("from", json!(from.name())), ("to", json!(to.name()))],
+        );
+        self.obs
+            .gauge("resilience.breaker_state")
+            .set(to.as_gauge());
+    }
+
+    /// Feeds one attempt outcome to the circuit breaker.
+    fn feed_breaker(&mut self, ok: bool, probe: bool, now: SimTime) {
+        let tr = self
+            .breaker
+            .as_mut()
+            .and_then(|br| br.on_outcome(ok, probe, now.as_secs()));
+        if let Some(tr) = tr {
+            self.note_breaker_transition(tr.from, tr.to, now);
+        }
+    }
+
+    /// Records a settled request's attempt count.
+    fn observe_attempts(&self, attempts: u32) {
+        if let Some(h) = &self.attempts_h {
+            h.observe(f64::from(attempts));
+        }
+    }
+
+    /// Starts the next attempt of request `req` executing at `now` and
+    /// schedules its resolution. Attempt 0 replays the pre-drawn jitter
+    /// and base chaos streams; later attempts fork fresh ones.
     fn dispatch(&mut self, q: &mut EventQueue<Ev>, req: u32, arrival: SimTime, now: SimTime) {
+        let attempt = if self.resilient() {
+            self.rstate[req as usize].attempts
+        } else {
+            0
+        };
         let (fid, cold) = self.pool.acquire_one(self.spec.memory_mb, now);
         let active = self.active_faults(now);
-        let jit = self.jitter[req as usize];
+        let jit = if attempt == 0 {
+            self.jitter[req as usize]
+        } else {
+            self.attempt_jitter(req, attempt)
+        };
         let cold_s = if cold {
             self.tally.cold_starts += 1;
             let spike = active.cold_start_factor.max(1.0);
@@ -313,38 +482,82 @@ impl ServeSim {
         } else {
             jit.service_warm
         };
-        let service_s = self.spec.service_s * service_jit;
+        let mut service_s = self.spec.service_s * service_jit;
+        // Brownout: above the queue-depth threshold this attempt serves
+        // the degraded (cheaper, faster) profile instead of letting the
+        // backlog overflow into sheds.
+        if let Some(b) = &self.spec.resilience.brownout {
+            if b.active(self.queue.len(), self.spec.queue_cap) {
+                service_s *= b.degrade_factor;
+                self.tally.degraded += 1;
+            }
+        }
         let mut busy_s = cold_s + service_s;
-        let mut failed = false;
+        let mut outcome = AttemptOutcome::Ok;
         // Mid-request crash: the instance dies at a uniform fraction of
-        // its execution. Drawn on the chaos stream keyed by request index
-        // only when a crash window is active.
+        // its execution. Attempt 0 draws on the chaos stream keyed by
+        // request index (exactly the pre-resilience sequence); attempt
+        // k >= 1 forks that stream again by attempt index.
         if !active.is_quiet() && active.crash_rate > 0.0 {
             let chaos = self.chaos.as_ref().expect("non-quiet implies a schedule");
-            let mut draw = chaos.rng.derive_idx("request-crash", u64::from(req));
+            let base = chaos.rng.derive_idx("request-crash", u64::from(req));
+            let mut draw = if attempt == 0 {
+                base
+            } else {
+                base.derive_idx("attempt", u64::from(attempt))
+            };
             if draw.bernoulli(active.crash_rate) {
-                failed = true;
+                outcome = AttemptOutcome::Crashed;
                 busy_s *= draw.uniform();
             }
         }
-        if let Some(h) = &self.queue_wait_h {
-            h.observe((now - arrival) * 1e3);
+        // Timeout: the attempt is killed at the deadline. A crash that
+        // would land past the deadline never happens — the kill wins.
+        if let Some(tmo_s) = self.spec.resilience.timeout_s() {
+            if busy_s > tmo_s {
+                busy_s = tmo_s;
+                outcome = AttemptOutcome::TimedOut;
+            }
+        }
+        if attempt == 0 {
+            if let Some(h) = &self.queue_wait_h {
+                h.observe((now - arrival) * 1e3);
+            }
         }
         self.inflight += 1;
+        self.tally.attempts += 1;
+        if self.resilient() {
+            let st = &mut self.rstate[req as usize];
+            st.attempts += 1;
+            st.outstanding += 1;
+            // Hedge the primary attempt: the hedge launches once, after
+            // the hedge delay, unless the request settles first.
+            if attempt == 0 {
+                if let Some(policy) = self.spec.resilience.hedge {
+                    q.schedule_at(now + self.hedge_delay_s(policy), Ev::HedgeFire(req));
+                }
+            }
+        }
         q.schedule_at(
             now + busy_s,
             Ev::Done {
+                req,
+                attempt,
                 fid,
                 arrival,
                 busy_s,
-                failed,
+                outcome,
             },
         );
     }
 
-    /// Admits one arrival: shed on an active throttle storm, park on a
-    /// backing-store outage, dispatch within capacity, else queue.
+    /// Admits one arrival: shed on an active throttle storm or an open
+    /// circuit breaker, park on a backing-store outage, dispatch within
+    /// capacity, else queue.
     fn handle_arrival(&mut self, q: &mut EventQueue<Ev>, req: u32, now: SimTime) {
+        if let Some(b) = &mut self.budget {
+            b.deposit();
+        }
         let active = self.active_faults(now);
         if !active.is_quiet() && active.throttle_rate > 0.0 {
             let chaos = self.chaos.as_ref().expect("non-quiet implies a schedule");
@@ -352,6 +565,25 @@ impl ServeSim {
             if draw.bernoulli(active.throttle_rate) {
                 self.tally.shed_throttled += 1;
                 return;
+            }
+        }
+        // Circuit breaker: while open, doomed dispatches become fast
+        // sheds; the first admission after the cooldown is the probe.
+        let gate = self.breaker.as_mut().map(|br| {
+            let before = br.state();
+            let admitted = br.allow(now.as_secs());
+            (before, br.state(), admitted)
+        });
+        if let Some((before, after, admitted)) = gate {
+            if before != after {
+                self.note_breaker_transition(before, after, now);
+            }
+            if !admitted {
+                self.tally.shed_breaker += 1;
+                return;
+            }
+            if after == BreakerState::HalfOpen {
+                self.rstate[req as usize].probe = true;
             }
         }
         if let Some(resumes_at_s) = active.outage_until(self.spec.backing) {
@@ -390,8 +622,15 @@ impl ServeSim {
         }
         let active = self.active_faults(now);
         if let Some(resumes_at_s) = active.outage_until(self.spec.backing) {
+            // Same rule as admission: an overlapping outage window that
+            // outlasts the run can never serve the parked requests.
+            if resumes_at_s > self.spec.duration_s.max(now.as_secs()) {
+                self.tally.shed_outage += self.queue.len() as u64;
+                self.queue.clear();
+                return;
+            }
             // Still (or again) down: keep the queue parked.
-            if !self.outage_end_pending && resumes_at_s <= self.spec.duration_s.max(now.as_secs()) {
+            if !self.outage_end_pending {
                 q.schedule_at(SimTime::from_secs(resumes_at_s), Ev::OutageEnd);
                 self.outage_end_pending = true;
             }
@@ -443,6 +682,12 @@ impl ServeSim {
         self.latency_h = Some(latency_h);
         self.queue_wait_h = Some(queue_wait_h);
         self.cold_start_h = Some(cold_start_h);
+        if self.spec.resilience.enabled() {
+            self.rstate = vec![ReqState::default(); self.arrivals.len()];
+            let attempts_h = self.obs.histogram("resilience.attempts");
+            attempts_h.enable_quantiles();
+            self.attempts_h = Some(attempts_h);
+        }
 
         let mut q: EventQueue<Ev> = EventQueue::with_capacity(1024);
         let init = self.autoscaler.initial();
@@ -463,32 +708,45 @@ impl ServeSim {
                     self.handle_arrival(&mut q, i, t);
                 }
                 Ev::Done {
+                    req,
+                    attempt,
                     fid,
                     arrival,
                     busy_s,
-                    failed,
+                    outcome,
                 } => {
                     self.reap_warm(t);
                     self.inflight -= 1;
                     let gb = self.gb();
                     self.tally.busy_gb_s += busy_s * gb;
-                    if failed {
+                    if outcome == AttemptOutcome::Crashed {
                         // The instance died mid-request: remove it and
                         // bill its keep-warm time up to the crash.
                         let inst = self.pool.retire(&[fid]).pop().expect("retired instance");
                         let idle_s = ((t - inst.created_at) - inst.busy_s - busy_s).max(0.0);
                         self.tally.idle_gb_s += idle_s * gb;
-                        self.tally.failed += 1;
                     } else {
+                        // Ok and timeout-killed attempts hand back a
+                        // warm instance.
                         self.pool.release(&[fid], busy_s, t);
-                        self.tally.completed += 1;
-                        let latency_ms = (t - arrival) * 1e3;
-                        if let Some(h) = &self.latency_h {
-                            h.observe(latency_ms);
+                    }
+                    if !self.resilient() {
+                        // The pre-resilience lifecycle: one attempt per
+                        // request, its outcome is the verdict.
+                        if outcome == AttemptOutcome::Crashed {
+                            self.tally.failed += 1;
+                        } else {
+                            self.tally.completed += 1;
+                            let latency_ms = (t - arrival) * 1e3;
+                            if let Some(h) = &self.latency_h {
+                                h.observe(latency_ms);
+                            }
+                            if latency_ms > self.spec.slo_ms {
+                                self.tally.slo_violations += 1;
+                            }
                         }
-                        if latency_ms > self.spec.slo_ms {
-                            self.tally.slo_violations += 1;
-                        }
+                    } else {
+                        self.resolve_attempt(&mut q, req, attempt, arrival, outcome, t);
                     }
                     self.drain_queue(&mut q, t);
                 }
@@ -519,13 +777,175 @@ impl ServeSim {
                     self.reap_warm(t);
                     self.drain_queue(&mut q, t);
                 }
+                Ev::HedgeFire(req) => {
+                    self.reap_warm(t);
+                    self.hedge_fire(&mut q, req, t);
+                }
+                Ev::Retry(req) => {
+                    self.reap_warm(t);
+                    self.launch_retry(&mut q, req, t);
+                }
             }
         }
-        // Anything still parked saw its outage outlast every later event.
-        self.tally.shed_outage += self.queue.len() as u64;
-        self.queue.clear();
+        // The heap ran dry with requests still parked: under an outage
+        // still in force they could never have served (shed_outage);
+        // otherwise the run simply ended first (truncated).
+        self.settle_parked(q.now());
         let horizon = SimTime::max(q.now(), SimTime::from_secs(self.spec.duration_s));
         self.finalize(horizon)
+    }
+
+    /// Classifies everything still parked when the event heap runs dry:
+    /// `shed_outage` when a backing-store outage is in force at the
+    /// final instant, `truncated` when the run merely ended.
+    fn settle_parked(&mut self, at: SimTime) {
+        if self.queue.is_empty() {
+            return;
+        }
+        let parked = self.queue.len() as u64;
+        if self
+            .active_faults(at)
+            .outage_until(self.spec.backing)
+            .is_some()
+        {
+            self.tally.shed_outage += parked;
+        } else {
+            self.tally.truncated += parked;
+        }
+        self.queue.clear();
+    }
+
+    /// Resolves attempt `attempt` of request `req` under resilience:
+    /// settles the request, lets a sibling attempt race on, or
+    /// schedules a budgeted retry.
+    fn resolve_attempt(
+        &mut self,
+        q: &mut EventQueue<Ev>,
+        req: u32,
+        attempt: u32,
+        arrival: SimTime,
+        outcome: AttemptOutcome,
+        t: SimTime,
+    ) {
+        let probe = self.rstate[req as usize].probe;
+        self.feed_breaker(outcome.is_ok(), probe, t);
+        self.rstate[req as usize].outstanding -= 1;
+        if outcome.is_ok() {
+            let st = self.rstate[req as usize];
+            if st.settled {
+                return; // a hedge loser finishing after the winner
+            }
+            self.rstate[req as usize].settled = true;
+            if st.hedge_attempt == Some(attempt) {
+                self.tally.hedge_wins += 1;
+            }
+            self.tally.completed += 1;
+            let latency_ms = (t - arrival) * 1e3;
+            if let Some(h) = &self.latency_h {
+                h.observe(latency_ms);
+            }
+            if latency_ms > self.spec.slo_ms {
+                self.tally.slo_violations += 1;
+            }
+            self.observe_attempts(st.attempts);
+            return;
+        }
+        self.rstate[req as usize].timed_out_last = outcome == AttemptOutcome::TimedOut;
+        let st = self.rstate[req as usize];
+        if st.settled || st.outstanding > 0 {
+            return; // a sibling attempt may still save the request
+        }
+        // Retry when the policy has attempts left and the shared
+        // token-bucket budget funds one; otherwise the failure stands.
+        let wants_retry = self
+            .spec
+            .resilience
+            .retry
+            .is_some_and(|p| st.retries < p.max_retries);
+        let funded = wants_retry && self.budget.as_mut().is_none_or(RetryBudget::try_withdraw);
+        if funded {
+            let policy = self.spec.resilience.retry.expect("checked above");
+            let retry_no = st.retries + 1;
+            self.rstate[req as usize].retries = retry_no;
+            self.tally.retries += 1;
+            // Backoff jitter on a stream forked per (request, retry):
+            // independent of event order and of every base stream.
+            let mut jrng = self
+                .rng
+                .derive_idx("backoff", u64::from(req))
+                .derive_idx("retry", u64::from(retry_no));
+            let backoff_s = policy.backoff_ms(retry_no, jrng.uniform_range(0.5, 1.5)) / 1e3;
+            q.schedule_at(t + backoff_s, Ev::Retry(req));
+        } else {
+            self.settle_exhausted(req);
+        }
+    }
+
+    /// Settles `req` with its last failure mode as the verdict.
+    fn settle_exhausted(&mut self, req: u32) {
+        let st = self.rstate[req as usize];
+        self.rstate[req as usize].settled = true;
+        if st.timed_out_last {
+            self.tally.timed_out += 1;
+        } else {
+            self.tally.failed += 1;
+        }
+        self.observe_attempts(st.attempts);
+    }
+
+    /// Launches the hedge attempt of `req` if the primary is still
+    /// outstanding and the backing store is up. Hedges are server-side
+    /// duplicates, not new admissions, so they bypass the capacity
+    /// gate — their extra compute is billed like any other attempt.
+    fn hedge_fire(&mut self, q: &mut EventQueue<Ev>, req: u32, t: SimTime) {
+        let st = self.rstate[req as usize];
+        if st.settled || st.hedged || st.outstanding == 0 {
+            return; // already decided, or a retry owns recovery now
+        }
+        if self
+            .active_faults(t)
+            .outage_until(self.spec.backing)
+            .is_some()
+        {
+            return; // the hedge could not read model state anyway
+        }
+        self.rstate[req as usize].hedged = true;
+        self.rstate[req as usize].hedge_attempt = Some(st.attempts);
+        self.tally.hedges += 1;
+        let arrival = self.req_arrival(req);
+        self.dispatch(q, req, arrival, t);
+    }
+
+    /// Relaunches `req` after its backoff: dispatch within capacity,
+    /// park behind an outage or a full pool, or let the failure stand
+    /// when the queue is full too.
+    fn launch_retry(&mut self, q: &mut EventQueue<Ev>, req: u32, t: SimTime) {
+        let arrival = self.req_arrival(req);
+        let active = self.active_faults(t);
+        if let Some(resumes_at_s) = active.outage_until(self.spec.backing) {
+            if resumes_at_s > self.spec.duration_s.max(t.as_secs()) {
+                // The retry can never launch: the last failure stands.
+                self.settle_exhausted(req);
+                return;
+            }
+            if self.queue.len() >= self.spec.queue_cap {
+                self.settle_exhausted(req);
+                return;
+            }
+            self.queue.push_back((req, arrival));
+            if !self.outage_end_pending {
+                q.schedule_at(SimTime::from_secs(resumes_at_s), Ev::OutageEnd);
+                self.outage_end_pending = true;
+            }
+            return;
+        }
+        if self.inflight < self.capacity {
+            self.dispatch(q, req, arrival, t);
+        } else if self.queue.len() < self.spec.queue_cap {
+            self.queue.push_back((req, arrival));
+        } else {
+            self.settle_exhausted(req);
+        }
     }
 
     /// Drains the warm pool, computes the bill, flushes metrics, and
@@ -538,8 +958,10 @@ impl ServeSim {
         let t = &self.tally;
         let stats = self.pool.stats();
         let requests = self.arrivals.len() as u64;
-        let dispatched = t.completed + t.failed;
-        let dollars = self.spec.per_invocation * dispatched as f64
+        // Every attempt — hedge losers and failed retries included —
+        // pays the invocation fee; attempts == completed + failed when
+        // resilience is off.
+        let dollars = self.spec.per_invocation * t.attempts as f64
             + t.busy_gb_s * self.spec.per_gb_second
             + t.idle_gb_s * self.spec.keep_warm_per_gb_s;
         let quantile =
@@ -551,14 +973,22 @@ impl ServeSim {
             requests,
             completed: t.completed,
             failed: t.failed,
+            timed_out: t.timed_out,
             shed_throttled: t.shed_throttled,
             shed_overload: t.shed_overload,
             shed_outage: t.shed_outage,
+            shed_breaker: t.shed_breaker,
+            truncated: t.truncated,
             cold_starts: t.cold_starts,
             warm_starts: t.warm_starts,
             slo_violations: t.slo_violations,
             prewarmed: t.prewarmed,
             expired: stats.expired,
+            attempts: t.attempts,
+            retries: t.retries,
+            hedges: t.hedges,
+            hedge_wins: t.hedge_wins,
+            degraded: t.degraded,
             p50_ms: quantile(&self.latency_h, 0.50),
             p95_ms: quantile(&self.latency_h, 0.95),
             p99_ms: quantile(&self.latency_h, 0.99),
@@ -590,6 +1020,30 @@ impl ServeSim {
             self.obs
                 .gauge("serve.cost_per_million_req")
                 .set(report.cost_per_million());
+            // Truncation can occur without resilience (it replaces the
+            // old mislabelled shed_outage); emitted only when non-zero
+            // so pre-resilience goldens keep their exact bytes.
+            if t.truncated > 0 {
+                self.obs.counter("serve.truncated").add(t.truncated);
+            }
+            // The resilience group is emitted whenever the spec is on,
+            // so resilient runs export a stable metric set.
+            if self.spec.resilience.enabled() {
+                self.obs.counter("serve.timed_out").add(t.timed_out);
+                self.obs.counter("serve.shed_breaker").add(t.shed_breaker);
+                self.obs
+                    .counter("resilience.attempts_total")
+                    .add(t.attempts);
+                self.obs.counter("resilience.retries").add(t.retries);
+                self.obs.counter("resilience.hedges").add(t.hedges);
+                self.obs.counter("resilience.hedge_wins").add(t.hedge_wins);
+                self.obs.counter("resilience.degraded").add(t.degraded);
+                if let Some(br) = &self.breaker {
+                    self.obs
+                        .gauge("resilience.breaker_state")
+                        .set(br.state().as_gauge());
+                }
+            }
         }
         report
     }
@@ -598,7 +1052,7 @@ impl ServeSim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::autoscale::{autoscaler_by_name, ConcurrencyTarget, FixedPool};
+    use crate::autoscale::{autoscaler_by_name, ConcurrencyTarget, FixedPool, PrewarmAhead};
     use ce_faas::{keep_alive_by_name, AdaptiveTtl, FixedTtl};
 
     fn poisson_spec(rps: f64, duration_s: f64, seed: u64) -> ServeSpec {
@@ -843,6 +1297,301 @@ mod tests {
             fixed.idle_gb_s
         );
         assert!(adaptive.expired > 0, "idle instances actually expired");
+    }
+
+    fn assert_verdict_partition(r: &ServeReport) {
+        assert_eq!(
+            r.completed
+                + r.failed
+                + r.timed_out
+                + r.shed_throttled
+                + r.shed_overload
+                + r.shed_outage
+                + r.shed_breaker
+                + r.truncated,
+            r.requests,
+            "verdicts partition arrivals: {r:?}"
+        );
+        assert_eq!(
+            r.cold_starts + r.warm_starts,
+            r.attempts,
+            "every attempt starts cold or warm: {r:?}"
+        );
+    }
+
+    #[test]
+    fn disabled_resilience_spec_is_bit_identical_to_none() {
+        let run = |resilience: ResilienceSpec| {
+            let mut spec = poisson_spec(30.0, 120.0, 17);
+            spec.chaos =
+                Some(FaultSchedule::parse("crash:0.15@0..60;coldspike:x3@30..90").unwrap());
+            spec.resilience = resilience;
+            let registry = Registry::new();
+            let r = ServeSim::new(
+                spec,
+                Box::new(ConcurrencyTarget::default()),
+                Box::new(AdaptiveTtl::default()),
+            )
+            .with_obs(&registry)
+            .run();
+            (r, registry.export_jsonl())
+        };
+        let (r1, m1) = run(ResilienceSpec::disabled());
+        let (r2, m2) = run(ResilienceSpec::default());
+        assert_eq!(r1, r2);
+        assert_eq!(m1, m2, "disabled spec must change nothing");
+    }
+
+    #[test]
+    fn retries_cut_failures_under_a_crash_window_at_higher_cost() {
+        let run = |resilience: ResilienceSpec| {
+            let mut spec = poisson_spec(30.0, 300.0, 13);
+            spec.chaos = Some(FaultSchedule::parse("crash:0.2@0..inf").unwrap());
+            spec.resilience = resilience;
+            run_default(spec)
+        };
+        let base = run(ResilienceSpec::disabled());
+        let retried = run(ResilienceSpec {
+            retry: Some(ce_resilience::RetryPolicy::new(3)),
+            retry_budget: Some(1.0),
+            ..ResilienceSpec::disabled()
+        });
+        assert_verdict_partition(&base);
+        assert_verdict_partition(&retried);
+        assert!(retried.retries > 0, "retries must fire: {retried:?}");
+        assert!(
+            retried.failed < base.failed / 2,
+            "3 retries beat a 20% crash rate: {} vs {}",
+            retried.failed,
+            base.failed
+        );
+        assert!(
+            retried.attempts > retried.requests,
+            "retries add billed attempts"
+        );
+        assert!(
+            retried.dollars > base.dollars,
+            "the resilience tax is billed honestly: {} vs {}",
+            retried.dollars,
+            base.dollars
+        );
+    }
+
+    #[test]
+    fn retry_budget_caps_the_retry_storm() {
+        let run = |ratio: f64| {
+            let mut spec = poisson_spec(30.0, 300.0, 13);
+            spec.chaos = Some(FaultSchedule::parse("crash:0.5@0..inf").unwrap());
+            spec.resilience = ResilienceSpec {
+                retry: Some(ce_resilience::RetryPolicy::new(5)),
+                retry_budget: Some(ratio),
+                ..ResilienceSpec::disabled()
+            };
+            run_default(spec)
+        };
+        let tight = run(0.05);
+        let loose = run(2.0);
+        assert!(
+            tight.retries < loose.retries / 2,
+            "a 5% budget throttles a 50% crash storm: {} vs {}",
+            tight.retries,
+            loose.retries
+        );
+        // The bucket starts full, so some early retries always launch.
+        assert!(tight.retries > 0);
+    }
+
+    #[test]
+    fn timeouts_produce_typed_verdicts_and_bill_the_killed_time() {
+        // 250 ms mean service; a 100 ms deadline kills nearly all of it.
+        let mut spec = poisson_spec(10.0, 120.0, 19);
+        spec.resilience = ResilienceSpec {
+            timeout_ms: Some(100.0),
+            ..ResilienceSpec::disabled()
+        };
+        let r = run_default(spec);
+        assert_verdict_partition(&r);
+        assert!(
+            r.timed_out > r.requests / 2,
+            "most requests blow a 100 ms deadline: {r:?}"
+        );
+        assert_eq!(r.failed, 0, "no crash windows, no crash verdicts");
+        assert!(r.dollars > 0.0, "killed attempts still bill");
+    }
+
+    #[test]
+    fn hedging_cuts_tail_latency_under_cold_spikes() {
+        // Sharp bursts under an uncapped prewarm scaler absorb into
+        // cold starts; with a x6 cold-start spike the primary's cold
+        // penalty dwarfs a warm hedge, so hedges launched at the p95
+        // mark win the race and trim the tail.
+        let run = |resilience: ResilienceSpec| {
+            let arrivals = ArrivalModel::Bursty {
+                low_rps: 2.0,
+                high_rps: 150.0,
+                mean_dwell_s: 10.0,
+            };
+            let mut spec = ServeSpec::new(arrivals, 400.0, 29);
+            spec.chaos = Some(FaultSchedule::parse("coldspike:x6@0..inf").unwrap());
+            spec.resilience = resilience;
+            ServeSim::new(
+                spec,
+                Box::new(PrewarmAhead::default()),
+                Box::new(FixedTtl::default()),
+            )
+            .run()
+        };
+        let base = run(ResilienceSpec::disabled());
+        let hedged = run(ResilienceSpec {
+            hedge: Some(HedgePolicy::P95),
+            ..ResilienceSpec::disabled()
+        });
+        assert_verdict_partition(&hedged);
+        assert!(hedged.hedges > 0, "hedges must fire: {hedged:?}");
+        assert!(hedged.hedge_wins > 0, "some hedges must win");
+        assert!(
+            hedged.p99_ms < base.p99_ms,
+            "hedging trims the tail: {} vs {}",
+            hedged.p99_ms,
+            base.p99_ms
+        );
+        assert!(
+            hedged.dollars > base.dollars,
+            "losers' compute is billed: {} vs {}",
+            hedged.dollars,
+            base.dollars
+        );
+    }
+
+    #[test]
+    fn breaker_sheds_fast_during_a_crash_storm_and_recovers() {
+        let mut spec = poisson_spec(30.0, 600.0, 31);
+        // Total crash storm for the middle of the run.
+        spec.chaos = Some(FaultSchedule::parse("crash:1@100..300").unwrap());
+        spec.resilience = ResilienceSpec {
+            breaker: Some(ce_resilience::BreakerSpec::new(0.5)),
+            ..ResilienceSpec::disabled()
+        };
+        let registry = Registry::new();
+        let r = ServeSim::new(
+            spec,
+            Box::new(ConcurrencyTarget::default()),
+            Box::new(FixedTtl::default()),
+        )
+        .with_obs(&registry)
+        .run();
+        assert_verdict_partition(&r);
+        assert!(r.shed_breaker > 0, "the breaker must trip: {r:?}");
+        assert!(
+            r.shed_breaker > r.failed,
+            "most doomed dispatches become fast sheds: {r:?}"
+        );
+        assert!(
+            r.completed > r.requests / 2,
+            "the breaker closes again after the storm: {r:?}"
+        );
+        let metrics = registry.export_jsonl();
+        assert!(
+            metrics.contains("resilience.breaker"),
+            "transitions are events"
+        );
+    }
+
+    #[test]
+    fn brownout_serves_degraded_instead_of_shedding() {
+        // 50 rps x 0.25 s against 4 instances with a tiny queue: the
+        // degraded profile (4x faster) keeps the backlog servable.
+        let run = |resilience: ResilienceSpec| {
+            let mut spec = poisson_spec(50.0, 120.0, 37);
+            spec.queue_cap = 40;
+            spec.resilience = resilience;
+            ServeSim::new(
+                spec,
+                Box::new(FixedPool::new(4)),
+                Box::new(FixedTtl::default()),
+            )
+            .run()
+        };
+        let base = run(ResilienceSpec::disabled());
+        let browned = run(ResilienceSpec {
+            brownout: Some(ce_resilience::BrownoutSpec::new(0.25)),
+            ..ResilienceSpec::disabled()
+        });
+        assert_verdict_partition(&browned);
+        assert!(browned.degraded > 0, "brownout must engage: {browned:?}");
+        assert!(
+            browned.shed_overload < base.shed_overload / 2,
+            "degraded service absorbs the overload: {} vs {}",
+            browned.shed_overload,
+            base.shed_overload
+        );
+    }
+
+    #[test]
+    fn full_resilience_pipeline_keeps_the_verdict_partition_under_chaos() {
+        let mut spec = poisson_spec(40.0, 400.0, 41);
+        spec.chaos = Some(
+            FaultSchedule::parse(
+                "coldspike:x4@0..60;throttle:0.3@100..160;crash:0.3@180..260;outage:s3@300..330",
+            )
+            .unwrap(),
+        );
+        spec.resilience = ResilienceSpec {
+            timeout_ms: Some(30_000.0),
+            retry: Some(ce_resilience::RetryPolicy::new(2)),
+            retry_budget: Some(0.5),
+            hedge: Some(HedgePolicy::P95),
+            breaker: Some(ce_resilience::BreakerSpec::new(0.6)),
+            brownout: Some(ce_resilience::BrownoutSpec::new(0.5)),
+        };
+        let r = run_default(spec);
+        assert_verdict_partition(&r);
+        assert!(r.attempts >= r.completed + r.failed + r.timed_out);
+    }
+
+    #[test]
+    fn settle_parked_types_truncation_by_outage_state() {
+        // No chaos: parked requests at the end of the run are truncated,
+        // not shed_outage.
+        let mut sim = ServeSim::new(
+            poisson_spec(10.0, 60.0, 43),
+            Box::new(ConcurrencyTarget::default()),
+            Box::new(FixedTtl::default()),
+        );
+        sim.queue.push_back((0, SimTime::ZERO));
+        sim.queue.push_back((1, SimTime::ZERO));
+        sim.settle_parked(SimTime::from_secs(60.0));
+        assert_eq!(sim.tally.truncated, 2);
+        assert_eq!(sim.tally.shed_outage, 0);
+        assert!(sim.queue.is_empty());
+
+        // An outage in force at the final instant keeps the old verdict.
+        let mut spec = poisson_spec(10.0, 60.0, 43);
+        spec.chaos = Some(FaultSchedule::parse("outage:s3@0..inf").unwrap());
+        let mut sim = ServeSim::new(
+            spec,
+            Box::new(ConcurrencyTarget::default()),
+            Box::new(FixedTtl::default()),
+        );
+        sim.queue.push_back((0, SimTime::ZERO));
+        sim.settle_parked(SimTime::from_secs(60.0));
+        assert_eq!(sim.tally.shed_outage, 1);
+        assert_eq!(sim.tally.truncated, 0);
+    }
+
+    #[test]
+    fn overlapping_outages_shed_consistently_with_admission() {
+        // Window A parks early arrivals; window B begins before A ends
+        // and outlasts the run. The drain path must shed the parked
+        // requests just like admission sheds the later ones.
+        let mut spec = poisson_spec(20.0, 60.0, 47);
+        spec.chaos = Some(FaultSchedule::parse("outage:s3@0..30;outage:s3@20..100000").unwrap());
+        let r = run_default(spec);
+        assert_eq!(
+            r.shed_outage, r.requests,
+            "every arrival is behind an outage that outlasts the run: {r:?}"
+        );
+        assert_eq!(r.completed, 0);
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //!   seed-derived schedules for crash/outage/throttle/degrade chaos.
 //! * [`serve`] — request-level inference serving: open-loop arrivals,
 //!   SLO-aware autoscaling, and keep-alive policy economics.
+//! * [`resilience`] — request-level resilience policies: deterministic
+//!   timeouts, budgeted retries, hedged requests, circuit breakers, and
+//!   brownout (degraded-mode) serving.
 //! * [`lifecycle`] — training and serving co-located on one shared
 //!   account quota: priority/preemption policies, drift-triggered
 //!   retrain→publish→redeploy DAGs, and the combined three-axis
@@ -62,6 +65,7 @@ pub use ce_ml as ml;
 pub use ce_models as models;
 pub use ce_obs as obs;
 pub use ce_pareto as pareto;
+pub use ce_resilience as resilience;
 pub use ce_serve as serve;
 pub use ce_sim_core as sim;
 pub use ce_storage as storage;
@@ -92,6 +96,7 @@ pub mod prelude {
         time::EpochTimeModel,
     };
     pub use ce_pareto::{ParetoProfiler, Profile};
+    pub use ce_resilience::{BreakerSpec, BrownoutSpec, HedgePolicy, ResilienceSpec, RetryPolicy};
     pub use ce_serve::{ArrivalModel, ServeReport, ServeSim, ServeSpec};
     pub use ce_sim_core::rng::SimRng;
     pub use ce_training::scheduler::{AdaptiveScheduler, SchedulerConfig};

@@ -15,6 +15,7 @@ use ce_scaling::chaos::FaultSchedule;
 use ce_scaling::faas::PlatformConfig;
 use ce_scaling::models::{Allocation, CostModel, Environment, Workload};
 use ce_scaling::pareto::ParetoProfiler;
+use ce_scaling::resilience::{BreakerSpec, BrownoutSpec, HedgePolicy, ResilienceSpec, RetryPolicy};
 use ce_scaling::storage::StorageKind;
 use ce_scaling::tuning::{PartitionPlan, ShaSpec};
 use ce_scaling::workflow::{Constraint, Method, RecoveryPolicy, TrainingJob, TuningJob};
@@ -131,10 +132,18 @@ fn usage_and_exit(unknown: Option<&str>) -> ! {
            --arrival-log P   write the generated arrival schedule as JSONL (serve)\n  \
            --tenants N       lifecycle tenants, each trains and serves (default 4)\n  \
            --drift-every S   mean seconds between drift events (lifecycle; 0 = off)\n  \
+           --queue-cap N     admission queue slots (serve/lifecycle; default 10000)\n  \
+           --timeout-ms X    per-attempt deadline (serve/lifecycle; off by default)\n  \
+           --retries N       retry failed/timed-out attempts up to N times\n  \
+           --retry-budget R  retry tokens earned per arrival (default 0.2 with --retries)\n  \
+           --hedge P         hedge policy: p95|<delay-ms> (off by default)\n  \
+           --breaker T       circuit breaker, opens at windowed failure rate T\n  \
+           --brownout F      degraded-mode serving: service time x F when queue is half full\n  \
            --threads N       fix the deterministic worker-pool width (any subcommand)\n\n\
          lifecycle reuses --duration, --rps, --quota, --job-cap, --seed, --chaos,\n\
-         --autoscaler, --keepalive, and --metrics; its --policy is a priority\n\
-         policy: serve-first|train-first|fair-share|deadline (default serve-first)\n"
+         --autoscaler, --keepalive, --metrics, and every resilience flag; its\n\
+         --policy is a priority policy: serve-first|train-first|fair-share|deadline\n\
+         (default serve-first)\n"
     );
     std::process::exit(2);
 }
@@ -170,6 +179,13 @@ struct Opts {
     tenants: Option<u32>,
     drift_every: Option<f64>,
     threads: Option<usize>,
+    queue_cap: Option<usize>,
+    timeout_ms: Option<f64>,
+    retries: Option<u32>,
+    retry_budget: Option<f64>,
+    hedge: Option<String>,
+    breaker: Option<f64>,
+    brownout: Option<f64>,
 }
 
 impl Opts {
@@ -214,6 +230,56 @@ impl Opts {
                 "--arrival-log" => opts.arrival_log = Some(value()),
                 "--tenants" => opts.tenants = Some(parse_or_exit(&value(), flag)),
                 "--drift-every" => opts.drift_every = Some(parse_or_exit(&value(), flag)),
+                "--queue-cap" => {
+                    let n: usize = parse_or_exit(&value(), flag);
+                    if n == 0 {
+                        eprintln!(
+                            "invalid value for --queue-cap: the admission queue needs at least 1 slot"
+                        );
+                        std::process::exit(2);
+                    }
+                    opts.queue_cap = Some(n);
+                }
+                "--timeout-ms" => {
+                    let ms: f64 = parse_or_exit(&value(), flag);
+                    if !(ms > 0.0 && ms.is_finite()) {
+                        eprintln!("invalid value for --timeout-ms: the deadline must be a positive number of milliseconds");
+                        std::process::exit(2);
+                    }
+                    opts.timeout_ms = Some(ms);
+                }
+                "--retries" => opts.retries = Some(parse_or_exit(&value(), flag)),
+                "--retry-budget" => {
+                    let ratio: f64 = parse_or_exit(&value(), flag);
+                    if !(ratio > 0.0 && ratio.is_finite()) {
+                        eprintln!(
+                            "invalid value for --retry-budget: tokens-per-arrival must be positive"
+                        );
+                        std::process::exit(2);
+                    }
+                    opts.retry_budget = Some(ratio);
+                }
+                "--hedge" => opts.hedge = Some(value()),
+                "--breaker" => {
+                    let threshold: f64 = parse_or_exit(&value(), flag);
+                    if !(threshold > 0.0 && threshold <= 1.0) {
+                        eprintln!(
+                            "invalid value for --breaker: the failure threshold must be in (0, 1]"
+                        );
+                        std::process::exit(2);
+                    }
+                    opts.breaker = Some(threshold);
+                }
+                "--brownout" => {
+                    let factor: f64 = parse_or_exit(&value(), flag);
+                    if !(factor > 0.0 && factor < 1.0) {
+                        eprintln!(
+                            "invalid value for --brownout: the degrade factor must be in (0, 1)"
+                        );
+                        std::process::exit(2);
+                    }
+                    opts.brownout = Some(factor);
+                }
                 "--threads" => {
                     let n: usize = parse_or_exit(&value(), flag);
                     if n == 0 {
@@ -279,6 +345,25 @@ impl Opts {
                 std::process::exit(2);
             })
         })
+    }
+
+    /// The resilience spec the flags describe, or `None` when no
+    /// resilience flag was passed (the golden-preserving default).
+    fn resilience(&self) -> Option<ResilienceSpec> {
+        let spec = ResilienceSpec {
+            timeout_ms: self.timeout_ms,
+            retry: self.retries.map(RetryPolicy::new),
+            retry_budget: self.retry_budget,
+            hedge: self.hedge.as_deref().map(|s| {
+                HedgePolicy::parse(s).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                })
+            }),
+            breaker: self.breaker.map(BreakerSpec::new),
+            brownout: self.brownout.map(BrownoutSpec::new),
+        };
+        spec.enabled().then_some(spec)
     }
 
     fn constraint(&self, default_budget: f64) -> Constraint {
@@ -586,6 +671,13 @@ fn cmd_serve(opts: &Opts) {
     if let Some(schedule) = opts.chaos() {
         spec = spec.with_chaos(schedule);
     }
+    if let Some(cap) = opts.queue_cap {
+        spec = spec.with_queue_cap(cap);
+    }
+    let resilient = opts.resilience();
+    if let Some(res) = resilient.clone() {
+        spec = spec.with_resilience(res);
+    }
     let sim = ServeSim::new(spec, autoscaler, keep_alive).with_obs(ce_scaling::obs::global());
     if let Some(path) = &opts.arrival_log {
         let log = ce_scaling::serve::write_arrival_log(sim.arrivals());
@@ -609,6 +701,22 @@ fn cmd_serve(opts: &Opts) {
         "  shed           {} throttled, {} overload, {} outage; {} failed",
         r.shed_throttled, r.shed_overload, r.shed_outage, r.failed
     );
+    if r.truncated > 0 {
+        println!(
+            "  truncated      {} parked past the end of the run",
+            r.truncated
+        );
+    }
+    if resilient.is_some() {
+        println!(
+            "  resilience     {} attempts ({} retries, {} hedges, {} hedge wins)",
+            r.attempts, r.retries, r.hedges, r.hedge_wins
+        );
+        println!(
+            "                 {} timed out, {} breaker-shed, {} degraded dispatches",
+            r.timed_out, r.shed_breaker, r.degraded
+        );
+    }
     println!(
         "  latency        p50 {:.0}ms  p95 {:.0}ms  p99 {:.0}ms (SLO {:.0}ms)",
         r.p50_ms, r.p95_ms, r.p99_ms, r.slo_ms
@@ -685,6 +793,13 @@ fn cmd_lifecycle(opts: &Opts) {
     if let Some(schedule) = opts.chaos() {
         spec = spec.with_chaos(schedule);
     }
+    if let Some(cap) = opts.queue_cap {
+        spec = spec.with_queue_cap(cap);
+    }
+    let resilient = opts.resilience();
+    if let Some(res) = resilient.clone() {
+        spec = spec.with_resilience(res);
+    }
     let quota = spec.quota;
     let r = LifecycleSim::new(spec, policy)
         .with_obs(ce_scaling::obs::global())
@@ -701,8 +816,23 @@ fn cmd_lifecycle(opts: &Opts) {
         r.requests(),
         sum(|t| t.completed),
         sum(|t| t.failed),
-        sum(|t| t.shed_throttled + t.shed_overload + t.shed_outage),
+        sum(|t| t.shed_throttled + t.shed_overload + t.shed_outage + t.shed_breaker),
     );
+    if resilient.is_some() {
+        println!(
+            "  resilience     {} attempts ({} retries, {} hedges, {} hedge wins)",
+            sum(|t| t.attempts),
+            sum(|t| t.retries),
+            sum(|t| t.hedges),
+            sum(|t| t.hedge_wins),
+        );
+        println!(
+            "                 {} timed out, {} breaker-shed, {} degraded dispatches",
+            sum(|t| t.timed_out),
+            sum(|t| t.shed_breaker),
+            sum(|t| t.degraded),
+        );
+    }
     println!(
         "  latency        p50 {:.0}ms  p95 {:.0}ms  p99 {:.0}ms",
         r.p50_ms, r.p95_ms, r.p99_ms

@@ -253,6 +253,79 @@ fn chaotic_serve_metrics_are_byte_identical_per_seed() {
 }
 
 #[test]
+fn resilient_serve_metrics_are_byte_identical_per_seed() {
+    let args = [
+        "serve",
+        "--rps",
+        "20",
+        "--duration",
+        "120",
+        "--seed",
+        "42",
+        "--chaos",
+        "crash:0.3@10..60;coldspike:x4@0..inf",
+        "--timeout-ms",
+        "2000",
+        "--retries",
+        "2",
+        "--retry-budget",
+        "0.5",
+        "--hedge",
+        "p95",
+        "--breaker",
+        "0.5",
+        "--brownout",
+        "0.6",
+        "--queue-cap",
+        "500",
+    ];
+    let a = metrics_bytes(&args, "resilient_serve_a");
+    let b = metrics_bytes(&args, "resilient_serve_b");
+    assert!(!a.is_empty());
+    assert_eq!(
+        a, b,
+        "same seed + same resilience flags must produce byte-identical JSONL"
+    );
+    let text = String::from_utf8_lossy(&a);
+    assert!(
+        text.contains("resilience.attempts_total"),
+        "resilient runs must export the resilience metric group"
+    );
+}
+
+#[test]
+fn resilient_lifecycle_metrics_are_byte_identical_per_seed() {
+    let args = [
+        "lifecycle",
+        "--tenants",
+        "2",
+        "--duration",
+        "90",
+        "--rps",
+        "4",
+        "--quota",
+        "20",
+        "--seed",
+        "23",
+        "--chaos",
+        "crash:0.4@10..60",
+        "--retries",
+        "2",
+        "--hedge",
+        "100",
+        "--breaker",
+        "0.6",
+    ];
+    let a = metrics_bytes(&args, "resilient_lifecycle_a");
+    let b = metrics_bytes(&args, "resilient_lifecycle_b");
+    assert!(!a.is_empty());
+    assert_eq!(
+        a, b,
+        "same seed + same resilience flags must produce byte-identical lifecycle JSONL"
+    );
+}
+
+#[test]
 fn chaotic_cluster_metrics_are_byte_identical_per_seed() {
     let args = [
         "cluster",

@@ -169,6 +169,25 @@ fn lifecycle_bad_inputs_are_usage_errors() {
 }
 
 #[test]
+fn bad_resilience_flags_are_usage_errors() {
+    for cmd in ["serve", "lifecycle"] {
+        assert_graceful(&[cmd, "--queue-cap", "0"], 2, "at least 1 slot");
+        assert_graceful(&[cmd, "--queue-cap", "lots"], 2, "--queue-cap");
+        assert_graceful(&[cmd, "--timeout-ms", "0"], 2, "must be a positive");
+        assert_graceful(&[cmd, "--timeout-ms", "-5"], 2, "must be a positive");
+        assert_graceful(&[cmd, "--timeout-ms", "soon"], 2, "--timeout-ms");
+        assert_graceful(&[cmd, "--retries", "-1"], 2, "--retries");
+        assert_graceful(&[cmd, "--retry-budget", "0"], 2, "must be positive");
+        assert_graceful(&[cmd, "--hedge", "p50"], 2, "p95|<delay-ms>");
+        assert_graceful(&[cmd, "--hedge", "-100"], 2, "p95|<delay-ms>");
+        assert_graceful(&[cmd, "--breaker", "0"], 2, "(0, 1]");
+        assert_graceful(&[cmd, "--breaker", "1.5"], 2, "(0, 1]");
+        assert_graceful(&[cmd, "--brownout", "1"], 2, "(0, 1)");
+        assert_graceful(&[cmd, "--brownout", "0"], 2, "(0, 1)");
+    }
+}
+
+#[test]
 fn run_config_errors_are_clean() {
     assert_graceful(&["run-config"], 2, "usage");
     assert_graceful(&["run-config", "/no/such/scenario.json"], 2, "cannot read");

@@ -144,6 +144,39 @@ fn lifecycle_args(seed: u64) -> Vec<String> {
     .collect()
 }
 
+/// One resilient seed pins the whole resilience pipeline's output:
+/// timeouts, budgeted retries, p95 hedging, the breaker, and brownout
+/// all active under crash + coldspike chaos.
+fn serve_resilient_args(seed: u64) -> Vec<String> {
+    [
+        "serve",
+        "--rps",
+        "20",
+        "--duration",
+        "120",
+        "--chaos",
+        "crash:0.3@10..60;coldspike:x4@0..inf",
+        "--timeout-ms",
+        "2000",
+        "--retries",
+        "2",
+        "--retry-budget",
+        "0.5",
+        "--hedge",
+        "p95",
+        "--breaker",
+        "0.5",
+        "--brownout",
+        "0.6",
+        "--queue-cap",
+        "500",
+    ]
+    .into_iter()
+    .map(String::from)
+    .chain(["--seed".into(), seed.to_string()])
+    .collect()
+}
+
 /// Compares `actual` against the committed fixture, or rewrites the
 /// fixture when `UPDATE_GOLDEN=1` is set.
 fn check_golden(scenario: &str, seed: u64, actual: &[u8]) {
@@ -204,6 +237,32 @@ fn lifecycle_traces_match_golden_fixtures() {
             "lifecycle metrics must include the redeploy counter"
         );
         check_golden("lifecycle", seed, &bytes);
+    }
+}
+
+/// The resilient serve fixture: one seed, byte-compared at 1 and 8
+/// workers so the resilience layer joins the thread-invariance
+/// contract from day one.
+#[test]
+fn resilient_serve_traces_match_golden_fixtures() {
+    const SEED: u64 = 42;
+    for threads in [1, 8] {
+        let bytes = run_metrics_with_threads(
+            &serve_resilient_args(SEED),
+            &format!("serve_resilient_{SEED}_t{threads}"),
+            Some(threads),
+        );
+        assert!(!bytes.is_empty());
+        let text = String::from_utf8_lossy(&bytes);
+        for metric in [
+            r#""name":"resilience.attempts_total""#,
+            r#""name":"resilience.retries""#,
+            r#""name":"resilience.hedges""#,
+            r#""name":"serve.timed_out""#,
+        ] {
+            assert!(text.contains(metric), "resilient fixture lacks {metric}");
+        }
+        check_golden("serve_resilient", SEED, &bytes);
     }
 }
 

@@ -685,3 +685,168 @@ fn lifecycle_runs_are_thread_count_invariant() {
 fn rng_free_rps(tenants: u32) -> f64 {
     12.0 / tenants as f64
 }
+
+/// Resilience off is the identity: a spec carrying an explicitly
+/// disabled `ResilienceSpec` produces byte-identical reports and metric
+/// exports to a spec that never heard of resilience, at 1 and at 8
+/// worker threads — the zero-draw gating contract.
+#[test]
+fn disabled_resilience_is_byte_identical_to_baseline() {
+    use ce_scaling::chaos::FaultSchedule;
+    use ce_scaling::lifecycle::{priority_by_name, LifecycleSim, LifecycleSpec};
+    use ce_scaling::obs::Registry;
+    use ce_scaling::resilience::ResilienceSpec;
+    use ce_scaling::serve::{autoscaler_by_name, ArrivalModel, ServeSim, ServeSpec};
+
+    let chaos_pool = [
+        "",
+        "crash:0.2@10..60",
+        "coldspike:x4@0..inf;crash:0.1@0..inf",
+    ];
+    prop("resilience_off_serve", 3, |rng| {
+        let seed = rng.next_u64();
+        let rps = rng.uniform_range(10.0, 30.0);
+        let chaos = chaos_pool[rng.gen_index(chaos_pool.len())];
+        let run = |resilient_off: bool| {
+            let mut spec = ServeSpec::new(ArrivalModel::Poisson { rps }, 120.0, seed);
+            if !chaos.is_empty() {
+                spec = spec.with_chaos(FaultSchedule::parse(chaos).expect("pool specs parse"));
+            }
+            if resilient_off {
+                spec = spec.with_resilience(ResilienceSpec::disabled());
+            }
+            let registry = Registry::new();
+            let report = ServeSim::new(
+                spec,
+                autoscaler_by_name("target").expect("known autoscaler"),
+                ce_scaling::faas::keep_alive_by_name("adaptive").expect("known keep-alive"),
+            )
+            .with_obs(&registry)
+            .run();
+            (report, registry.export_jsonl())
+        };
+        for threads in [1usize, 8] {
+            let base = rayon::with_threads(threads, || run(false));
+            let off = rayon::with_threads(threads, || run(true));
+            assert_eq!(
+                base.0, off.0,
+                "serve report drifts under a disabled spec at {threads} threads: chaos=`{chaos}`"
+            );
+            assert_eq!(
+                base.1, off.1,
+                "serve metrics drift under a disabled spec at {threads} threads: chaos=`{chaos}`"
+            );
+        }
+    });
+
+    prop("resilience_off_lifecycle", 2, |rng| {
+        let seed = rng.next_u64();
+        let chaos = chaos_pool[rng.gen_index(chaos_pool.len())];
+        let run = |resilient_off: bool| {
+            let mut spec = LifecycleSpec::new(2, 90.0, seed)
+                .with_quota(16)
+                .with_rps(4.0)
+                .with_drift_mean_s(45.0);
+            if !chaos.is_empty() {
+                spec = spec.with_chaos(FaultSchedule::parse(chaos).expect("pool specs parse"));
+            }
+            if resilient_off {
+                spec = spec.with_resilience(ResilienceSpec::disabled());
+            }
+            let registry = Registry::new();
+            let report = LifecycleSim::new(spec, priority_by_name("serve-first").expect("known"))
+                .with_obs(&registry)
+                .run();
+            (report, registry.export_jsonl())
+        };
+        for threads in [1usize, 8] {
+            let base = rayon::with_threads(threads, || run(false));
+            let off = rayon::with_threads(threads, || run(true));
+            assert_eq!(
+                base.0, off.0,
+                "lifecycle report drifts under a disabled spec at {threads} threads: chaos=`{chaos}`"
+            );
+            assert_eq!(
+                base.1, off.1,
+                "lifecycle metrics drift under a disabled spec at {threads} threads: chaos=`{chaos}`"
+            );
+        }
+    });
+}
+
+/// Under arbitrary chaos × resilience configurations, the typed
+/// verdicts partition arrivals exactly, every dispatch is an attempt,
+/// and every attempt pays the per-invocation fee.
+#[test]
+fn resilient_chaos_partitions_arrivals_and_bills_every_attempt() {
+    use ce_scaling::chaos::FaultSchedule;
+    use ce_scaling::resilience::{
+        BreakerSpec, BrownoutSpec, HedgePolicy, ResilienceSpec, RetryPolicy,
+    };
+    use ce_scaling::serve::{autoscaler_by_name, ArrivalModel, ServeSim, ServeSpec};
+
+    // ce-faas pricing: dollars = per_invocation x attempts + GB-s terms.
+    const PER_INVOCATION: f64 = 2e-7;
+    let chaos_pool = [
+        "crash:0.3@10..60",
+        "outage:s3@30..70;crash:0.1@0..inf",
+        "throttle:0.3@0..inf;crash:0.2@20..80",
+        "coldspike:x6@0..inf;crash:0.4@0..inf",
+    ];
+    prop("resilience_partition", 8, |rng| {
+        let seed = rng.next_u64();
+        let chaos = chaos_pool[rng.gen_index(chaos_pool.len())];
+        let res = ResilienceSpec {
+            timeout_ms: rng.bernoulli(0.5).then(|| rng.uniform_range(300.0, 2000.0)),
+            retry: rng
+                .bernoulli(0.7)
+                .then(|| RetryPolicy::new(1 + rng.gen_index(3) as u32)),
+            retry_budget: None,
+            hedge: rng.bernoulli(0.5).then_some(HedgePolicy::P95),
+            breaker: rng.bernoulli(0.5).then(|| BreakerSpec::new(0.5)),
+            brownout: rng.bernoulli(0.3).then(|| BrownoutSpec::new(0.5)),
+        };
+        let spec = ServeSpec::new(
+            ArrivalModel::Poisson {
+                rps: rng.uniform_range(10.0, 40.0),
+            },
+            120.0,
+            seed,
+        )
+        .with_chaos(FaultSchedule::parse(chaos).expect("pool specs parse"))
+        .with_queue_cap(1 + rng.gen_index(200))
+        .with_resilience(res.clone());
+        let r = ServeSim::new(
+            spec,
+            autoscaler_by_name("prewarm").expect("known autoscaler"),
+            ce_scaling::faas::keep_alive_by_name("fixed:60").expect("known keep-alive"),
+        )
+        .run();
+        let label = format!("chaos=`{chaos}` res={res:?}");
+        assert_eq!(
+            r.completed
+                + r.failed
+                + r.timed_out
+                + r.shed_throttled
+                + r.shed_overload
+                + r.shed_outage
+                + r.shed_breaker
+                + r.truncated,
+            r.requests,
+            "verdicts must partition arrivals: {label}\n{r:?}"
+        );
+        assert_eq!(
+            r.cold_starts + r.warm_starts,
+            r.attempts,
+            "every attempt cold- or warm-starts: {label}"
+        );
+        assert!(
+            r.attempts >= r.completed + r.failed + r.timed_out,
+            "settled requests each took at least one attempt: {label}"
+        );
+        assert!(
+            r.dollars >= PER_INVOCATION * r.attempts as f64 - 1e-12,
+            "every attempt owes the invocation fee: {label}"
+        );
+    });
+}
