@@ -22,6 +22,7 @@
 
 use ce_models::Allocation;
 use ce_pareto::{AllocPoint, Profile};
+use ce_sim_core::qlearn::{EpsilonSchedule, QEnv, QLearner, QStep};
 use ce_sim_core::rng::SimRng;
 use ce_training::TrainingObjective;
 use ce_tuning::{Objective, PartitionPlan, ShaSpec};
@@ -90,56 +91,31 @@ impl SirenScheduler {
         let candidates: Vec<AllocPoint> = profile.boundary().into_iter().copied().collect();
         assert!(!candidates.is_empty(), "profile must not be empty");
         let n_actions = candidates.len();
-        let n_states = self.buckets;
         let mean_t = candidates.iter().map(|p| p.time_s()).sum::<f64>() / n_actions as f64;
         let mean_c = candidates.iter().map(|p| p.cost_usd()).sum::<f64>() / n_actions as f64;
 
-        let mut q = vec![vec![0.0f64; n_actions]; n_states];
+        let mut env = SirenEnv {
+            candidates: &candidates,
+            mean_t,
+            mean_c,
+            objective,
+            expected_epochs,
+            n_states: self.buckets,
+            epochs: 0,
+            epoch: 0,
+            spent: 0.0,
+            elapsed: 0.0,
+        };
         let mut rng = SimRng::new(seed).derive("siren-qlearn");
-        let alpha = 0.1;
-        let gamma = 0.95;
-        for episode in 0..self.episodes {
-            let eps = 1.0 / (1.0 + f64::from(episode) / 40.0);
-            // Episode length: the true job length is stochastic.
-            let epochs = (expected_epochs * rng.lognormal_jitter(0.25)).max(2.0) as usize;
-            let mut spent = 0.0;
-            let mut elapsed = 0.0;
-            for e in 0..epochs {
-                let state = e * n_states / epochs;
-                let action = if rng.uniform() < eps {
-                    rng.gen_index(n_actions)
-                } else {
-                    argmax(&q[state])
-                };
-                let point = &candidates[action];
-                let t = point.time_s() * rng.lognormal_jitter(0.05);
-                let c = point.cost_usd() * rng.lognormal_jitter(0.02);
-                spent += c;
-                elapsed += t;
-                // Per-step reward: normalized time+cost blend.
-                let mut reward = -(t / mean_t) - (c / mean_c);
-                // Terminal constraint penalty.
-                if e == epochs - 1 {
-                    reward -= match objective {
-                        TrainingObjective::MinJctGivenBudget { budget } => {
-                            10.0 * (spent - budget).max(0.0) / budget.max(1e-9)
-                        }
-                        TrainingObjective::MinCostGivenQos { qos_s } => {
-                            10.0 * (elapsed - qos_s).max(0.0) / qos_s.max(1e-9)
-                        }
-                    };
-                }
-                let next_state = ((e + 1) * n_states / epochs).min(n_states - 1);
-                let future = if e == epochs - 1 {
-                    0.0
-                } else {
-                    q[next_state][argmax(&q[next_state])]
-                };
-                q[state][action] += alpha * (reward + gamma * future - q[state][action]);
-            }
-        }
+        let learner = QLearner {
+            alpha: 0.1,
+            gamma: 0.95,
+            episodes: self.episodes,
+            epsilon: EpsilonSchedule::Harmonic { decay: 40.0 },
+        };
+        let table = learner.train(&mut env, &mut rng);
         SirenPolicy {
-            greedy: q.iter().map(|row| argmax(row)).collect(),
+            greedy: table.greedy(),
             candidates,
         }
     }
@@ -210,14 +186,71 @@ impl SirenScheduler {
     }
 }
 
-fn argmax(row: &[f64]) -> usize {
-    let mut best = 0;
-    for (i, &v) in row.iter().enumerate() {
-        if v > row[best] {
-            best = i;
+/// Siren's training MDP: states are progress buckets, actions index the
+/// Pareto-boundary allocations, rewards blend normalized epoch time and
+/// cost with a terminal constraint penalty. The draw order (episode
+/// length at reset; time jitter then cost jitter per step) reproduces
+/// the pre-refactor inline loop bit-for-bit through [`QLearner::train`].
+struct SirenEnv<'a> {
+    candidates: &'a [AllocPoint],
+    mean_t: f64,
+    mean_c: f64,
+    objective: TrainingObjective,
+    expected_epochs: f64,
+    n_states: usize,
+    // Per-episode state.
+    epochs: usize,
+    epoch: usize,
+    spent: f64,
+    elapsed: f64,
+}
+
+impl QEnv for SirenEnv<'_> {
+    fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    fn n_actions(&self) -> usize {
+        self.candidates.len()
+    }
+
+    fn reset(&mut self, rng: &mut SimRng) -> usize {
+        // Episode length: the true job length is stochastic.
+        self.epochs = (self.expected_epochs * rng.lognormal_jitter(0.25)).max(2.0) as usize;
+        self.epoch = 0;
+        self.spent = 0.0;
+        self.elapsed = 0.0;
+        0
+    }
+
+    fn step(&mut self, _state: usize, action: usize, rng: &mut SimRng) -> QStep {
+        let point = &self.candidates[action];
+        let t = point.time_s() * rng.lognormal_jitter(0.05);
+        let c = point.cost_usd() * rng.lognormal_jitter(0.02);
+        self.spent += c;
+        self.elapsed += t;
+        // Per-step reward: normalized time+cost blend.
+        let mut reward = -(t / self.mean_t) - (c / self.mean_c);
+        let done = self.epoch == self.epochs - 1;
+        // Terminal constraint penalty.
+        if done {
+            reward -= match self.objective {
+                TrainingObjective::MinJctGivenBudget { budget } => {
+                    10.0 * (self.spent - budget).max(0.0) / budget.max(1e-9)
+                }
+                TrainingObjective::MinCostGivenQos { qos_s } => {
+                    10.0 * (self.elapsed - qos_s).max(0.0) / qos_s.max(1e-9)
+                }
+            };
+        }
+        let next_state = ((self.epoch + 1) * self.n_states / self.epochs).min(self.n_states - 1);
+        self.epoch += 1;
+        QStep {
+            reward,
+            next_state,
+            done,
         }
     }
-    best
 }
 
 #[cfg(test)]
@@ -310,6 +343,88 @@ mod tests {
         for progress in [0.0, 0.3, 0.5, 0.99, 1.0, 1.5, -0.1] {
             let alloc = policy.decide(progress);
             assert_eq!(alloc.storage, StorageKind::S3);
+        }
+    }
+
+    /// A verbatim copy of the pre-refactor inline Q-learning loop, kept
+    /// as a differential oracle: the [`QLearner`]-based `train_policy`
+    /// must reproduce its greedy policies bit-for-bit.
+    fn train_policy_old_loop(
+        scheduler: &SirenScheduler,
+        profile: &Profile,
+        objective: TrainingObjective,
+        expected_epochs: f64,
+        seed: u64,
+    ) -> Vec<usize> {
+        use ce_sim_core::qlearn::argmax;
+        let candidates: Vec<AllocPoint> = profile.boundary().into_iter().copied().collect();
+        assert!(!candidates.is_empty(), "profile must not be empty");
+        let n_actions = candidates.len();
+        let n_states = scheduler.buckets;
+        let mean_t = candidates.iter().map(|p| p.time_s()).sum::<f64>() / n_actions as f64;
+        let mean_c = candidates.iter().map(|p| p.cost_usd()).sum::<f64>() / n_actions as f64;
+
+        let mut q = vec![vec![0.0f64; n_actions]; n_states];
+        let mut rng = SimRng::new(seed).derive("siren-qlearn");
+        let alpha = 0.1;
+        let gamma = 0.95;
+        for episode in 0..scheduler.episodes {
+            let eps = 1.0 / (1.0 + f64::from(episode) / 40.0);
+            let epochs = (expected_epochs * rng.lognormal_jitter(0.25)).max(2.0) as usize;
+            let mut spent = 0.0;
+            let mut elapsed = 0.0;
+            for e in 0..epochs {
+                let state = e * n_states / epochs;
+                let action = if rng.uniform() < eps {
+                    rng.gen_index(n_actions)
+                } else {
+                    argmax(&q[state])
+                };
+                let point = &candidates[action];
+                let t = point.time_s() * rng.lognormal_jitter(0.05);
+                let c = point.cost_usd() * rng.lognormal_jitter(0.02);
+                spent += c;
+                elapsed += t;
+                let mut reward = -(t / mean_t) - (c / mean_c);
+                if e == epochs - 1 {
+                    reward -= match objective {
+                        TrainingObjective::MinJctGivenBudget { budget } => {
+                            10.0 * (spent - budget).max(0.0) / budget.max(1e-9)
+                        }
+                        TrainingObjective::MinCostGivenQos { qos_s } => {
+                            10.0 * (elapsed - qos_s).max(0.0) / qos_s.max(1e-9)
+                        }
+                    };
+                }
+                let next_state = ((e + 1) * n_states / epochs).min(n_states - 1);
+                let future = if e == epochs - 1 {
+                    0.0
+                } else {
+                    q[next_state][argmax(&q[next_state])]
+                };
+                q[state][action] += alpha * (reward + gamma * future - q[state][action]);
+            }
+        }
+        q.iter().map(|row| argmax(row)).collect()
+    }
+
+    #[test]
+    fn refactored_learner_matches_the_old_inline_loop_bit_for_bit() {
+        let w = Workload::lr_higgs();
+        let p = s3_profile(&w);
+        let s = SirenScheduler::new();
+        for seed in [3_u64, 7, 11, 42] {
+            for objective in [
+                TrainingObjective::MinJctGivenBudget { budget: 20.0 },
+                TrainingObjective::MinCostGivenQos { qos_s: 900.0 },
+            ] {
+                let new = s.train_policy(&p, objective, 40.0, seed);
+                let old = train_policy_old_loop(&s, &p, objective, 40.0, seed);
+                assert_eq!(
+                    new.greedy, old,
+                    "QLearner refactor drifted from the old loop (seed {seed})"
+                );
+            }
         }
     }
 

@@ -46,6 +46,12 @@
 //!     # per-mechanism resilience arms under chaos -> BENCH_resilience.json
 //! cargo run --release -p ce-bench -- --suite resilience --quick --baseline BENCH_resilience.json
 //!     # CI smoke: 100k-request arms plus the 2x gate on resilience/100000/full
+//! cargo run --release -p ce-bench -- --suite keepwarm
+//!     # autoscaler x keep-alive x zoo-trace-family sweep -> BENCH_keepwarm.json,
+//!     # with per-family Pareto frontiers on (violation %, $/1M) and a hard
+//!     # check that a (qlearn, adaptive|histogram) arm dominates (fixed, fixed-TTL)
+//! cargo run --release -p ce-bench -- --suite keepwarm --quick --baseline BENCH_keepwarm.json
+//!     # CI smoke: mixed+diurnal families plus the 2x gate on keepwarm/mixed/qlearn/adaptive
 //! ```
 //!
 //! `--autoscaler`, `--keepalive`, and `--priority` override the
@@ -988,6 +994,308 @@ fn run_resilience_suite(
     Ok(())
 }
 
+/// Zoo trace families swept by the keepwarm suite (full mode).
+const KEEPWARM_FAMILIES_FULL: [&str; 5] = ["mixed", "steady", "diurnal", "bursty", "coldtail"];
+/// The reduced family set for CI smoke (`--quick`).
+const KEEPWARM_FAMILIES_QUICK: [&str; 2] = ["mixed", "diurnal"];
+/// Arrival window for each keepwarm arm (one diurnal period).
+const KEEPWARM_DURATION_S: f64 = 600.0;
+/// The autoscaler axis. `fixed:18` is the peak-provisioned static pool
+/// for the flagship presets: mean concurrency (40 rps × 0.25 s = 10)
+/// times the diurnal crest factor (1 + amplitude 0.8). It pays warm
+/// idle through every trough yet still queues through bursts — the
+/// policy the learned scaler should dominate.
+const KEEPWARM_AUTOSCALERS: [&str; 4] = ["fixed:18", "target", "prewarm", "qlearn"];
+/// The keep-alive axis.
+const KEEPWARM_KEEPALIVES: [&str; 3] = ["fixed:600", "adaptive", "histogram"];
+/// The keepwarm reference arm for the CI threshold.
+const KEEPWARM_REFERENCE: &str = "keepwarm/mixed/qlearn/adaptive";
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct KeepwarmArmResult {
+    /// `keepwarm/<family>/<autoscaler>/<keep-alive>`.
+    name: String,
+    family: String,
+    autoscaler: String,
+    keep_alive: String,
+    wall_ms: f64,
+    /// Outcome checksums: equal-config arms must agree exactly.
+    requests: u64,
+    reqs_per_sec: f64,
+    completed: u64,
+    cold_starts: u64,
+    violation_rate: f64,
+    cost_per_million: f64,
+    idle_gb_s: f64,
+    dollars: f64,
+    /// On the family's (violation rate, $/1M) Pareto frontier.
+    pareto: bool,
+}
+
+/// One Pareto-domination witness: `winner` dominates `loser` on
+/// (violation rate, $/1M requests) within `family`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct KeepwarmWin {
+    family: String,
+    winner: String,
+    loser: String,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct KeepwarmBenchReport {
+    schema: String,
+    duration_s: f64,
+    slo_ms: f64,
+    seed: u64,
+    /// Resolved worker thread count for this run.
+    #[serde(default)]
+    threads: usize,
+    arms: Vec<KeepwarmArmResult>,
+    /// (qlearn, adaptive|histogram) arms dominating the (fixed,
+    /// fixed-TTL) arm of their family. CI requires at least one.
+    #[serde(default)]
+    qlearn_wins: Vec<KeepwarmWin>,
+    #[serde(default)]
+    scaling: Option<ScalingResult>,
+}
+
+/// The serve spec for one keepwarm arm: a zoo trace family under the
+/// standard SLO.
+fn keepwarm_spec(family: &str, seed: u64) -> Result<ce_serve::ServeSpec, BenchError> {
+    let zoo = ce_serve::parse_zoo(family).map_err(BenchError::Usage)?;
+    Ok(ce_serve::ServeSpec::new(
+        ce_serve::ArrivalModel::Zoo { spec: zoo },
+        KEEPWARM_DURATION_S,
+        seed,
+    )
+    .with_slo_ms(SERVE_SLO_MS))
+}
+
+fn run_keepwarm_arm(
+    family: &str,
+    autoscaler: &str,
+    keep_alive: &str,
+) -> Result<KeepwarmArmResult, BenchError> {
+    let sim = ce_serve::ServeSim::new(
+        keepwarm_spec(family, SEED)?,
+        resolve_autoscaler(autoscaler)?,
+        resolve_keep_alive(keep_alive)?,
+    );
+    let start = Instant::now();
+    let report = sim.run();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let arm = KeepwarmArmResult {
+        name: format!("keepwarm/{family}/{autoscaler}/{keep_alive}"),
+        family: family.to_string(),
+        autoscaler: autoscaler.to_string(),
+        keep_alive: keep_alive.to_string(),
+        wall_ms,
+        requests: report.requests,
+        reqs_per_sec: report.requests as f64 / (wall_ms / 1e3).max(1e-9),
+        completed: report.completed,
+        cold_starts: report.cold_starts,
+        violation_rate: report.violation_rate(),
+        cost_per_million: report.cost_per_million(),
+        idle_gb_s: report.idle_gb_s,
+        dollars: report.dollars,
+        pareto: false, // filled in once the family is complete
+    };
+    eprintln!(
+        "{:<44} {:>8.1} ms  ({:.2}% viol, ${:.2}/1M, {} cold)",
+        arm.name,
+        arm.wall_ms,
+        arm.violation_rate * 100.0,
+        arm.cost_per_million,
+        arm.cold_starts
+    );
+    Ok(arm)
+}
+
+/// Times the mixed-zoo qlearn/adaptive arm as a batch of independent
+/// seeds, sequentially and at `threads` workers, asserting metric
+/// exports byte-equal before reporting the ratio. The frozen Q-policy
+/// is retrained per run from its fixed config seed, so both batches
+/// serve the exact same policy.
+fn run_keepwarm_scaling(
+    family: &str,
+    threads: usize,
+    autoscaler: &str,
+    keep_alive: &str,
+) -> Result<ScalingResult, BenchError> {
+    use rayon::prelude::*;
+    resolve_autoscaler(autoscaler)?;
+    resolve_keep_alive(keep_alive)?;
+    keepwarm_spec(family, SEED)?;
+    // Keepwarm arms are short (~600 sim-seconds), so the batch needs
+    // more seeds than the serve suite to amortize pool spin-up.
+    const KEEPWARM_SCALING_SEEDS: u64 = 16;
+    let seeds: Vec<u64> = (0..KEEPWARM_SCALING_SEEDS).map(|i| SEED + i).collect();
+    let batch = || -> Vec<(u64, u64, u64, String)> {
+        seeds
+            .par_iter()
+            .map(|&seed| {
+                let obs = Registry::new();
+                let sim = ce_serve::ServeSim::new(
+                    keepwarm_spec(family, seed).expect("validated above"),
+                    resolve_autoscaler(autoscaler).expect("resolved above"),
+                    resolve_keep_alive(keep_alive).expect("resolved above"),
+                )
+                .with_obs(&obs);
+                let r = sim.run();
+                (
+                    r.requests,
+                    r.completed,
+                    r.dollars.to_bits(),
+                    obs.export_jsonl(),
+                )
+            })
+            .collect()
+    };
+    let start = Instant::now();
+    let seq = rayon::with_threads(1, batch);
+    let wall_ms_1t = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let par = rayon::with_threads(threads, batch);
+    let wall_ms_nt = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        seq, par,
+        "parallel keepwarm batch diverged from sequential on keepwarm/{family}"
+    );
+    let result = ScalingResult::from_walls(
+        format!("keepwarm-batch/{family}x{KEEPWARM_SCALING_SEEDS}"),
+        threads,
+        seeds,
+        wall_ms_1t,
+        wall_ms_nt,
+    );
+    result.log();
+    Ok(result)
+}
+
+fn run_keepwarm_suite(
+    quick: bool,
+    out: &str,
+    baseline: Option<&str>,
+    threads: usize,
+    overrides: &Overrides,
+) -> Result<(), BenchError> {
+    // Load the baseline up front: a missing or malformed file should
+    // fail in milliseconds, not after minutes of benchmarking.
+    let base: Option<KeepwarmBenchReport> = baseline.map(read_baseline).transpose()?;
+    let families: &[&str] = if quick {
+        &KEEPWARM_FAMILIES_QUICK
+    } else {
+        &KEEPWARM_FAMILIES_FULL
+    };
+    // An --autoscaler/--keepalive override narrows the grid to that
+    // single pair (either half defaults to the reference pair's); the
+    // Pareto-domination assertion needs the full grid, so it only runs
+    // without overrides.
+    let overridden = overrides.autoscaler.is_some() || overrides.keep_alive.is_some();
+    let pairs: Vec<(String, String)> = if overridden {
+        vec![(
+            overrides.autoscaler.clone().unwrap_or("qlearn".into()),
+            overrides.keep_alive.clone().unwrap_or("adaptive".into()),
+        )]
+    } else {
+        KEEPWARM_AUTOSCALERS
+            .iter()
+            .flat_map(|a| {
+                KEEPWARM_KEEPALIVES
+                    .iter()
+                    .map(|k| (a.to_string(), k.to_string()))
+            })
+            .collect()
+    };
+    let mut arms = Vec::new();
+    for family in families {
+        for (autoscaler, keep_alive) in &pairs {
+            arms.push(run_keepwarm_arm(family, autoscaler, keep_alive)?);
+        }
+    }
+    // Per-family Pareto frontier on (violation rate, $/1M).
+    let point = |a: &KeepwarmArmResult| (a.violation_rate, a.cost_per_million);
+    for i in 0..arms.len() {
+        let dominated = arms.iter().any(|other| {
+            other.family == arms[i].family
+                && ce_cluster::dominates_point(point(other), point(&arms[i]))
+        });
+        arms[i].pareto = !dominated;
+    }
+    // The headline claim: the learned scaler with an adaptive keep-alive
+    // beats the static pool with a fixed TTL outright somewhere.
+    let mut qlearn_wins = Vec::new();
+    for family in families {
+        let Some(loser) = arms.iter().find(|a| {
+            a.family == *family && a.autoscaler == "fixed:18" && a.keep_alive == "fixed:600"
+        }) else {
+            continue;
+        };
+        for winner in arms.iter().filter(|a| {
+            a.family == *family
+                && a.autoscaler == "qlearn"
+                && (a.keep_alive == "adaptive" || a.keep_alive == "histogram")
+        }) {
+            if ce_cluster::dominates_point(point(winner), point(loser)) {
+                qlearn_wins.push(KeepwarmWin {
+                    family: family.to_string(),
+                    winner: winner.name.clone(),
+                    loser: loser.name.clone(),
+                });
+            }
+        }
+    }
+    if !overridden && qlearn_wins.is_empty() {
+        return Err(BenchError::Regression(
+            "no (qlearn, adaptive|histogram) arm Pareto-dominates the (fixed, fixed-TTL) arm \
+             on (violation %, $/1M) in any trace family"
+                .to_string(),
+        ));
+    }
+    for win in &qlearn_wins {
+        eprintln!("pareto win: {} dominates {}", win.winner, win.loser);
+    }
+    let (scale_as, scale_ka) = pairs
+        .first()
+        .map(|(a, k)| (a.clone(), k.clone()))
+        .expect("at least one pair");
+    let scaling = Some(run_keepwarm_scaling(
+        families[0],
+        threads,
+        &scale_as,
+        &scale_ka,
+    )?);
+    let report = KeepwarmBenchReport {
+        schema: "ce-bench/keepwarm/v1".to_string(),
+        duration_s: KEEPWARM_DURATION_S,
+        slo_ms: SERVE_SLO_MS,
+        seed: SEED,
+        threads,
+        arms,
+        qlearn_wins,
+        scaling,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    write_report(out, json)?;
+
+    if let Some(base) = base {
+        let arm_ms = |r: &KeepwarmBenchReport| {
+            r.arms
+                .iter()
+                .find(|a| a.name == KEEPWARM_REFERENCE)
+                .map(|a| a.wall_ms)
+        };
+        check_gate(
+            KEEPWARM_REFERENCE,
+            arm_ms(&base),
+            arm_ms(&report),
+            base.scaling.as_ref(),
+            report.scaling.as_ref(),
+        )?;
+    }
+    Ok(())
+}
+
 /// Per-tenant mean request rate for the lifecycle arms.
 const LIFECYCLE_RPS: f64 = 4.0;
 /// Serve-arrival window for the lifecycle arms (seconds).
@@ -1275,8 +1583,12 @@ fn real_main() -> Result<(), BenchError> {
             let out = out.unwrap_or_else(|| "BENCH_resilience.json".into());
             run_resilience_suite(quick, &out, baseline.as_deref(), threads)
         }
+        "keepwarm" => {
+            let out = out.unwrap_or_else(|| "BENCH_keepwarm.json".into());
+            run_keepwarm_suite(quick, &out, baseline.as_deref(), threads, &overrides)
+        }
         other => Err(BenchError::Usage(format!(
-            "unknown suite: {other} (expected fleet, serve, lifecycle, or resilience)"
+            "unknown suite: {other} (expected fleet, serve, lifecycle, resilience, or keepwarm)"
         ))),
     }
 }

@@ -40,7 +40,7 @@ fn unknown_override_names_exit_2_listing_the_registry() {
     // any suite runs — and it names every valid alternative.
     assert_graceful(
         &["--autoscaler", "psychic"],
-        "unknown autoscaler: psychic (fixed:<n>|target|prewarm)",
+        "unknown autoscaler: psychic (fixed:<n>|target|prewarm|qlearn[:<episodes>:<epsilon>:<alpha>])",
     );
     assert_graceful(
         &["--keepalive", "lru"],

@@ -51,6 +51,12 @@ pub enum ArrivalModel {
         /// Arrival instants in seconds from run start.
         arrival_s: Vec<f64>,
     },
+    /// A production-style trace zoo: Zipf-popular functions with mixed
+    /// temporal classes (see [`crate::tracezoo::ZooSpec`]).
+    Zoo {
+        /// The zoo generator configuration.
+        spec: crate::tracezoo::ZooSpec,
+    },
 }
 
 /// Samples an exponential gap at `rate` per second (inverse CDF).
@@ -144,6 +150,10 @@ impl ArrivalModel {
                 .copied()
                 .filter(|&t| t >= 0.0 && t < duration_s)
                 .collect(),
+            // The zoo forks per-function child streams off `rng` rather
+            // than drawing from it, so generation parallelizes over
+            // functions while staying a pure function of the stream.
+            ArrivalModel::Zoo { spec } => spec.generate(duration_s, rng),
         }
     }
 
@@ -154,6 +164,7 @@ impl ArrivalModel {
             ArrivalModel::Diurnal { .. } => "diurnal",
             ArrivalModel::Bursty { .. } => "bursty",
             ArrivalModel::Trace { .. } => "trace",
+            ArrivalModel::Zoo { .. } => "zoo",
         }
     }
 }

@@ -244,28 +244,84 @@ impl Autoscaler for PrewarmAhead {
     }
 }
 
-/// The spellings `autoscaler_by_name` accepts, in presentation order.
+/// The spellings [`parse_autoscaler`] accepts, in presentation order.
 /// CLI error messages list these so a typo'd `--autoscaler` shows the
 /// user what would have worked.
 pub fn autoscaler_names() -> &'static [&'static str] {
-    &["fixed:<n>", "target", "prewarm"]
+    &[
+        "fixed:<n>",
+        "target",
+        "prewarm",
+        "qlearn[:<episodes>:<epsilon>:<alpha>]",
+    ]
 }
 
-/// Parses an autoscaler name: `fixed:<size>`, `target`, or `prewarm`.
-/// Returns `None` for anything else.
-pub fn autoscaler_by_name(name: &str) -> Option<Box<dyn Autoscaler>> {
+/// Parses an autoscaler spec: `fixed:<size>`, `target`, `prewarm`, or
+/// `qlearn` (optionally `qlearn:<episodes>:<epsilon>:<alpha>`, which
+/// trains the frozen policy with those hyperparameters).
+///
+/// # Errors
+/// A human-readable message: invalid `qlearn` hyperparameters get a
+/// targeted diagnosis; everything else lists the valid spellings.
+pub fn parse_autoscaler(name: &str) -> Result<Box<dyn Autoscaler>, String> {
+    let unknown = || {
+        format!(
+            "unknown autoscaler: {name} ({})",
+            autoscaler_names().join("|")
+        )
+    };
     if let Some(rest) = name.strip_prefix("fixed:") {
-        let size: u32 = rest.parse().ok()?;
+        let size: u32 = rest.parse().map_err(|_| unknown())?;
         if size == 0 {
-            return None;
+            return Err(unknown());
         }
-        return Some(Box::new(FixedPool::new(size)));
+        return Ok(Box::new(FixedPool::new(size)));
+    }
+    if name == "qlearn" || name.starts_with("qlearn:") {
+        let mut config = crate::qscale::QScalerConfig::default();
+        if let Some(rest) = name.strip_prefix("qlearn:") {
+            let parts: Vec<&str> = rest.split(':').collect();
+            if parts.len() != 3 {
+                return Err(format!(
+                    "malformed qlearn spec {name:?}: expected qlearn:<episodes>:<epsilon>:<alpha>"
+                ));
+            }
+            config.episodes = parts[0]
+                .parse::<u32>()
+                .ok()
+                .filter(|&e| e >= 1)
+                .ok_or_else(|| {
+                    format!(
+                        "invalid qlearn train-episodes {:?}: must be an integer >= 1",
+                        parts[0]
+                    )
+                })?;
+            config.epsilon = parts[1]
+                .parse::<f64>()
+                .ok()
+                .filter(|e| (0.0..=1.0).contains(e))
+                .ok_or_else(|| {
+                    format!("invalid qlearn epsilon {:?}: must be in [0, 1]", parts[1])
+                })?;
+            config.alpha = parts[2]
+                .parse::<f64>()
+                .ok()
+                .filter(|a| *a > 0.0 && *a <= 1.0)
+                .ok_or_else(|| format!("invalid qlearn alpha {:?}: must be in (0, 1]", parts[2]))?;
+        }
+        return Ok(Box::new(crate::qscale::QLearningAutoscaler::train(config)));
     }
     match name {
-        "target" => Some(Box::new(ConcurrencyTarget::default())),
-        "prewarm" => Some(Box::new(PrewarmAhead::default())),
-        _ => None,
+        "target" => Ok(Box::new(ConcurrencyTarget::default())),
+        "prewarm" => Ok(Box::new(PrewarmAhead::default())),
+        _ => Err(unknown()),
     }
+}
+
+/// [`parse_autoscaler`] with the error dropped, for callers that only
+/// need a yes/no registry lookup.
+pub fn autoscaler_by_name(name: &str) -> Option<Box<dyn Autoscaler>> {
+    parse_autoscaler(name).ok()
 }
 
 #[cfg(test)]
@@ -343,5 +399,32 @@ mod tests {
         assert_eq!(autoscaler_by_name("prewarm").unwrap().name(), "prewarm");
         assert!(autoscaler_by_name("fixed:0").is_none());
         assert!(autoscaler_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn qlearn_parses_with_and_without_hyperparameters() {
+        assert_eq!(parse_autoscaler("qlearn").unwrap().name(), "qlearn");
+        assert_eq!(
+            parse_autoscaler("qlearn:50:0.3:0.2").unwrap().name(),
+            "qlearn"
+        );
+    }
+
+    #[test]
+    fn qlearn_rejects_invalid_hyperparameters_with_typed_messages() {
+        let err = |s: &str| parse_autoscaler(s).unwrap_err();
+        assert!(err("qlearn:0:0.2:0.1").contains("train-episodes"));
+        assert!(err("qlearn:abc:0.2:0.1").contains("train-episodes"));
+        assert!(err("qlearn:50:1.5:0.1").contains("epsilon"));
+        assert!(err("qlearn:50:-0.1:0.1").contains("epsilon"));
+        assert!(err("qlearn:50:0.2:0.0").contains("alpha"));
+        assert!(err("qlearn:50:0.2:2.0").contains("alpha"));
+        assert!(err("qlearn:50:0.2").contains("malformed qlearn spec"));
+        let unknown = err("psychic");
+        assert!(
+            unknown.contains("fixed:<n>|target|prewarm"),
+            "unknown-name error must keep listing the classic spellings: {unknown}"
+        );
+        assert!(unknown.contains("qlearn"), "and the new one: {unknown}");
     }
 }

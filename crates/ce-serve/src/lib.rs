@@ -13,9 +13,14 @@
 //! * [`arrival`] — open-loop arrival processes: Poisson, diurnal
 //!   sinusoid (exact thinning), bursty two-state MMPP, and verbatim
 //!   trace replay, plus a bit-exact JSONL arrival-log round trip.
+//! * [`tracezoo`] — an Azure-Functions-style trace generator: Zipf
+//!   per-function popularity over mixed temporal classes (steady,
+//!   diurnal, bursty, rare-cold), with named presets
+//!   (`--arrivals zoo:<preset>`).
 //! * [`autoscale`] — pluggable [`Autoscaler`] policies: a static
-//!   [`FixedPool`], Knative-style [`ConcurrencyTarget`] tracking, and
-//!   Little's-law [`PrewarmAhead`] provisioning.
+//!   [`FixedPool`], Knative-style [`ConcurrencyTarget`] tracking,
+//!   Little's-law [`PrewarmAhead`] provisioning, and the in-sim-trained
+//!   [`qscale::QLearningAutoscaler`].
 //! * Keep-alive economics come from `ce_faas::keepalive` — fixed TTL,
 //!   cost-aware adaptive TTL, and histogram-of-gaps prediction — and
 //!   every warm-idle GB-second is billed.
@@ -46,13 +51,17 @@
 
 pub mod arrival;
 pub mod autoscale;
+pub mod qscale;
 pub mod report;
 pub mod sim;
+pub mod tracezoo;
 
 pub use arrival::{read_arrival_log, write_arrival_log, ArrivalModel, ArrivalRecord};
 pub use autoscale::{
-    autoscaler_by_name, autoscaler_names, Autoscaler, ConcurrencyTarget, FixedPool,
-    LoadObservation, PrewarmAhead, ScaleDecision,
+    autoscaler_by_name, autoscaler_names, parse_autoscaler, Autoscaler, ConcurrencyTarget,
+    FixedPool, LoadObservation, PrewarmAhead, ScaleDecision,
 };
+pub use qscale::{QLearningAutoscaler, QScalerConfig};
 pub use report::ServeReport;
 pub use sim::{ServeSim, ServeSpec};
+pub use tracezoo::{parse_zoo, zoo_preset_names, FunctionClass, ZooSpec};

@@ -12,6 +12,9 @@
 //!   FIFO tie-breaking, the core of the platform simulator.
 //! * [`stats`] — small statistics helpers (running moments, percentiles)
 //!   used by the measurement and validation harnesses.
+//! * [`qlearn`] — reusable tabular Q-learning ([`qlearn::QLearner`]) with a
+//!   strict draw-order contract, shared by the Siren baseline and the
+//!   ce-serve learned autoscaler.
 //!
 //! The engine is intentionally free of `std::time` and OS randomness: given
 //! the same seed the entire workspace produces bit-identical results, which
@@ -34,11 +37,13 @@
 //! ```
 
 pub mod event;
+pub mod qlearn;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::EventQueue;
+pub use qlearn::{EpsilonSchedule, QEnv, QLearner, QStep, QTable};
 pub use rng::SimRng;
 pub use stats::Summary;
 pub use time::SimTime;

@@ -123,10 +123,13 @@ fn usage_and_exit(unknown: Option<&str>) -> ! {
            --checkpoint-every K  snapshot the model to durable storage every K epochs\n  \
            --recovery P      retry|checkpoint|replan recovery policy (default retry)\n  \
            --metrics PATH    dump the ce-obs metrics/event stream as JSONL\n  \
-           --arrivals M      poisson|diurnal|bursty|trace:<log.jsonl> (serve; default poisson)\n  \
+           --arrivals M      poisson|diurnal|bursty|trace:<log.jsonl>|zoo:<preset>\n  \
+                             (serve; default poisson; zoo presets: mixed|steady|diurnal|\n  \
+                             bursty|coldtail)\n  \
            --rps R           mean arrival rate for `serve` (default 20)\n  \
            --duration S      arrival window for `serve`, seconds (default 600)\n  \
-           --autoscaler A    fixed:<n>|target|prewarm (serve; default target)\n  \
+           --autoscaler A    fixed:<n>|target|prewarm|qlearn[:<episodes>:<epsilon>:<alpha>]\n  \
+                             (serve; default target)\n  \
            --keepalive K     fixed[:<ttl-s>]|adaptive|histogram (serve; default fixed)\n  \
            --slo-ms X        latency SLO for `serve`/`lifecycle`, ms (default 500)\n  \
            --arrival-log P   write the generated arrival schedule as JSONL (serve)\n  \
@@ -615,9 +618,7 @@ fn cmd_cluster(opts: &Opts) {
 }
 
 fn cmd_serve(opts: &Opts) {
-    use ce_scaling::serve::{
-        autoscaler_by_name, autoscaler_names, ArrivalModel, ServeSim, ServeSpec,
-    };
+    use ce_scaling::serve::{ArrivalModel, ServeSim, ServeSpec};
     let rps = opts.rps.unwrap_or(20.0);
     let duration = opts.duration.unwrap_or(600.0);
     let arrivals = match opts.arrivals.as_deref().unwrap_or("poisson") {
@@ -644,19 +645,28 @@ fn cmd_serve(opts: &Opts) {
                     std::process::exit(2);
                 });
                 ArrivalModel::Trace { arrival_s }
+            } else if other == "zoo" || other.starts_with("zoo:") {
+                let rest = other.strip_prefix("zoo:").unwrap_or("");
+                let spec = ce_scaling::serve::parse_zoo(rest).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                });
+                ArrivalModel::Zoo { spec }
             } else {
-                eprintln!("unknown arrivals model: {other} (poisson|diurnal|bursty|trace:<path>)");
+                eprintln!(
+                    "unknown arrivals model: {other} (poisson|diurnal|bursty|trace:<path>|zoo:<preset>)"
+                );
                 std::process::exit(2);
             }
         }
     };
     let autoscaler_name = opts.autoscaler.as_deref().unwrap_or("target");
-    let Some(autoscaler) = autoscaler_by_name(autoscaler_name) else {
-        eprintln!(
-            "unknown autoscaler: {autoscaler_name} ({})",
-            autoscaler_names().join("|")
-        );
-        std::process::exit(2);
+    let autoscaler = match ce_scaling::serve::parse_autoscaler(autoscaler_name) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
     };
     let keepalive_name = opts.keepalive.as_deref().unwrap_or("fixed");
     let keep_alive = match ce_scaling::faas::parse_keep_alive(keepalive_name) {
@@ -738,7 +748,7 @@ fn cmd_serve(opts: &Opts) {
 
 fn cmd_lifecycle(opts: &Opts) {
     use ce_scaling::lifecycle::{priority_by_name, priority_names, LifecycleSim, LifecycleSpec};
-    use ce_scaling::serve::{autoscaler_by_name, autoscaler_names};
+    use ce_scaling::serve::parse_autoscaler;
     let tenants = opts.tenants.unwrap_or(4);
     let duration = opts.duration.unwrap_or(300.0);
     let policy_name = opts.policy.as_deref().unwrap_or("serve-first");
@@ -774,11 +784,8 @@ fn cmd_lifecycle(opts: &Opts) {
         spec = spec.with_drift_mean_s(drift);
     }
     if let Some(name) = &opts.autoscaler {
-        if autoscaler_by_name(name).is_none() {
-            eprintln!(
-                "unknown autoscaler: {name} ({})",
-                autoscaler_names().join("|")
-            );
+        if let Err(e) = parse_autoscaler(name) {
+            eprintln!("{e}");
             std::process::exit(2);
         }
         spec = spec.with_autoscaler(name);

@@ -219,6 +219,83 @@ fn serve_trace_replay_reproduces_the_original_run() {
 }
 
 #[test]
+fn zoo_serve_metrics_are_byte_identical_per_seed() {
+    let args = [
+        "serve",
+        "--arrivals",
+        "zoo:bursty",
+        "--duration",
+        "180",
+        "--autoscaler",
+        "qlearn",
+        "--keepalive",
+        "adaptive",
+        "--seed",
+        "11",
+    ];
+    let a = metrics_bytes(&args, "zoo_a");
+    let b = metrics_bytes(&args, "zoo_b");
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same seed must produce byte-identical zoo JSONL");
+
+    let mut other = args;
+    other[other.len() - 1] = "12";
+    assert_ne!(a, metrics_bytes(&other, "zoo_c"), "seed must matter");
+}
+
+#[test]
+fn zoo_trace_replay_reproduces_the_original_run() {
+    // A zoo run that writes its own arrival log, then a second run
+    // replaying that log through `--arrivals trace:<path>`: the zoo
+    // generator emits the ordinary ascending arrival schedule, so the
+    // replay must be byte-identical.
+    let mut log = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    log.push("zoo_replay_arrivals.jsonl");
+    let log_str = log.to_str().expect("utf-8 tmpdir");
+    let original = metrics_bytes(
+        &[
+            "serve",
+            "--arrivals",
+            "zoo:mixed",
+            "--duration",
+            "180",
+            "--autoscaler",
+            "qlearn",
+            "--keepalive",
+            "adaptive",
+            "--seed",
+            "42",
+            "--arrival-log",
+            log_str,
+        ],
+        "zoo_replay_orig",
+    );
+    let trace_arg = format!("trace:{log_str}");
+    let replayed = metrics_bytes(
+        &[
+            "serve",
+            "--arrivals",
+            &trace_arg,
+            "--duration",
+            "180",
+            "--autoscaler",
+            "qlearn",
+            "--keepalive",
+            "adaptive",
+            "--seed",
+            "42",
+        ],
+        "zoo_replay_back",
+    );
+    assert!(!original.is_empty());
+    assert_eq!(
+        original, replayed,
+        "trace replay of a zoo run's own arrival log must reproduce its metrics"
+    );
+    std::fs::remove_file(&log).ok();
+}
+
+#[test]
 fn zero_traffic_serve_run_emits_nothing_and_spends_nothing() {
     let out = metrics_bytes(
         &["serve", "--rps", "0", "--duration", "600", "--seed", "42"],

@@ -198,3 +198,54 @@ fn run_config_errors_are_clean() {
     assert!(!stderr.contains("panicked"), "{stderr}");
     std::fs::remove_file(&path).ok();
 }
+
+#[test]
+fn unknown_zoo_preset_is_a_usage_error() {
+    assert_graceful(
+        &["serve", "--arrivals", "zoo:azure2019"],
+        2,
+        "unknown zoo preset: azure2019",
+    );
+}
+
+#[test]
+fn malformed_zoo_specs_are_usage_errors() {
+    // A second `:` segment is rejected, not silently ignored.
+    assert_graceful(
+        &["serve", "--arrivals", "zoo:mixed:3"],
+        2,
+        "malformed zoo spec",
+    );
+    // A bare `zoo` names no preset; the error lists the valid ones.
+    assert_graceful(&["serve", "--arrivals", "zoo"], 2, "missing a preset name");
+    let (_, stderr) = run(&["serve", "--arrivals", "zoo"]);
+    assert!(
+        stderr.contains("mixed") && stderr.contains("coldtail"),
+        "zoo errors must list the presets:\n{stderr}"
+    );
+}
+
+#[test]
+fn invalid_qlearn_hyperparameters_are_usage_errors() {
+    assert_graceful(
+        &["serve", "--autoscaler", "qlearn:0:0.2:0.1"],
+        2,
+        "invalid qlearn train-episodes",
+    );
+    assert_graceful(
+        &["serve", "--autoscaler", "qlearn:50:1.5:0.1"],
+        2,
+        "invalid qlearn epsilon",
+    );
+    assert_graceful(
+        &["serve", "--autoscaler", "qlearn:50:0.2:0.0"],
+        2,
+        "invalid qlearn alpha",
+    );
+    // Wrong arity: three colon-separated hyperparameters or none.
+    assert_graceful(
+        &["serve", "--autoscaler", "qlearn:50:0.2"],
+        2,
+        "malformed qlearn spec",
+    );
+}

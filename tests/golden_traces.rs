@@ -120,6 +120,28 @@ fn serve_args(seed: u64) -> Vec<String> {
     .collect()
 }
 
+/// The trace-zoo + learned-autoscaler pipeline: a mixed Zipf/diurnal/
+/// bursty/cold-tail trace served by the frozen Q-learning policy.
+fn serve_zoo_args(seed: u64) -> Vec<String> {
+    [
+        "serve",
+        "--arrivals",
+        "zoo:mixed",
+        "--duration",
+        "120",
+        "--autoscaler",
+        "qlearn",
+        "--keepalive",
+        "adaptive",
+        "--slo-ms",
+        "800",
+    ]
+    .into_iter()
+    .map(String::from)
+    .chain(["--seed".into(), seed.to_string()])
+    .collect()
+}
+
 fn lifecycle_args(seed: u64) -> Vec<String> {
     [
         "lifecycle",
@@ -223,6 +245,29 @@ fn serve_traces_match_golden_fixtures() {
             "serve metrics must include the latency quantile summary"
         );
         check_golden("serve", seed, &bytes);
+    }
+}
+
+/// The zoo fixtures pin trace generation *and* the frozen Q-policy at
+/// once: two seeds, each byte-compared at 1 and 8 workers, so both new
+/// subsystems join the thread-invariance contract from day one.
+#[test]
+fn zoo_serve_traces_match_golden_fixtures() {
+    for seed in [11, 42] {
+        for threads in [1, 8] {
+            let bytes = run_metrics_with_threads(
+                &serve_zoo_args(seed),
+                &format!("serve_zoo_{seed}_t{threads}"),
+                Some(threads),
+            );
+            assert!(!bytes.is_empty());
+            let text = String::from_utf8_lossy(&bytes);
+            assert!(
+                text.contains(r#""type":"summary","name":"serve.latency_ms""#),
+                "zoo serve metrics must include the latency quantile summary"
+            );
+            check_golden("serve_zoo", seed, &bytes);
+        }
     }
 }
 

@@ -850,3 +850,141 @@ fn resilient_chaos_partitions_arrivals_and_bills_every_attempt() {
         );
     });
 }
+
+// ---------------------------------------------------------------------------
+// Trace-zoo statistics: the generator's families must actually *have* the
+// temporal shape their name promises, not merely run. Each test measures a
+// population statistic on a long window and checks it against the theoretical
+// value with a generous tolerance — seeds are fixed, so these never flake.
+// ---------------------------------------------------------------------------
+
+/// Per-function arrival schedules for one preset on a fixed stream.
+fn zoo_schedules(
+    preset: &str,
+    duration_s: f64,
+) -> Vec<(ce_scaling::serve::FunctionClass, Vec<f64>)> {
+    let spec = ce_scaling::serve::ZooSpec::preset(preset).expect("known preset");
+    spec.per_function(duration_s, &SimRng::new(PROP_SEED).derive("zoo-stats"))
+}
+
+/// Least-squares slope of `y` against `x`.
+fn slope(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let cov: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let var: f64 = x.iter().map(|a| (a - mx) * (a - mx)).sum();
+    cov / var
+}
+
+/// Index of dispersion (Fano factor) of counts over fixed-width bins.
+fn fano(arrivals: &[f64], duration_s: f64, bin_s: f64) -> f64 {
+    let bins = (duration_s / bin_s) as usize;
+    let mut counts = vec![0.0_f64; bins];
+    for &t in arrivals {
+        counts[((t / bin_s) as usize).min(bins - 1)] += 1.0;
+    }
+    let mean = counts.iter().sum::<f64>() / bins as f64;
+    let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / bins as f64;
+    var / mean
+}
+
+/// Empirical per-function counts follow the configured Zipf tail: the
+/// log-log regression of count against rank recovers the exponent.
+#[test]
+fn zoo_empirical_popularity_recovers_the_zipf_exponent() {
+    let spec = ce_scaling::serve::ZooSpec::preset("steady").expect("known preset");
+    let schedules = zoo_schedules("steady", 2000.0);
+    let (mut xs, mut ys) = (Vec::new(), Vec::new());
+    for (rank, (_, arrivals)) in schedules.iter().enumerate() {
+        // Only ranks with enough arrivals for the count to concentrate.
+        if arrivals.len() >= 50 {
+            xs.push(((rank + 1) as f64).ln());
+            ys.push((arrivals.len() as f64).ln());
+        }
+    }
+    assert!(
+        xs.len() >= 20,
+        "need a fitting range, got {} ranks",
+        xs.len()
+    );
+    let fitted = -slope(&xs, &ys);
+    assert!(
+        (fitted - spec.zipf_exponent).abs() < 0.2,
+        "fitted Zipf exponent {fitted:.3} vs configured {}",
+        spec.zipf_exponent
+    );
+}
+
+/// Bursty-class functions are overdispersed (Fano factor well above the
+/// Poisson value of 1); steady-class functions are not.
+#[test]
+fn zoo_bursty_functions_beat_the_poisson_fano_baseline() {
+    let duration = 2400.0;
+    let bursty = &zoo_schedules("bursty", duration)[0].1;
+    let steady = &zoo_schedules("steady", duration)[0].1;
+    let fano_bursty = fano(bursty, duration, 5.0);
+    let fano_steady = fano(steady, duration, 5.0);
+    assert!(
+        fano_steady < 1.5,
+        "steady head function should look Poisson, Fano {fano_steady:.2}"
+    );
+    assert!(
+        fano_bursty > 2.0 && fano_bursty > 2.0 * fano_steady,
+        "ON-OFF head function must be overdispersed: Fano {fano_bursty:.2} \
+         vs steady {fano_steady:.2}"
+    );
+}
+
+/// Diurnal-class functions actually swing: the peak quarter of each cycle
+/// carries several times the arrivals of the trough quarter.
+#[test]
+fn zoo_diurnal_functions_swing_between_peak_and_trough() {
+    let spec = ce_scaling::serve::ZooSpec::preset("diurnal").expect("known preset");
+    let period = spec.diurnal_period_s;
+    let duration = 4.0 * period;
+    let head = &zoo_schedules("diurnal", duration)[0].1;
+    // rate(t) = base·(1 + a·sin(2πt/period)): peak quarter centered at
+    // period/4, trough quarter at 3·period/4.
+    let (mut peak, mut trough) = (0u64, 0u64);
+    for &t in head {
+        let phase = (t % period) / period;
+        if (0.125..0.375).contains(&phase) {
+            peak += 1;
+        } else if (0.625..0.875).contains(&phase) {
+            trough += 1;
+        }
+    }
+    // Theory at amplitude 0.8: mean quarter rates base·(1 ± 0.8·2√2/π),
+    // a ratio of ≈6.1. Assert half that to stay far from flakiness.
+    let ratio = peak as f64 / trough.max(1) as f64;
+    assert!(
+        ratio > 3.0,
+        "peak/trough arrival ratio {ratio:.2} (peak {peak}, trough {trough})"
+    );
+}
+
+/// Every preset's merged schedule is a valid arrival log: ascending,
+/// finite, in-range, and bit-exact through the write/read round trip.
+#[test]
+fn zoo_schedules_roundtrip_the_arrival_log_for_every_preset() {
+    use ce_scaling::serve::{read_arrival_log, write_arrival_log, ZooSpec};
+    for preset in ce_scaling::serve::zoo_preset_names() {
+        let spec = ZooSpec::preset(preset).expect("known preset");
+        let arrivals = spec.generate(300.0, &SimRng::new(PROP_SEED).derive("zoo-log"));
+        assert!(!arrivals.is_empty(), "{preset} generated nothing");
+        assert!(
+            arrivals.windows(2).all(|w| w[0] <= w[1]),
+            "{preset} schedule must ascend"
+        );
+        assert!(
+            arrivals
+                .iter()
+                .all(|&t| t.is_finite() && (0.0..300.0).contains(&t)),
+            "{preset} schedule must stay finite and in-window"
+        );
+        let replayed = read_arrival_log(&write_arrival_log(&arrivals))
+            .unwrap_or_else(|e| panic!("{preset} log must parse: {e}"));
+        assert_eq!(replayed, arrivals, "{preset} log round trip must be exact");
+    }
+}
